@@ -1,0 +1,65 @@
+//! Encoding-duration benchmark (§5): encode one stripe of real payload per
+//! code and measure the throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use drc_core::codes::CodeKind;
+
+const BLOCK_BYTES: usize = 256 * 1024;
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding_duration");
+    group.sample_size(20);
+
+    let mut kinds = vec![CodeKind::TWO_REP];
+    kinds.extend(CodeKind::table1_set());
+    kinds.push(CodeKind::ReedSolomon { data: 10, parity: 4 });
+    for kind in kinds {
+        let code = kind.build().expect("builds");
+        let k = code.data_blocks();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..BLOCK_BYTES).map(|j| (i + j) as u8).collect())
+            .collect();
+        group.throughput(Throughput::Bytes((k * BLOCK_BYTES) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode_stripe", kind.to_string()),
+            &data,
+            |b, data| b.iter(|| code.encode(data).expect("encodes")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_decoding(c: &mut Criterion) {
+    use std::collections::BTreeMap;
+    let mut group = c.benchmark_group("decoding_after_two_failures");
+    group.sample_size(20);
+
+    for kind in [CodeKind::Pentagon, CodeKind::Heptagon, CodeKind::HeptagonLocal] {
+        let code = kind.build().expect("builds");
+        let k = code.data_blocks();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..BLOCK_BYTES).map(|j| (i * 3 + j) as u8).collect())
+            .collect();
+        let coded = code.encode(&data).expect("encodes");
+        // Lose the first two nodes' blocks.
+        let failed: std::collections::BTreeSet<usize> = [0, 1].into_iter().collect();
+        let mut available: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+        for node in 2..code.node_count() {
+            for &b in code.node_blocks(node) {
+                available.insert(b, coded[b].clone());
+            }
+        }
+        assert!(code.can_recover(&failed));
+        group.throughput(Throughput::Bytes((k * BLOCK_BYTES) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("decode_stripe", kind.to_string()),
+            &available,
+            |b, available| b.iter(|| code.decode(available, BLOCK_BYTES).expect("decodes")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding, bench_decoding);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 3 benchmark: the locality simulation for representative points of the
+//! figure (each benched point is one full set of randomised trials).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use drc_core::codes::CodeKind;
+use drc_core::mapreduce::{simulate_locality, LocalityConfig, SchedulerKind};
+
+fn bench_fig3_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_locality");
+    group.sample_size(10);
+
+    for (code, scheduler, mu) in [
+        (CodeKind::TWO_REP, SchedulerKind::Delay, 2usize),
+        (CodeKind::Pentagon, SchedulerKind::Delay, 2),
+        (CodeKind::Heptagon, SchedulerKind::Delay, 2),
+        (CodeKind::Pentagon, SchedulerKind::Delay, 8),
+        (CodeKind::Pentagon, SchedulerKind::MaxMatching, 4),
+        (CodeKind::Heptagon, SchedulerKind::Peeling, 4),
+    ] {
+        let config = LocalityConfig::new(code, scheduler, mu, 100.0).with_trials(20);
+        let label = format!("{code}/{scheduler}/mu{mu}/load100");
+        group.bench_with_input(BenchmarkId::new("point", label), &config, |b, config| {
+            b.iter(|| simulate_locality(config).expect("simulates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_points);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Galois-field substrate micro-benchmarks: bulk XOR, multiply-accumulate and
+//! Reed–Solomon encode/reconstruct throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use drc_core::gf::{slice, Gf256, Matrix, ReedSolomon};
+
+const BUF: usize = 1024 * 1024;
+
+fn bench_slice_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf_slice_ops");
+    group.throughput(Throughput::Bytes(BUF as u64));
+    let src: Vec<u8> = (0..BUF).map(|i| i as u8).collect();
+    group.bench_function("xor_assign_1MiB", |b| {
+        let mut dst = vec![0u8; BUF];
+        b.iter(|| slice::xor_assign(&mut dst, &src))
+    });
+    group.bench_function("mul_acc_1MiB", |b| {
+        let mut dst = vec![0u8; BUF];
+        b.iter(|| slice::mul_acc(&mut dst, &src, Gf256::new(0x1d)))
+    });
+    group.finish();
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf_reed_solomon");
+    group.sample_size(20);
+    for (k, m) in [(9usize, 1usize), (10, 4), (40, 2)] {
+        let rs = ReedSolomon::new(k, m).expect("valid parameters");
+        let shard = 64 * 1024;
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8; shard]).collect();
+        group.throughput(Throughput::Bytes((k * shard) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("rs({k},{m})")),
+            &data,
+            |b, data| b.iter(|| rs.encode(data).expect("encodes")),
+        );
+        let coded = rs.encode(&data).expect("encodes");
+        let present: Vec<Option<&[u8]>> = coded
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i >= m).then_some(s.as_slice()))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct_worst_case", format!("rs({k},{m})")),
+            &present,
+            |b, present| b.iter(|| rs.reconstruct(present, shard).expect("reconstructs")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_matrix_inversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf_matrix");
+    for n in [9usize, 20, 40] {
+        let rows: Vec<usize> = (0..n).collect();
+        let m = Matrix::vandermonde(n + 4, n)
+            .expect("valid dimensions")
+            .select_rows(&rows);
+        group.bench_with_input(BenchmarkId::new("invert", n), &m, |b, m| {
+            b.iter(|| m.inverse().expect("invertible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slice_ops, bench_reed_solomon, bench_matrix_inversion);
+criterion_main!(benches);

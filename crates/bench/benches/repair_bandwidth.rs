@@ -1,0 +1,53 @@
+//! §3.1 benchmark: repair planning and degraded-read planning for every code,
+//! plus assembly of the repair-bandwidth table.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use drc_core::codes::CodeKind;
+use drc_core::experiments::repair_bandwidth::run_repair_bandwidth;
+
+fn bench_repair_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair_bandwidth");
+    group.sample_size(30);
+
+    for kind in [
+        CodeKind::THREE_REP,
+        CodeKind::Pentagon,
+        CodeKind::Heptagon,
+        CodeKind::HeptagonLocal,
+        CodeKind::RAID_M_10_9,
+    ] {
+        let code = kind.build().expect("builds");
+        let single: BTreeSet<usize> = [0].into_iter().collect();
+        let double: BTreeSet<usize> = [0, 1].into_iter().collect();
+        group.bench_with_input(
+            BenchmarkId::new("single_node_repair_plan", kind.to_string()),
+            &code,
+            |b, code| b.iter(|| code.repair_plan(&single).expect("tolerated")),
+        );
+        if code.fault_tolerance() >= 2 {
+            group.bench_with_input(
+                BenchmarkId::new("double_node_repair_plan", kind.to_string()),
+                &code,
+                |b, code| b.iter(|| code.repair_plan(&double).expect("tolerated")),
+            );
+        }
+        let hosts: BTreeSet<usize> = code.block_locations(0).iter().copied().collect();
+        if code.can_recover(&hosts) {
+            group.bench_with_input(
+                BenchmarkId::new("degraded_read_plan", kind.to_string()),
+                &code,
+                |b, code| b.iter(|| code.degraded_read_plan(0, &hosts).expect("recoverable")),
+            );
+        }
+    }
+    group.bench_function("assemble_full_table", |b| {
+        b.iter(|| run_repair_bandwidth().expect("table builds"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair_planning);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Scheduler micro-benchmarks: delay scheduling vs maximum matching vs
+//! peeling on identical task–node graphs (the §3.2 comment that maximum
+//! matching is "computationally intensive" compared with delay scheduling).
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use drc_core::cluster::{Cluster, ClusterSpec, NodeId, PlacementMap, PlacementPolicy};
+use drc_core::codes::CodeKind;
+use drc_core::mapreduce::{MapTask, SchedulerKind, TaskId, TaskNodeGraph};
+
+fn build_graph(code: CodeKind, nodes: usize, mu: usize, load: f64) -> (TaskNodeGraph, BTreeMap<NodeId, usize>) {
+    let cluster = Cluster::new(ClusterSpec::custom(nodes, 3, mu));
+    let built = code.build().expect("builds");
+    let tasks = cluster.spec().tasks_for_load(load);
+    let stripes = tasks.div_ceil(built.data_blocks());
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let placement = PlacementMap::place(built.as_ref(), &cluster, stripes, PlacementPolicy::Random, &mut rng)
+        .expect("places");
+    let map_tasks: Vec<MapTask> = placement
+        .data_blocks()
+        .into_iter()
+        .take(tasks)
+        .enumerate()
+        .map(|(i, block)| MapTask { id: TaskId(i), block })
+        .collect();
+    let graph = TaskNodeGraph::build(&map_tasks, &placement, &cluster);
+    let caps = graph.nodes().iter().map(|&n| (n, mu)).collect();
+    (graph, caps)
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    group.sample_size(30);
+    // A 100-node cluster at full load stresses the assignment algorithms.
+    for (label, nodes) in [("25_nodes", 25usize), ("100_nodes", 100)] {
+        let (graph, caps) = build_graph(CodeKind::Heptagon, nodes, 4, 100.0);
+        for kind in SchedulerKind::all() {
+            let scheduler = kind.build();
+            group.bench_function(BenchmarkId::new(kind.to_string(), label), |b| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(3);
+                    scheduler.assign(&graph, &caps, &mut rng)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

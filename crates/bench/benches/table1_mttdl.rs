@@ -1,0 +1,38 @@
+//! Table 1 benchmark: the Markov-chain MTTDL computation for every code of
+//! the table, plus the full table assembly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use drc_core::codes::CodeKind;
+use drc_core::experiments::table1::run_table1;
+use drc_core::reliability::{group_mttdl, FatalityModel, ReliabilityParams};
+
+fn bench_table1(c: &mut Criterion) {
+    let params = ReliabilityParams::default();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+
+    for kind in CodeKind::table1_set() {
+        let code = kind.build().expect("paper codes build");
+        group.bench_with_input(
+            BenchmarkId::new("mttdl_worst_case", kind.to_string()),
+            &code,
+            |b, code| b.iter(|| group_mttdl(code.as_ref(), &params).expect("solvable")),
+        );
+    }
+    // The pattern-aware model enumerates failure patterns exhaustively; the
+    // heptagon-local code is the most expensive of the set.
+    let hl = CodeKind::HeptagonLocal.build().expect("builds");
+    let aware = params.with_fatality_model(FatalityModel::PatternAware);
+    group.bench_function("mttdl_pattern_aware/heptagon-local", |b| {
+        b.iter(|| group_mttdl(hl.as_ref(), &aware).expect("solvable"))
+    });
+
+    group.bench_function("assemble_full_table", |b| {
+        b.iter(|| run_table1(&params).expect("table builds"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--experiment <name>] [--effort quick|full] [--json <path>]
+//!
+//!   <name> ∈ { table1, repair_bw, fig3, fig4, fig5, encoding, degraded_mr, all }
+//! ```
+//!
+//! With no arguments every experiment runs at `quick` effort and the
+//! paper-style tables are printed to stdout. `--json` additionally dumps the
+//! raw results as JSON (the data behind `EXPERIMENTS.md`).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use drc_bench::{parse_effort, EXPERIMENTS};
+use drc_core::experiments::{
+    degraded_mr::run_degraded_mr, encoding::run_encoding, fig3::run_fig3, fig4::run_fig4,
+    fig5::run_fig5, repair_bandwidth::run_repair_bandwidth, table1::run_table1, Effort,
+};
+use drc_core::reliability::ReliabilityParams;
+use drc_core::DrcError;
+
+struct Options {
+    experiment: String,
+    effort: Effort,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut experiment = "all".to_string();
+    let mut effort = Effort::Quick;
+    let mut json_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--experiment" | "-e" => {
+                experiment = args.next().ok_or("--experiment needs a value")?;
+            }
+            "--effort" => {
+                effort = parse_effort(args.next().as_deref());
+            }
+            "--json" => {
+                json_path = Some(args.next().ok_or("--json needs a path")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--experiment <{}|all>] [--effort quick|full] [--json <path>]",
+                    EXPERIMENTS.join("|")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Options {
+        experiment,
+        effort,
+        json_path,
+    })
+}
+
+fn run(options: &Options) -> Result<BTreeMap<String, serde_json::Value>, DrcError> {
+    let mut results = BTreeMap::new();
+    let wanted = |name: &str| options.experiment == "all" || options.experiment == name;
+
+    if wanted("table1") {
+        let table = run_table1(&ReliabilityParams::default())?;
+        println!("{table}\n");
+        results.insert("table1".to_string(), serde_json::to_value(&table).expect("serializable"));
+    }
+    if wanted("repair_bw") {
+        let table = run_repair_bandwidth()?;
+        println!("{table}\n");
+        results.insert("repair_bw".to_string(), serde_json::to_value(&table).expect("serializable"));
+    }
+    if wanted("fig3") {
+        let data = run_fig3(options.effort)?;
+        println!("{data}");
+        results.insert("fig3".to_string(), serde_json::to_value(&data).expect("serializable"));
+    }
+    if wanted("fig4") {
+        let data = run_fig4(options.effort)?;
+        println!("{data}\n");
+        results.insert("fig4".to_string(), serde_json::to_value(&data).expect("serializable"));
+    }
+    if wanted("fig5") {
+        let data = run_fig5(options.effort)?;
+        println!("{data}\n");
+        results.insert("fig5".to_string(), serde_json::to_value(&data).expect("serializable"));
+    }
+    if wanted("encoding") {
+        let report = run_encoding(1024 * 1024, 8)?;
+        println!("{report}\n");
+        results.insert("encoding".to_string(), serde_json::to_value(&report).expect("serializable"));
+    }
+    if wanted("degraded_mr") {
+        let report = run_degraded_mr(options.effort)?;
+        println!("{report}\n");
+        results.insert(
+            "degraded_mr".to_string(),
+            serde_json::to_value(&report).expect("serializable"),
+        );
+    }
+    Ok(results)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if options.experiment != "all" && !EXPERIMENTS.contains(&options.experiment.as_str()) {
+        eprintln!(
+            "error: unknown experiment '{}'; expected one of {} or 'all'",
+            options.experiment,
+            EXPERIMENTS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    match run(&options) {
+        Ok(results) => {
+            if let Some(path) = &options.json_path {
+                match serde_json::to_string_pretty(&results) {
+                    Ok(json) => {
+                        if let Err(e) = std::fs::write(path, json) {
+                            eprintln!("error writing {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("wrote JSON results to {path}");
+                    }
+                    Err(e) => {
+                        eprintln!("error serialising results: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Shared helpers for the benchmark harness and the `repro` binary.
+//!
+//! The Criterion benches in `benches/` measure the computational kernels
+//! behind each table and figure (MTTDL solves, repair planning, locality
+//! simulation, Terasort execution, encoding), while the `repro` binary
+//! regenerates the tables and figure series themselves in a paper-comparable
+//! textual form. Both are thin wrappers around
+//! [`drc_core::experiments`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use drc_core::experiments::Effort;
+
+/// Parses an effort level from a command-line string.
+///
+/// Accepts `quick` (default) and `full`.
+pub fn parse_effort(arg: Option<&str>) -> Effort {
+    match arg {
+        Some("full") => Effort::Full,
+        _ => Effort::Quick,
+    }
+}
+
+/// The experiment names understood by the `repro` binary, in presentation
+/// order.
+pub const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "repair_bw",
+    "fig3",
+    "fig4",
+    "fig5",
+    "encoding",
+    "degraded_mr",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_parsing() {
+        assert_eq!(parse_effort(None), Effort::Quick);
+        assert_eq!(parse_effort(Some("quick")), Effort::Quick);
+        assert_eq!(parse_effort(Some("full")), Effort::Full);
+        assert_eq!(parse_effort(Some("garbage")), Effort::Quick);
+    }
+
+    #[test]
+    fn experiment_list_is_complete() {
+        assert_eq!(EXPERIMENTS.len(), 7);
+        assert!(EXPERIMENTS.contains(&"table1"));
+        assert!(EXPERIMENTS.contains(&"fig5"));
+    }
+}

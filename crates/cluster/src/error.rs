@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors produced by cluster topology and placement operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// A node id does not exist in the cluster.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// The cluster has too few (up) nodes to place a stripe of the code.
+    InsufficientNodes {
+        /// Nodes required by one stripe of the code (its code length).
+        needed: usize,
+        /// Nodes available in the cluster.
+        available: usize,
+    },
+    /// A placement request was invalid (e.g. zero stripes).
+    InvalidPlacement {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            ClusterError::InsufficientNodes { needed, available } => write!(
+                f,
+                "stripe needs {needed} nodes but only {available} are available"
+            ),
+            ClusterError::InvalidPlacement { reason } => write!(f, "invalid placement: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            ClusterError::UnknownNode { node: 3 },
+            ClusterError::InsufficientNodes {
+                needed: 20,
+                available: 9,
+            },
+            ClusterError::InvalidPlacement {
+                reason: "zero stripes".into(),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Failure injection: sampling transient or permanent node failures.
+//!
+//! Used by the degraded-MapReduce experiments (§5 future work: "MR
+//! performance in the presence of node failures") and by the Monte-Carlo
+//! reliability cross-checks.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{Cluster, NodeId};
+
+/// A failure scenario: which nodes are down for the duration of an experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FailureScenario {
+    /// The nodes that are down.
+    pub down: Vec<NodeId>,
+}
+
+impl FailureScenario {
+    /// No failures.
+    pub fn none() -> Self {
+        FailureScenario::default()
+    }
+
+    /// Marks exactly the given nodes as down.
+    pub fn nodes(down: Vec<NodeId>) -> Self {
+        FailureScenario { down }
+    }
+
+    /// Samples `count` distinct down nodes uniformly at random.
+    pub fn random<R: Rng + ?Sized>(cluster: &Cluster, count: usize, rng: &mut R) -> Self {
+        let mut nodes: Vec<NodeId> = cluster.nodes().collect();
+        nodes.shuffle(rng);
+        nodes.truncate(count.min(cluster.len()));
+        nodes.sort_unstable();
+        FailureScenario { down: nodes }
+    }
+
+    /// Applies the scenario to a cluster (marks the nodes down).
+    pub fn apply(&self, cluster: &mut Cluster) {
+        for &n in &self.down {
+            cluster.set_down(n);
+        }
+    }
+
+    /// Reverts the scenario (marks the nodes up again).
+    pub fn revert(&self, cluster: &mut Cluster) {
+        for &n in &self.down {
+            cluster.set_up(n);
+        }
+    }
+
+    /// Number of failed nodes in the scenario.
+    pub fn len(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Returns `true` if no node is down.
+    pub fn is_empty(&self) -> bool {
+        self.down.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ClusterSpec;
+    use rand::SeedableRng;
+
+    #[test]
+    fn apply_and_revert() {
+        let mut cluster = Cluster::new(ClusterSpec::setup1());
+        let scenario = FailureScenario::nodes(vec![NodeId(1), NodeId(5)]);
+        assert_eq!(scenario.len(), 2);
+        assert!(!scenario.is_empty());
+        scenario.apply(&mut cluster);
+        assert!(!cluster.is_up(NodeId(1)));
+        assert!(!cluster.is_up(NodeId(5)));
+        scenario.revert(&mut cluster);
+        assert!(cluster.is_up(NodeId(1)));
+        assert!(FailureScenario::none().is_empty());
+    }
+
+    #[test]
+    fn random_scenarios_are_distinct_nodes_and_deterministic() {
+        let cluster = Cluster::new(ClusterSpec::setup1());
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let s = FailureScenario::random(&cluster, 5, &mut rng);
+        assert_eq!(s.len(), 5);
+        let unique: std::collections::BTreeSet<_> = s.down.iter().collect();
+        assert_eq!(unique.len(), 5);
+        // Requesting more failures than nodes caps at the cluster size.
+        let mut rng2 = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let all = FailureScenario::random(&cluster, 100, &mut rng2);
+        assert_eq!(all.len(), 25);
+    }
+}

@@ -1,0 +1,52 @@
+//! Cluster topology, block placement and failure injection.
+//!
+//! This crate models the physical substrate the paper's experiments run on:
+//! a set of Hadoop data nodes with map/reduce slots, grouped into racks, with
+//! known disk and network bandwidth. It provides:
+//!
+//! * [`ClusterSpec`] — hardware descriptions, including the paper's two
+//!   experimental set-ups (§4) and the 25-node simulation cluster (§3),
+//! * [`Cluster`] — runtime node state (rack membership, liveness),
+//! * [`PlacementMap`] — mapping of erasure-code stripes onto cluster nodes,
+//!   preserving the array-code property that all blocks of one stripe-local
+//!   node land on the same cluster node (Fig. 2),
+//! * [`FailureScenario`] — failure injection for degraded-mode experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use drc_cluster::{Cluster, ClusterSpec, PlacementMap, PlacementPolicy};
+//! use drc_codes::CodeKind;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), drc_cluster::ClusterError> {
+//! let cluster = Cluster::new(ClusterSpec::setup1());
+//! let pentagon = CodeKind::Pentagon.build().unwrap();
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let placement = PlacementMap::place(
+//!     pentagon.as_ref(),
+//!     &cluster,
+//!     10,
+//!     PlacementPolicy::Random,
+//!     &mut rng,
+//! )?;
+//! // Every pentagon data block ends up with exactly two replicas.
+//! assert!(placement.iter_data_blocks().all(|(_, nodes)| nodes.len() == 2));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod failure;
+mod placement;
+mod spec;
+mod topology;
+
+pub use error::ClusterError;
+pub use failure::FailureScenario;
+pub use placement::{GlobalBlockId, PlacementMap, PlacementPolicy, StripePlacement};
+pub use spec::ClusterSpec;
+pub use topology::{Cluster, NodeId, RackId};

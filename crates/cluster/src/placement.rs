@@ -1,0 +1,453 @@
+//! Block placement: mapping the stripes of an erasure code onto the nodes of
+//! a concrete cluster.
+//!
+//! The key property the placement must preserve is exactly the one the paper
+//! draws in Fig. 2: *all blocks assigned to the same stripe-local node land on
+//! the same cluster node*. The choice of code therefore fully determines how
+//! many distinct cluster nodes can serve each data block (two for all the
+//! double-replication codes), and how many blocks of the same stripe pile up
+//! on a single node (four for the pentagon, six for the heptagon, one for
+//! RAID+m and replication) — which is what drives map-task locality.
+
+use std::collections::BTreeMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use drc_codes::ErasureCode;
+
+use crate::topology::{Cluster, NodeId};
+use crate::ClusterError;
+
+/// Identifier of a distinct coded block across a whole placement: the stripe
+/// index plus the stripe-local distinct-block index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GlobalBlockId {
+    /// Index of the stripe within the placement.
+    pub stripe: usize,
+    /// Distinct-block index within the stripe.
+    pub block: usize,
+}
+
+/// The mapping of one stripe's code nodes onto cluster nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripePlacement {
+    /// Stripe index.
+    pub stripe: usize,
+    /// `nodes[i]` is the cluster node hosting stripe-local node `i`.
+    pub nodes: Vec<NodeId>,
+}
+
+/// How stripes are mapped onto cluster nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[non_exhaustive]
+pub enum PlacementPolicy {
+    /// Each stripe picks uniformly-random distinct nodes (rack-aware when the
+    /// cluster has enough racks for the code's rack groups). This is the
+    /// HDFS-like default.
+    #[default]
+    Random,
+    /// Stripe `s` uses nodes `s*L, s*L+1, ...` modulo the cluster size —
+    /// deterministic and perfectly balanced; useful for tests and debugging.
+    RoundRobin,
+}
+
+/// A full placement of `stripes` stripes of a code onto a cluster.
+///
+/// # Example
+///
+/// ```
+/// use drc_cluster::{Cluster, ClusterSpec, PlacementMap, PlacementPolicy};
+/// use drc_codes::CodeKind;
+/// use rand::SeedableRng;
+///
+/// let code = CodeKind::Pentagon.build().unwrap();
+/// let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let placement =
+///     PlacementMap::place(code.as_ref(), &cluster, 5, PlacementPolicy::Random, &mut rng).unwrap();
+/// assert_eq!(placement.stripe_count(), 5);
+/// assert_eq!(placement.data_block_count(), 45); // 5 stripes x 9 data blocks
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementMap {
+    code_name: String,
+    data_blocks_per_stripe: usize,
+    stripes: Vec<StripePlacement>,
+    /// block -> cluster nodes holding a replica.
+    locations: BTreeMap<GlobalBlockId, Vec<NodeId>>,
+    /// cluster node -> blocks it stores.
+    per_node: BTreeMap<NodeId, Vec<GlobalBlockId>>,
+}
+
+impl PlacementMap {
+    /// Places `stripes` stripes of `code` onto the *up* nodes of `cluster`.
+    ///
+    /// With [`PlacementPolicy::Random`], each stripe's code nodes are mapped
+    /// to distinct cluster nodes chosen uniformly at random; if the cluster
+    /// has at least as many racks as the code has rack groups, each rack
+    /// group is confined to its own rack (the rack-aware layout described for
+    /// the heptagon-local code in §2.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InsufficientNodes`] if the code length exceeds
+    /// the number of up nodes, or [`ClusterError::InvalidPlacement`] if
+    /// `stripes` is zero.
+    pub fn place<R: Rng + ?Sized>(
+        code: &dyn ErasureCode,
+        cluster: &Cluster,
+        stripes: usize,
+        policy: PlacementPolicy,
+        rng: &mut R,
+    ) -> Result<Self, ClusterError> {
+        if stripes == 0 {
+            return Err(ClusterError::InvalidPlacement {
+                reason: "at least one stripe is required".to_string(),
+            });
+        }
+        let up = cluster.up_nodes();
+        if code.node_count() > up.len() {
+            return Err(ClusterError::InsufficientNodes {
+                needed: code.node_count(),
+                available: up.len(),
+            });
+        }
+        let mut placements = Vec::with_capacity(stripes);
+        for stripe in 0..stripes {
+            let nodes = match policy {
+                PlacementPolicy::Random => Self::random_stripe_nodes(code, cluster, &up, rng),
+                PlacementPolicy::RoundRobin => (0..code.node_count())
+                    .map(|i| up[(stripe * code.node_count() + i) % up.len()])
+                    .collect(),
+            };
+            placements.push(StripePlacement { stripe, nodes });
+        }
+        Ok(Self::from_stripes(code, placements))
+    }
+
+    /// Builds the lookup maps from explicit per-stripe node assignments.
+    fn from_stripes(code: &dyn ErasureCode, stripes: Vec<StripePlacement>) -> Self {
+        let mut locations: BTreeMap<GlobalBlockId, Vec<NodeId>> = BTreeMap::new();
+        let mut per_node: BTreeMap<NodeId, Vec<GlobalBlockId>> = BTreeMap::new();
+        for sp in &stripes {
+            for block in 0..code.distinct_blocks() {
+                let id = GlobalBlockId {
+                    stripe: sp.stripe,
+                    block,
+                };
+                let nodes: Vec<NodeId> = code
+                    .block_locations(block)
+                    .iter()
+                    .map(|&local| sp.nodes[local])
+                    .collect();
+                for &n in &nodes {
+                    per_node.entry(n).or_default().push(id);
+                }
+                locations.insert(id, nodes);
+            }
+        }
+        PlacementMap {
+            code_name: code.name().to_string(),
+            data_blocks_per_stripe: code.data_blocks(),
+            stripes,
+            locations,
+            per_node,
+        }
+    }
+
+    fn random_stripe_nodes<R: Rng + ?Sized>(
+        code: &dyn ErasureCode,
+        cluster: &Cluster,
+        up: &[NodeId],
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        let groups = code.rack_groups();
+        // Rack-aware placement: give each rack group its own rack when there
+        // are enough racks with enough up nodes.
+        if groups.len() > 1 && cluster.rack_count() >= groups.len() {
+            let mut racks: Vec<usize> = (0..cluster.rack_count()).collect();
+            racks.shuffle(rng);
+            let mut candidate_racks: Vec<usize> = Vec::new();
+            for group in groups {
+                // Pick the first not-yet-used rack with enough up nodes.
+                let rack = racks.iter().copied().find(|&r| {
+                    !candidate_racks.contains(&r)
+                        && cluster
+                            .nodes_in_rack(crate::topology::RackId(r))
+                            .iter()
+                            .filter(|n| cluster.is_up(**n))
+                            .count()
+                            >= group.len()
+                });
+                match rack {
+                    Some(r) => candidate_racks.push(r),
+                    None => return Self::flat_random(code, up, rng),
+                }
+            }
+            let mut nodes = vec![NodeId(usize::MAX); code.node_count()];
+            for (group, &rack) in groups.iter().zip(&candidate_racks) {
+                let mut pool: Vec<NodeId> = cluster
+                    .nodes_in_rack(crate::topology::RackId(rack))
+                    .into_iter()
+                    .filter(|n| cluster.is_up(*n))
+                    .collect();
+                pool.shuffle(rng);
+                for (&local, &node) in group.iter().zip(pool.iter()) {
+                    nodes[local] = node;
+                }
+            }
+            if nodes.iter().all(|n| n.0 != usize::MAX) {
+                return nodes;
+            }
+            return Self::flat_random(code, up, rng);
+        }
+        Self::flat_random(code, up, rng)
+    }
+
+    fn flat_random<R: Rng + ?Sized>(
+        code: &dyn ErasureCode,
+        up: &[NodeId],
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        let mut pool: Vec<NodeId> = up.to_vec();
+        pool.shuffle(rng);
+        pool.truncate(code.node_count());
+        pool
+    }
+
+    /// Name of the code this placement was built for.
+    pub fn code_name(&self) -> &str {
+        &self.code_name
+    }
+
+    /// Number of stripes placed.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Number of data blocks per stripe of the underlying code.
+    pub fn data_blocks_per_stripe(&self) -> usize {
+        self.data_blocks_per_stripe
+    }
+
+    /// Total number of *data* blocks across all stripes.
+    pub fn data_block_count(&self) -> usize {
+        self.stripe_count() * self.data_blocks_per_stripe
+    }
+
+    /// The per-stripe node assignments.
+    pub fn stripes(&self) -> &[StripePlacement] {
+        &self.stripes
+    }
+
+    /// The cluster nodes holding a replica of the given block.
+    ///
+    /// Returns an empty slice for unknown blocks.
+    pub fn block_locations(&self, block: GlobalBlockId) -> &[NodeId] {
+        self.locations.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All blocks (data and parity) stored on the given cluster node.
+    pub fn blocks_on_node(&self, node: NodeId) -> &[GlobalBlockId] {
+        self.per_node.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over every data block together with its replica locations.
+    pub fn iter_data_blocks(&self) -> impl Iterator<Item = (GlobalBlockId, &[NodeId])> {
+        self.locations
+            .iter()
+            .filter(|(id, _)| id.block < self.data_blocks_per_stripe)
+            .map(|(id, nodes)| (*id, nodes.as_slice()))
+    }
+
+    /// The set of data blocks, in deterministic order.
+    pub fn data_blocks(&self) -> Vec<GlobalBlockId> {
+        self.iter_data_blocks().map(|(id, _)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ClusterSpec;
+    use drc_codes::CodeKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_zero_stripes_and_small_clusters() {
+        let code = CodeKind::Pentagon.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::simulation_25(2));
+        assert!(matches!(
+            PlacementMap::place(code.as_ref(), &cluster, 0, PlacementPolicy::Random, &mut rng(1)),
+            Err(ClusterError::InvalidPlacement { .. })
+        ));
+        // The paper's point about code length: a (10,9) RAID+m stripe spans 20
+        // nodes and therefore does not fit a 9-node cluster.
+        let raid_m = CodeKind::RAID_M_10_9.build().unwrap();
+        let small = Cluster::new(ClusterSpec::setup2());
+        assert!(matches!(
+            PlacementMap::place(raid_m.as_ref(), &small, 1, PlacementPolicy::Random, &mut rng(1)),
+            Err(ClusterError::InsufficientNodes {
+                needed: 20,
+                available: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn stripe_nodes_are_distinct_and_up() {
+        let code = CodeKind::Heptagon.build().unwrap();
+        let mut cluster = Cluster::new(ClusterSpec::simulation_25(2));
+        cluster.set_down(NodeId(0));
+        cluster.set_down(NodeId(13));
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            40,
+            PlacementPolicy::Random,
+            &mut rng(3),
+        )
+        .unwrap();
+        for sp in placement.stripes() {
+            let mut seen = std::collections::BTreeSet::new();
+            for &n in &sp.nodes {
+                assert!(cluster.is_up(n), "placed on a down node");
+                assert!(seen.insert(n), "node reused within a stripe");
+            }
+            assert_eq!(sp.nodes.len(), 7);
+        }
+    }
+
+    #[test]
+    fn every_data_block_has_two_locations_for_double_replication_codes() {
+        for kind in [CodeKind::Pentagon, CodeKind::Heptagon, CodeKind::TWO_REP] {
+            let code = kind.build().unwrap();
+            let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+            let placement = PlacementMap::place(
+                code.as_ref(),
+                &cluster,
+                10,
+                PlacementPolicy::Random,
+                &mut rng(11),
+            )
+            .unwrap();
+            for (id, nodes) in placement.iter_data_blocks() {
+                assert_eq!(nodes.len(), 2, "{kind} block {id:?}");
+                assert_ne!(nodes[0], nodes[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_of_same_stripe_node_colocate() {
+        // Fig. 2's property: all blocks of one pentagon node map to one data node.
+        let code = CodeKind::Pentagon.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            5,
+            PlacementPolicy::RoundRobin,
+            &mut rng(5),
+        )
+        .unwrap();
+        for sp in placement.stripes() {
+            for local in 0..code.node_count() {
+                let host = sp.nodes[local];
+                for &block in code.node_blocks(local) {
+                    let id = GlobalBlockId {
+                        stripe: sp.stripe,
+                        block,
+                    };
+                    assert!(placement.block_locations(id).contains(&host));
+                }
+            }
+        }
+        // Each cluster node used by a stripe stores exactly 4 of its blocks.
+        let sp = &placement.stripes()[0];
+        for &node in &sp.nodes {
+            let count = placement
+                .blocks_on_node(node)
+                .iter()
+                .filter(|b| b.stripe == 0)
+                .count();
+            assert_eq!(count, 4);
+        }
+    }
+
+    #[test]
+    fn rack_aware_placement_separates_heptagon_local_groups() {
+        let code = CodeKind::HeptagonLocal.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::simulation_25(4)); // 3 racks
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            20,
+            PlacementPolicy::Random,
+            &mut rng(17),
+        )
+        .unwrap();
+        for sp in placement.stripes() {
+            let rack_of = |local: usize| cluster.rack_of(sp.nodes[local]).unwrap();
+            // All of heptagon 0 in one rack, all of heptagon 1 in another,
+            // the global node in a third.
+            let r0 = rack_of(0);
+            assert!((1..7).all(|l| rack_of(l) == r0));
+            let r1 = rack_of(7);
+            assert!((8..14).all(|l| rack_of(l) == r1));
+            let rg = rack_of(14);
+            assert_ne!(r0, r1);
+            assert_ne!(r0, rg);
+            assert_ne!(r1, rg);
+        }
+    }
+
+    #[test]
+    fn counts_and_lookup_accessors() {
+        let code = CodeKind::TWO_REP.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::setup2());
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            12,
+            PlacementPolicy::Random,
+            &mut rng(23),
+        )
+        .unwrap();
+        assert_eq!(placement.code_name(), "2-rep");
+        assert_eq!(placement.stripe_count(), 12);
+        assert_eq!(placement.data_blocks_per_stripe(), 1);
+        assert_eq!(placement.data_block_count(), 12);
+        assert_eq!(placement.data_blocks().len(), 12);
+        // Unknown blocks have no locations.
+        assert!(placement
+            .block_locations(GlobalBlockId {
+                stripe: 99,
+                block: 0
+            })
+            .is_empty());
+        assert!(placement.blocks_on_node(NodeId(999)).is_empty());
+        // Total stored blocks across nodes = stripes * stored blocks per stripe.
+        let stored: usize = cluster
+            .nodes()
+            .map(|n| placement.blocks_on_node(n).len())
+            .sum();
+        assert_eq!(stored, 12 * 2);
+    }
+
+    #[test]
+    fn placement_is_deterministic_given_seed() {
+        let code = CodeKind::Pentagon.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::simulation_25(2));
+        let a = PlacementMap::place(code.as_ref(), &cluster, 8, PlacementPolicy::Random, &mut rng(42)).unwrap();
+        let b = PlacementMap::place(code.as_ref(), &cluster, 8, PlacementPolicy::Random, &mut rng(42)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,22 @@
+//! Concrete coding schemes evaluated by the paper.
+//!
+//! * [`ReplicationCode`] — plain 2-way / 3-way replication (the Hadoop
+//!   default and the paper's baselines),
+//! * [`PolygonCode`] — the pentagon (`n = 5`) and heptagon (`n = 7`)
+//!   repair-by-transfer MBR codes with inherent double replication,
+//! * [`PolygonLocalCode`] — the heptagon-local locally-regenerating code
+//!   (two heptagons plus a global-parity node),
+//! * [`RaidMirrorCode`] — the `(n, n-1)` RAID+mirroring comparison scheme,
+//! * [`RsCode`] — a single-copy systematic Reed–Solomon baseline.
+
+mod local;
+mod polygon;
+mod raid_mirror;
+mod reed_solomon;
+mod replication;
+
+pub use local::PolygonLocalCode;
+pub use polygon::PolygonCode;
+pub use raid_mirror::RaidMirrorCode;
+pub use reed_solomon::RsCode;
+pub use replication::ReplicationCode;

@@ -1,0 +1,107 @@
+use std::fmt;
+
+use drc_cluster::ClusterError;
+use drc_codes::CodeError;
+use drc_hdfs::HdfsError;
+use drc_mapreduce::MapReduceError;
+use drc_reliability::ReliabilityError;
+
+/// The unified error type of the top-level crate: any subsystem error can
+/// surface through an experiment driver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DrcError {
+    /// Erasure-code construction, encoding or repair failed.
+    Code(CodeError),
+    /// Cluster or placement operation failed.
+    Cluster(ClusterError),
+    /// A scheduling or execution simulation failed.
+    MapReduce(MapReduceError),
+    /// A reliability model failed.
+    Reliability(ReliabilityError),
+    /// The simulated file system reported an error.
+    Hdfs(HdfsError),
+    /// An experiment configuration was invalid.
+    InvalidExperiment {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DrcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrcError::Code(e) => write!(f, "code error: {e}"),
+            DrcError::Cluster(e) => write!(f, "cluster error: {e}"),
+            DrcError::MapReduce(e) => write!(f, "mapreduce error: {e}"),
+            DrcError::Reliability(e) => write!(f, "reliability error: {e}"),
+            DrcError::Hdfs(e) => write!(f, "hdfs error: {e}"),
+            DrcError::InvalidExperiment { reason } => write!(f, "invalid experiment: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DrcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DrcError::Code(e) => Some(e),
+            DrcError::Cluster(e) => Some(e),
+            DrcError::MapReduce(e) => Some(e),
+            DrcError::Reliability(e) => Some(e),
+            DrcError::Hdfs(e) => Some(e),
+            DrcError::InvalidExperiment { .. } => None,
+        }
+    }
+}
+
+impl From<CodeError> for DrcError {
+    fn from(e: CodeError) -> Self {
+        DrcError::Code(e)
+    }
+}
+
+impl From<ClusterError> for DrcError {
+    fn from(e: ClusterError) -> Self {
+        DrcError::Cluster(e)
+    }
+}
+
+impl From<MapReduceError> for DrcError {
+    fn from(e: MapReduceError) -> Self {
+        DrcError::MapReduce(e)
+    }
+}
+
+impl From<ReliabilityError> for DrcError {
+    fn from(e: ReliabilityError) -> Self {
+        DrcError::Reliability(e)
+    }
+}
+
+impl From<HdfsError> for DrcError {
+    fn from(e: HdfsError) -> Self {
+        DrcError::Hdfs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        use std::error::Error;
+        let errors: Vec<DrcError> = vec![
+            CodeError::UnequalBlockLengths.into(),
+            ClusterError::UnknownNode { node: 1 }.into(),
+            MapReduceError::InvalidConfig { reason: "x".into() }.into(),
+            ReliabilityError::SingularSystem.into(),
+            HdfsError::DataNodeUnavailable { node: 2 }.into(),
+            DrcError::InvalidExperiment { reason: "bad".into() },
+        ];
+        for (i, e) in errors.iter().enumerate() {
+            assert!(!e.to_string().is_empty());
+            assert_eq!(e.source().is_some(), i < 5);
+        }
+    }
+}

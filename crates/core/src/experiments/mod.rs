@@ -1,0 +1,49 @@
+//! Experiment drivers: one module per table or figure of the paper.
+//!
+//! | Paper artifact | Module | Regenerates |
+//! |---|---|---|
+//! | Table 1 | [`table1`] | storage overhead, code length, MTTDL per code |
+//! | §3.1 repair-bandwidth analysis | [`repair_bandwidth`] | repair and degraded-read network blocks per code |
+//! | Fig. 3 | [`fig3`] | map-task locality vs load for µ = 2, 4, 8 and three schedulers |
+//! | Fig. 4 | [`fig4`] | Terasort job time / network traffic / locality on set-up 1 |
+//! | Fig. 5 | [`fig5`] | Terasort network traffic / locality on set-up 2 |
+//! | §5 extensions | [`encoding`], [`degraded_mr`] | encoding throughput; MapReduce under node failures |
+//!
+//! Every driver returns a serialisable result type with a `Display`
+//! implementation that prints a paper-style table, so the `repro` binary in
+//! `drc-bench`, the integration tests and `EXPERIMENTS.md` all consume the
+//! same source of truth.
+
+pub mod degraded_mr;
+pub mod encoding;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod repair_bandwidth;
+pub mod table1;
+
+/// How much work an experiment run should do.
+///
+/// The paper's figures average over many runs; the `Full` profile matches
+/// that, while `Quick` keeps integration tests and CI fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize, Default)]
+pub enum Effort {
+    /// Few trials; seconds of runtime. Used by tests and the default `repro` run.
+    #[default]
+    Quick,
+    /// Many trials; the smoothest curves.
+    Full,
+}
+
+impl Effort {
+    /// Number of random trials to average per experimental point.
+    pub fn trials(&self) -> usize {
+        match self {
+            Effort::Quick => 30,
+            Effort::Full => 300,
+        }
+    }
+}
+
+/// The base RNG seed shared by all experiments (reproducible by default).
+pub const DEFAULT_SEED: u64 = 0x5EED_2014;

@@ -1,0 +1,62 @@
+//! Galois-field arithmetic substrate for the double-replication Hadoop codes.
+//!
+//! The heptagon-local code of the paper computes two *global parity* blocks as
+//! RAID-6-style functions of all 40 data blocks, which requires arithmetic over
+//! a finite field. This crate provides a self-contained implementation of
+//! GF(2^8):
+//!
+//! * [`Gf256`] — a field element with full arithmetic (add/sub = XOR,
+//!   log/antilog-table multiplication, inversion, exponentiation),
+//! * [`slice`] — bulk operations on byte slices (XOR-accumulate,
+//!   multiply-accumulate) used on whole storage blocks,
+//! * [`Matrix`] — dense matrices over GF(2^8) with Gauss–Jordan inversion,
+//!   Vandermonde and Cauchy constructors,
+//! * [`Polynomial`] — polynomials over GF(2^8) with evaluation and Lagrange
+//!   interpolation,
+//! * [`ReedSolomon`] — a systematic Reed–Solomon erasure codec built on the
+//!   matrix machinery; it backs both the stand-alone RS baseline and the
+//!   global-parity computation of the heptagon-local code.
+//!
+//! # Example
+//!
+//! ```
+//! use drc_gf::{Gf256, ReedSolomon};
+//!
+//! # fn main() -> Result<(), drc_gf::GfError> {
+//! // Field arithmetic.
+//! let a = Gf256::new(0x57);
+//! let b = Gf256::new(0x83);
+//! assert_eq!(a * b, Gf256::new(0x31));
+//! assert_eq!((a / b) * b, a);
+//!
+//! // Erasure coding: 4 data shards, 2 parity shards, any 2 losses recoverable.
+//! let rs = ReedSolomon::new(4, 2)?;
+//! let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 16]).collect();
+//! let mut shards = rs.encode(&data)?;
+//! shards[1].clear(); // lose a data shard
+//! shards[4].clear(); // lose a parity shard
+//! let present: Vec<Option<&[u8]>> = shards
+//!     .iter()
+//!     .map(|s| if s.is_empty() { None } else { Some(s.as_slice()) })
+//!     .collect();
+//! let recovered = rs.reconstruct(&present, 16)?;
+//! assert_eq!(recovered[1], vec![1u8; 16]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod gf256;
+mod matrix;
+mod poly;
+mod rs;
+pub mod slice;
+
+pub use error::GfError;
+pub use gf256::Gf256;
+pub use matrix::Matrix;
+pub use poly::Polynomial;
+pub use rs::ReedSolomon;

@@ -1,0 +1,259 @@
+//! Polynomials over GF(2^8).
+//!
+//! Used for Lagrange-interpolation-based decoding checks and as an
+//! independent reference implementation against which the matrix-based
+//! Reed–Solomon codec is tested.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Gf256, GfError};
+
+/// A polynomial over GF(2^8), stored by ascending-degree coefficients.
+///
+/// The representation is canonical: the highest-degree coefficient is always
+/// non-zero, and the zero polynomial has an empty coefficient vector.
+///
+/// # Example
+///
+/// ```
+/// use drc_gf::{Gf256, Polynomial};
+///
+/// // p(x) = 3 + 2x + x^2
+/// let p = Polynomial::new(vec![Gf256::new(3), Gf256::new(2), Gf256::new(1)]);
+/// assert_eq!(p.degree(), Some(2));
+/// assert_eq!(p.eval(Gf256::ZERO), Gf256::new(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Polynomial {
+    coeffs: Vec<Gf256>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending-degree coefficients.
+    ///
+    /// Trailing zero coefficients are trimmed so the representation is
+    /// canonical.
+    pub fn new(mut coeffs: Vec<Gf256>) -> Self {
+        while coeffs.last().is_some_and(|c| c.is_zero()) {
+            coeffs.pop();
+        }
+        Polynomial { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Gf256) -> Self {
+        Polynomial::new(vec![c])
+    }
+
+    /// Returns `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Returns the degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Returns the coefficients in ascending-degree order.
+    pub fn coefficients(&self) -> &[Gf256] {
+        &self.coeffs
+    }
+
+    /// Evaluates the polynomial at `x` using Horner's rule.
+    pub fn eval(&self, x: Gf256) -> Gf256 {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Gf256::ZERO, |acc, &c| acc * x + c)
+    }
+
+    /// Adds two polynomials.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![Gf256::ZERO; n];
+        for (i, c) in self.coeffs.iter().enumerate() {
+            out[i] += *c;
+        }
+        for (i, c) in other.coeffs.iter().enumerate() {
+            out[i] += *c;
+        }
+        Polynomial::new(out)
+    }
+
+    /// Multiplies two polynomials.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        if self.is_zero() || other.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut out = vec![Gf256::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, b) in other.coeffs.iter().enumerate() {
+                out[i + j] += *a * *b;
+            }
+        }
+        Polynomial::new(out)
+    }
+
+    /// Multiplies the polynomial by a scalar.
+    pub fn scale(&self, c: Gf256) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|&a| a * c).collect())
+    }
+
+    /// Computes the unique polynomial of degree `< points.len()` passing
+    /// through all `(x, y)` points, by Lagrange interpolation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::DuplicateInterpolationPoint`] if two points share an
+    /// x-coordinate.
+    pub fn interpolate(points: &[(Gf256, Gf256)]) -> Result<Polynomial, GfError> {
+        for (i, (xi, _)) in points.iter().enumerate() {
+            if points[i + 1..].iter().any(|(xj, _)| xj == xi) {
+                return Err(GfError::DuplicateInterpolationPoint);
+            }
+        }
+        let mut result = Polynomial::zero();
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            // Build the Lagrange basis polynomial L_i(x).
+            let mut basis = Polynomial::constant(Gf256::ONE);
+            let mut denom = Gf256::ONE;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                // (x - xj) == (x + xj) in characteristic 2.
+                basis = basis.mul(&Polynomial::new(vec![xj, Gf256::ONE]));
+                denom *= xi + xj;
+            }
+            let denom_inv = denom.checked_inv().map_err(|_| GfError::DuplicateInterpolationPoint)?;
+            result = result.add(&basis.scale(yi * denom_inv));
+        }
+        Ok(result)
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match i {
+                0 => write!(f, "{:#04x}", c.value())?,
+                1 => write!(f, "{:#04x}*x", c.value())?,
+                _ => write!(f, "{:#04x}*x^{i}", c.value())?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gf(v: u8) -> Gf256 {
+        Gf256::new(v)
+    }
+
+    #[test]
+    fn canonical_form_trims_zeros() {
+        let p = Polynomial::new(vec![gf(1), gf(0), gf(0)]);
+        assert_eq!(p.degree(), Some(0));
+        let z = Polynomial::new(vec![gf(0), gf(0)]);
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        assert_eq!(Polynomial::default(), Polynomial::zero());
+    }
+
+    #[test]
+    fn eval_horner_matches_naive() {
+        let p = Polynomial::new(vec![gf(7), gf(3), gf(0), gf(5)]);
+        for x in [gf(0), gf(1), gf(2), gf(0x53), gf(0xff)] {
+            let naive: Gf256 = p
+                .coefficients()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| *c * x.pow(i as u32))
+                .sum();
+            assert_eq!(p.eval(x), naive);
+        }
+    }
+
+    #[test]
+    fn add_is_pointwise() {
+        let p = Polynomial::new(vec![gf(1), gf(2)]);
+        let q = Polynomial::new(vec![gf(3), gf(0), gf(9)]);
+        let s = p.add(&q);
+        for x in Gf256::all_elements().step_by(17) {
+            assert_eq!(s.eval(x), p.eval(x) + q.eval(x));
+        }
+        // Adding a polynomial to itself gives zero (characteristic 2).
+        assert!(p.add(&p).is_zero());
+    }
+
+    #[test]
+    fn mul_is_pointwise() {
+        let p = Polynomial::new(vec![gf(1), gf(2), gf(3)]);
+        let q = Polynomial::new(vec![gf(5), gf(7)]);
+        let m = p.mul(&q);
+        assert_eq!(m.degree(), Some(3));
+        for x in Gf256::all_elements().step_by(13) {
+            assert_eq!(m.eval(x), p.eval(x) * q.eval(x));
+        }
+        assert!(p.mul(&Polynomial::zero()).is_zero());
+    }
+
+    #[test]
+    fn interpolation_recovers_polynomial() {
+        let p = Polynomial::new(vec![gf(0x12), gf(0x34), gf(0x56), gf(0x78)]);
+        let points: Vec<(Gf256, Gf256)> = (0u8..4).map(|i| (gf(i), p.eval(gf(i)))).collect();
+        let q = Polynomial::interpolate(&points).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn interpolation_through_arbitrary_points() {
+        let points = vec![(gf(1), gf(9)), (gf(2), gf(200)), (gf(7), gf(0)), (gf(9), gf(77))];
+        let q = Polynomial::interpolate(&points).unwrap();
+        assert!(q.degree().unwrap_or(0) < points.len());
+        for (x, y) in points {
+            assert_eq!(q.eval(x), y);
+        }
+    }
+
+    #[test]
+    fn interpolation_rejects_duplicate_x() {
+        let points = vec![(gf(1), gf(9)), (gf(1), gf(10))];
+        assert_eq!(
+            Polynomial::interpolate(&points),
+            Err(GfError::DuplicateInterpolationPoint)
+        );
+    }
+
+    #[test]
+    fn display_readable() {
+        let p = Polynomial::new(vec![gf(3), gf(0), gf(1)]);
+        assert_eq!(p.to_string(), "0x03 + 0x01*x^2");
+        assert_eq!(Polynomial::zero().to_string(), "0");
+    }
+}

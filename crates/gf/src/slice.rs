@@ -1,0 +1,194 @@
+//! Bulk GF(2^8) operations on byte slices.
+//!
+//! Storage blocks are megabytes of payload; encoding and repairing them means
+//! applying the same field operation to every byte of a block. These helpers
+//! are the building blocks used by the Reed–Solomon codec and by the XOR
+//! parities of the pentagon/heptagon codes.
+
+use crate::Gf256;
+
+/// XOR-accumulates `src` into `dst` (`dst[i] += src[i]` over GF(2^8)).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn xor_assign(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "xor_assign requires equal-length slices"
+    );
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}
+
+/// Returns the element-wise XOR of all input slices.
+///
+/// Returns an empty vector when `slices` is empty.
+///
+/// # Panics
+///
+/// Panics if the slices do not all have the same length.
+pub fn xor_all<S: AsRef<[u8]>>(slices: &[S]) -> Vec<u8> {
+    let Some(first) = slices.first() else {
+        return Vec::new();
+    };
+    let mut out = first.as_ref().to_vec();
+    for s in &slices[1..] {
+        xor_assign(&mut out, s.as_ref());
+    }
+    out
+}
+
+/// Multiplies every byte of `data` by the scalar `coeff` in place.
+pub fn scale_assign(data: &mut [u8], coeff: Gf256) {
+    if coeff == Gf256::ONE {
+        return;
+    }
+    if coeff == Gf256::ZERO {
+        data.fill(0);
+        return;
+    }
+    for b in data.iter_mut() {
+        *b = Gf256::mul_bytes(*b, coeff.value());
+    }
+}
+
+/// Computes `dst[i] += coeff * src[i]` over GF(2^8).
+///
+/// This is the fused multiply-accumulate at the heart of matrix–vector
+/// encoding: a parity block is the sum of `coeff_j * data_j` over all data
+/// blocks `j`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], coeff: Gf256) {
+    assert_eq!(dst.len(), src.len(), "mul_acc requires equal-length slices");
+    if coeff == Gf256::ZERO {
+        return;
+    }
+    if coeff == Gf256::ONE {
+        xor_assign(dst, src);
+        return;
+    }
+    let c = coeff.value();
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= Gf256::mul_bytes(*s, c);
+    }
+}
+
+/// Computes the linear combination `sum_j coeffs[j] * blocks[j]`.
+///
+/// Returns a zero-filled vector of length `len` when `blocks` is empty.
+///
+/// # Panics
+///
+/// Panics if `coeffs` and `blocks` have different lengths, or if any block's
+/// length differs from `len`.
+pub fn linear_combination<S: AsRef<[u8]>>(coeffs: &[Gf256], blocks: &[S], len: usize) -> Vec<u8> {
+    assert_eq!(
+        coeffs.len(),
+        blocks.len(),
+        "one coefficient is required per block"
+    );
+    let mut out = vec![0u8; len];
+    for (c, b) in coeffs.iter().zip(blocks) {
+        mul_acc(&mut out, b.as_ref(), *c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_assign_basic() {
+        let mut a = vec![0b1010u8, 0xff, 0x00];
+        xor_assign(&mut a, &[0b0110, 0xff, 0x55]);
+        assert_eq!(a, vec![0b1100, 0x00, 0x55]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn xor_assign_length_mismatch_panics() {
+        let mut a = vec![0u8; 3];
+        xor_assign(&mut a, &[0u8; 4]);
+    }
+
+    #[test]
+    fn xor_all_handles_empty_and_single() {
+        let empty: Vec<Vec<u8>> = vec![];
+        assert!(xor_all(&empty).is_empty());
+        assert_eq!(xor_all(&[vec![1u8, 2, 3]]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn xor_all_is_parity() {
+        let blocks = vec![vec![1u8, 2, 3], vec![4u8, 5, 6], vec![7u8, 8, 9]];
+        let p = xor_all(&blocks);
+        assert_eq!(p, vec![1 ^ 4 ^ 7, 2 ^ 5 ^ 8, 3 ^ 6 ^ 9]);
+        // XOR of the parity with all but one block recovers the remaining block.
+        let recovered = xor_all(&[p.as_slice(), blocks[0].as_slice(), blocks[2].as_slice()]);
+        assert_eq!(recovered, blocks[1]);
+    }
+
+    #[test]
+    fn scale_assign_special_cases() {
+        let mut d = vec![1u8, 2, 3];
+        scale_assign(&mut d, Gf256::ONE);
+        assert_eq!(d, vec![1, 2, 3]);
+        scale_assign(&mut d, Gf256::ZERO);
+        assert_eq!(d, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn scale_assign_matches_elementwise_mul() {
+        let mut d: Vec<u8> = (0..=255).collect();
+        let c = Gf256::new(0x1d);
+        scale_assign(&mut d, c);
+        for (i, b) in d.iter().enumerate() {
+            assert_eq!(*b, (Gf256::new(i as u8) * c).value());
+        }
+    }
+
+    #[test]
+    fn mul_acc_matches_manual() {
+        let src: Vec<u8> = (0..16).collect();
+        let mut dst = vec![0xaau8; 16];
+        let c = Gf256::new(7);
+        let expected: Vec<u8> = dst
+            .iter()
+            .zip(&src)
+            .map(|(d, s)| d ^ (Gf256::new(*s) * c).value())
+            .collect();
+        mul_acc(&mut dst, &src, c);
+        assert_eq!(dst, expected);
+    }
+
+    #[test]
+    fn mul_acc_zero_and_one_coefficients() {
+        let src = vec![9u8, 8, 7];
+        let mut dst = vec![1u8, 2, 3];
+        mul_acc(&mut dst, &src, Gf256::ZERO);
+        assert_eq!(dst, vec![1, 2, 3]);
+        mul_acc(&mut dst, &src, Gf256::ONE);
+        assert_eq!(dst, vec![1 ^ 9, 2 ^ 8, 3 ^ 7]);
+    }
+
+    #[test]
+    fn linear_combination_of_unit_vectors_selects_block() {
+        let blocks = vec![vec![1u8, 1, 1], vec![2u8, 2, 2], vec![3u8, 3, 3]];
+        let coeffs = [Gf256::ZERO, Gf256::ONE, Gf256::ZERO];
+        assert_eq!(linear_combination(&coeffs, &blocks, 3), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn linear_combination_empty_inputs() {
+        let blocks: Vec<Vec<u8>> = vec![];
+        let coeffs: Vec<Gf256> = vec![];
+        assert_eq!(linear_combination(&coeffs, &blocks, 4), vec![0u8; 4]);
+    }
+}

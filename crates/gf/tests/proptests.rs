@@ -1,0 +1,122 @@
+//! Property-based tests for the GF(2^8) field, matrices and the RS codec.
+
+use drc_gf::{slice, Gf256, Matrix, Polynomial, ReedSolomon};
+use proptest::prelude::*;
+
+fn gf_elem() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256::new)
+}
+
+proptest! {
+    #[test]
+    fn field_axioms(a in gf_elem(), b in gf_elem(), c in gf_elem()) {
+        // Commutativity
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        // Associativity
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        // Distributivity
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        // Identities
+        prop_assert_eq!(a + Gf256::ZERO, a);
+        prop_assert_eq!(a * Gf256::ONE, a);
+        // Additive inverse (characteristic 2)
+        prop_assert_eq!(a + a, Gf256::ZERO);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in gf_elem(), b in gf_elem()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!((a * b) / b, a);
+        prop_assert_eq!((a / b) * b, a);
+    }
+
+    #[test]
+    fn pow_homomorphism(a in gf_elem(), e1 in 0u32..600, e2 in 0u32..600) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn xor_all_order_independent(mut blocks in prop::collection::vec(prop::collection::vec(any::<u8>(), 16), 1..6)) {
+        let p1 = slice::xor_all(&blocks);
+        blocks.reverse();
+        let p2 = slice::xor_all(&blocks);
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn linear_combination_is_linear(
+        data in prop::collection::vec(prop::collection::vec(any::<u8>(), 8), 3),
+        c1 in gf_elem(), c2 in gf_elem(), c3 in gf_elem(), s in gf_elem(),
+    ) {
+        let coeffs = [c1, c2, c3];
+        let combo = slice::linear_combination(&coeffs, &data, 8);
+        // Scaling all coefficients scales the result.
+        let scaled_coeffs: Vec<Gf256> = coeffs.iter().map(|c| *c * s).collect();
+        let mut scaled_combo = combo.clone();
+        slice::scale_assign(&mut scaled_combo, s);
+        prop_assert_eq!(slice::linear_combination(&scaled_coeffs, &data, 8), scaled_combo);
+    }
+
+    #[test]
+    fn square_vandermonde_invertible(n in 1usize..12) {
+        let rows: Vec<usize> = (0..n).collect();
+        let m = Matrix::vandermonde(20, n).unwrap().select_rows(&rows);
+        prop_assert!(m.is_invertible());
+        let inv = m.inverse().unwrap();
+        prop_assert_eq!(&m * &inv, Matrix::identity(n));
+    }
+
+    #[test]
+    fn matrix_mul_associative(
+        a in prop::collection::vec(prop::collection::vec(any::<u8>(), 3), 3),
+        b in prop::collection::vec(prop::collection::vec(any::<u8>(), 3), 3),
+        c in prop::collection::vec(prop::collection::vec(any::<u8>(), 3), 3),
+    ) {
+        let a = Matrix::from_rows(&a).unwrap();
+        let b = Matrix::from_rows(&b).unwrap();
+        let c = Matrix::from_rows(&c).unwrap();
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn polynomial_interpolation_roundtrip(coeffs in prop::collection::vec(any::<u8>(), 1..8)) {
+        let p = Polynomial::new(coeffs.into_iter().map(Gf256::new).collect());
+        let npoints = p.coefficients().len().max(1);
+        let points: Vec<(Gf256, Gf256)> = (0..npoints as u8)
+            .map(|x| (Gf256::new(x), p.eval(Gf256::new(x))))
+            .collect();
+        let q = Polynomial::interpolate(&points).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn rs_reconstructs_random_losses(
+        k in 2usize..8,
+        m in 1usize..5,
+        len in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..len).map(|j| (seed as usize + i * 31 + j * 7) as u8).collect())
+            .collect();
+        let coded = rs.encode(&data).unwrap();
+        // Drop exactly m shards chosen pseudo-randomly from the seed.
+        let mut present: Vec<Option<&[u8]>> = coded.iter().map(|s| Some(s.as_slice())).collect();
+        let mut dropped = 0usize;
+        let mut idx = seed as usize;
+        while dropped < m {
+            idx = idx.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pos = idx % (k + m);
+            if present[pos].is_some() {
+                present[pos] = None;
+                dropped += 1;
+            }
+        }
+        let rec = rs.reconstruct(&present, len).unwrap();
+        prop_assert_eq!(rec, coded);
+    }
+}

@@ -1,0 +1,138 @@
+//! A simulated DataNode: stores block replicas and serves reads.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use drc_cluster::NodeId;
+
+use crate::block::BlockKey;
+
+/// A DataNode holding block replicas in memory.
+///
+/// The node tracks how many bytes it has served and received, which the
+/// RaidNode and the file-system facade use to account network traffic.
+#[derive(Debug)]
+pub struct DataNode {
+    id: NodeId,
+    blocks: RwLock<BTreeMap<BlockKey, Bytes>>,
+    bytes_served: RwLock<u64>,
+    bytes_received: RwLock<u64>,
+}
+
+impl DataNode {
+    /// Creates an empty DataNode.
+    pub fn new(id: NodeId) -> Self {
+        DataNode {
+            id,
+            blocks: RwLock::new(BTreeMap::new()),
+            bytes_served: RwLock::new(0),
+            bytes_received: RwLock::new(0),
+        }
+    }
+
+    /// The cluster node this DataNode runs on.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Stores (or overwrites) a block replica.
+    pub fn store(&self, key: BlockKey, data: Bytes) {
+        *self.bytes_received.write() += data.len() as u64;
+        self.blocks.write().insert(key, data);
+    }
+
+    /// Reads a block replica, if present, counting the bytes as served.
+    pub fn read(&self, key: &BlockKey) -> Option<Bytes> {
+        let data = self.blocks.read().get(key).cloned();
+        if let Some(d) = &data {
+            *self.bytes_served.write() += d.len() as u64;
+        }
+        data
+    }
+
+    /// Returns `true` if the node holds a replica of the block.
+    pub fn contains(&self, key: &BlockKey) -> bool {
+        self.blocks.read().contains_key(key)
+    }
+
+    /// Deletes a block replica, returning whether it was present.
+    pub fn delete(&self, key: &BlockKey) -> bool {
+        self.blocks.write().remove(key).is_some()
+    }
+
+    /// Removes every block (simulates a disk wipe on permanent failure).
+    pub fn wipe(&self) {
+        self.blocks.write().clear();
+    }
+
+    /// Number of block replicas stored.
+    pub fn block_count(&self) -> usize {
+        self.blocks.read().len()
+    }
+
+    /// Total bytes currently stored.
+    pub fn used_bytes(&self) -> u64 {
+        self.blocks.read().values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Bytes served to readers so far.
+    pub fn bytes_served(&self) -> u64 {
+        *self.bytes_served.read()
+    }
+
+    /// Bytes received from writers and repairs so far.
+    pub fn bytes_received(&self) -> u64 {
+        *self.bytes_received.read()
+    }
+
+    /// The keys of every block stored on this node.
+    pub fn block_keys(&self) -> Vec<BlockKey> {
+        self.blocks.read().keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namenode::FileId;
+
+    fn key(stripe: usize, block: usize) -> BlockKey {
+        BlockKey::new(FileId(1), stripe, block)
+    }
+
+    #[test]
+    fn store_read_delete_cycle() {
+        let dn = DataNode::new(NodeId(3));
+        assert_eq!(dn.id(), NodeId(3));
+        assert_eq!(dn.block_count(), 0);
+        dn.store(key(0, 0), Bytes::from(vec![1u8, 2, 3]));
+        dn.store(key(0, 1), Bytes::from(vec![4u8; 10]));
+        assert_eq!(dn.block_count(), 2);
+        assert_eq!(dn.used_bytes(), 13);
+        assert!(dn.contains(&key(0, 0)));
+        assert_eq!(dn.read(&key(0, 0)).unwrap().as_ref(), &[1, 2, 3]);
+        assert!(dn.read(&key(9, 9)).is_none());
+        assert!(dn.delete(&key(0, 0)));
+        assert!(!dn.delete(&key(0, 0)));
+        assert_eq!(dn.block_count(), 1);
+        assert_eq!(dn.block_keys(), vec![key(0, 1)]);
+        dn.wipe();
+        assert_eq!(dn.block_count(), 0);
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let dn = DataNode::new(NodeId(0));
+        dn.store(key(0, 0), Bytes::from(vec![0u8; 100]));
+        assert_eq!(dn.bytes_received(), 100);
+        assert_eq!(dn.bytes_served(), 0);
+        let _ = dn.read(&key(0, 0));
+        let _ = dn.read(&key(0, 0));
+        assert_eq!(dn.bytes_served(), 200);
+        // Misses don't count.
+        let _ = dn.read(&key(1, 1));
+        assert_eq!(dn.bytes_served(), 200);
+    }
+}

@@ -1,0 +1,591 @@
+//! The file-system facade and the RaidNode.
+//!
+//! [`DistributedFileSystem`] plays the role of the whole HDFS + HDFS-RAID
+//! deployment of §4: a NameNode for metadata, one DataNode per cluster node
+//! for block storage, a client write/read path that stripes and encodes files
+//! with a chosen [`CodeKind`], and a RaidNode that repairs lost replicas after
+//! node failures.
+//!
+//! Repairs and degraded reads are *planned* by the code (so the network cost
+//! follows the paper's partial-parity accounting exactly) and then *executed*
+//! by decoding from surviving replicas, so every repaired byte is verified
+//! against real data. The distinction matters for the heptagon-local global
+//! parities, whose partial sums are GF-weighted rather than plain XORs.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use drc_cluster::{Cluster, ClusterSpec, NodeId, PlacementMap, PlacementPolicy};
+use drc_codes::{CodeKind, ErasureCode};
+
+use crate::block::BlockKey;
+use crate::datanode::DataNode;
+use crate::namenode::{FileId, FileMetadata, NameNode};
+use crate::HdfsError;
+
+/// Aggregate statistics of the file system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FsStats {
+    /// Number of files.
+    pub files: usize,
+    /// Total stored block replicas across all DataNodes.
+    pub stored_blocks: usize,
+    /// Total bytes stored across all DataNodes (including parity and replicas).
+    pub stored_bytes: u64,
+    /// Bytes moved over the network by writes.
+    pub write_network_bytes: u64,
+    /// Bytes moved over the network by reads (including degraded reads).
+    pub read_network_bytes: u64,
+    /// Bytes moved over the network by repairs.
+    pub repair_network_bytes: u64,
+}
+
+/// The outcome of one RaidNode repair pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// Stripes that had at least one replica restored.
+    pub stripes_repaired: usize,
+    /// Block replicas written back to replacement nodes.
+    pub blocks_restored: usize,
+    /// Network bytes consumed by the repairs (per the codes' repair plans).
+    pub network_bytes: u64,
+    /// Stripes that could not be repaired (failures beyond code tolerance).
+    pub unrecoverable_stripes: usize,
+}
+
+/// The simulated HDFS deployment.
+pub struct DistributedFileSystem {
+    cluster: Cluster,
+    namenode: NameNode,
+    datanodes: BTreeMap<NodeId, DataNode>,
+    code_cache: BTreeMap<CodeKind, Arc<dyn ErasureCode>>,
+    rng: ChaCha8Rng,
+    write_network_bytes: u64,
+    read_network_bytes: u64,
+    repair_network_bytes: u64,
+}
+
+impl std::fmt::Debug for DistributedFileSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedFileSystem")
+            .field("nodes", &self.cluster.len())
+            .field("files", &self.namenode.len())
+            .finish()
+    }
+}
+
+impl DistributedFileSystem {
+    /// Creates a file system over a fresh cluster with the given spec.
+    pub fn new(spec: ClusterSpec, seed: u64) -> Self {
+        let cluster = Cluster::new(spec);
+        let datanodes = cluster.nodes().map(|n| (n, DataNode::new(n))).collect();
+        DistributedFileSystem {
+            cluster,
+            namenode: NameNode::new(),
+            datanodes,
+            code_cache: BTreeMap::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            write_network_bytes: 0,
+            read_network_bytes: 0,
+            repair_network_bytes: 0,
+        }
+    }
+
+    /// The underlying cluster state.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The NameNode (metadata) view.
+    pub fn namenode(&self) -> &NameNode {
+        &self.namenode
+    }
+
+    /// Access to a DataNode (for inspection in tests and experiments).
+    pub fn datanode(&self, node: NodeId) -> Option<&DataNode> {
+        self.datanodes.get(&node)
+    }
+
+    fn code(&mut self, kind: CodeKind) -> Result<Arc<dyn ErasureCode>, HdfsError> {
+        if let Some(c) = self.code_cache.get(&kind) {
+            return Ok(Arc::clone(c));
+        }
+        let built = kind.build()?;
+        self.code_cache.insert(kind, Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// Writes `data` as a new file protected by `code`, striping it into
+    /// blocks of the cluster's configured block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name exists, the data is empty, or the code
+    /// does not fit the cluster.
+    pub fn write_file(
+        &mut self,
+        name: &str,
+        data: &[u8],
+        code_kind: CodeKind,
+    ) -> Result<FileId, HdfsError> {
+        if data.is_empty() {
+            return Err(HdfsError::InvalidRequest {
+                reason: "cannot write an empty file".to_string(),
+            });
+        }
+        let code = self.code(code_kind)?;
+        let block_size = self.cluster.spec().block_size_bytes() as usize;
+        let k = code.data_blocks();
+        let content_blocks = data.len().div_ceil(block_size);
+        let stripes = content_blocks.div_ceil(k);
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &self.cluster,
+            stripes,
+            PlacementPolicy::Random,
+            &mut self.rng,
+        )?;
+        let id = self.namenode.register(
+            name,
+            data.len() as u64,
+            block_size as u64,
+            code_kind,
+            k,
+            placement,
+        )?;
+        let meta = self.namenode.file(id)?.clone();
+
+        // Stripe, encode and distribute.
+        for stripe in 0..stripes {
+            let mut stripe_data: Vec<Vec<u8>> = Vec::with_capacity(k);
+            for b in 0..k {
+                let index = stripe * k + b;
+                let start = index * block_size;
+                let mut block = vec![0u8; block_size];
+                if start < data.len() {
+                    let end = (start + block_size).min(data.len());
+                    block[..end - start].copy_from_slice(&data[start..end]);
+                }
+                stripe_data.push(block);
+            }
+            let coded = code.encode(&stripe_data)?;
+            for (block_index, content) in coded.into_iter().enumerate() {
+                let key = BlockKey::new(id, stripe, block_index);
+                let content = Bytes::from(content);
+                for &node in meta.block_locations(stripe, block_index) {
+                    self.write_network_bytes += content.len() as u64;
+                    self.datanodes
+                        .get(&node)
+                        .ok_or(HdfsError::DataNodeUnavailable { node: node.0 })?
+                        .store(key, content.clone());
+                }
+            }
+        }
+        Ok(id)
+    }
+
+    /// Reads back a whole file, transparently performing degraded reads for
+    /// blocks whose replicas are all unreachable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdfsError::BlockUnavailable`] if a block cannot be read even
+    /// with reconstruction.
+    pub fn read_file(&mut self, id: FileId) -> Result<Vec<u8>, HdfsError> {
+        let meta = self.namenode.file(id)?.clone();
+        let mut out = Vec::with_capacity(meta.size as usize);
+        for key in meta.content_block_keys() {
+            let block = self.read_block(&meta, key.stripe, key.block)?;
+            out.extend_from_slice(&block);
+        }
+        out.truncate(meta.size as usize);
+        Ok(out)
+    }
+
+    /// Reads one data block of a file, using a surviving replica when possible
+    /// and a degraded read otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdfsError::BlockUnavailable`] if neither a replica nor a
+    /// reconstruction is possible.
+    pub fn read_block(
+        &mut self,
+        meta: &FileMetadata,
+        stripe: usize,
+        block: usize,
+    ) -> Result<Bytes, HdfsError> {
+        let key = BlockKey::new(meta.id, stripe, block);
+        // Fast path: any up replica.
+        for &node in meta.block_locations(stripe, block) {
+            if !self.cluster.is_up(node) {
+                continue;
+            }
+            if let Some(data) = self.datanodes.get(&node).and_then(|dn| dn.read(&key)) {
+                self.read_network_bytes += data.len() as u64;
+                return Ok(data);
+            }
+        }
+        // Degraded read: plan with the code, then execute by decoding.
+        let code = self.code(meta.code)?;
+        let stripe_nodes = &meta.placement.stripes()[stripe].nodes;
+        // A stripe-local node is unusable if it is down or has lost every
+        // block of this stripe (a wiped, not-yet-repaired node).
+        let down_local: BTreeSet<usize> = stripe_nodes
+            .iter()
+            .enumerate()
+            .filter(|(local, n)| {
+                !self.cluster.is_up(**n)
+                    || code.node_blocks(*local).iter().all(|&b| {
+                        !self.datanodes[*n].contains(&BlockKey::new(meta.id, stripe, b))
+                    })
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let plan = code
+            .degraded_read_plan(block, &down_local)
+            .map_err(|e| HdfsError::BlockUnavailable {
+                block: key,
+                reason: e.to_string(),
+            })?;
+        self.read_network_bytes += plan.network_blocks as u64 * meta.block_size;
+        let decoded = self.decode_stripe(meta, stripe, code.as_ref())?;
+        Ok(decoded[block].clone())
+    }
+
+    /// Collects the surviving blocks of a stripe and decodes all its data
+    /// blocks.
+    fn decode_stripe(
+        &mut self,
+        meta: &FileMetadata,
+        stripe: usize,
+        code: &dyn ErasureCode,
+    ) -> Result<Vec<Bytes>, HdfsError> {
+        let mut available: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+        for block in 0..code.distinct_blocks() {
+            if available.len() >= code.data_blocks() + 2 {
+                break;
+            }
+            let key = BlockKey::new(meta.id, stripe, block);
+            for &node in meta.block_locations(stripe, block) {
+                if !self.cluster.is_up(node) {
+                    continue;
+                }
+                if let Some(data) = self.datanodes.get(&node).and_then(|dn| dn.read(&key)) {
+                    available.insert(block, data.to_vec());
+                    break;
+                }
+            }
+        }
+        let decoded = code
+            .decode(&available, meta.block_size as usize)
+            .map_err(|e| HdfsError::BlockUnavailable {
+                block: BlockKey::new(meta.id, stripe, 0),
+                reason: e.to_string(),
+            })?;
+        Ok(decoded.into_iter().map(Bytes::from).collect())
+    }
+
+    /// Marks a node as down (transient failure: its data stays on disk).
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.cluster.set_down(node);
+    }
+
+    /// Marks a node as permanently failed: it is down and its blocks are gone.
+    pub fn fail_node_permanently(&mut self, node: NodeId) {
+        self.cluster.set_down(node);
+        if let Some(dn) = self.datanodes.get(&node) {
+            dn.wipe();
+        }
+    }
+
+    /// Brings a transiently-failed node back up (its data is intact).
+    pub fn restore_node(&mut self, node: NodeId) {
+        self.cluster.set_up(node);
+    }
+
+    /// The RaidNode's repair pass: for every stripe that lost replicas on
+    /// permanently-failed (wiped) or down nodes, plan the repair with the
+    /// stripe's code, rebuild the missing blocks from surviving replicas, and
+    /// write them to the replacement nodes (the same node ids, assumed to be
+    /// re-provisioned and now up).
+    ///
+    /// Every repaired node in `replacements` is marked up again.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for internal inconsistencies; unrecoverable
+    /// stripes are *counted* in the report rather than failing the pass.
+    pub fn repair_nodes(&mut self, replacements: &[NodeId]) -> Result<RepairReport, HdfsError> {
+        let mut report = RepairReport::default();
+        let replaced: BTreeSet<NodeId> = replacements.iter().copied().collect();
+        // Collect the work per file first to avoid borrowing conflicts.
+        let files: Vec<FileMetadata> = self.namenode.iter().cloned().collect();
+        for meta in files {
+            let code = self.code(meta.code)?;
+            for stripe in 0..meta.stripes {
+                let stripe_nodes = meta.placement.stripes()[stripe].nodes.clone();
+                // Which stripe-local nodes lost their replicas?
+                let failed_local: BTreeSet<usize> = stripe_nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(local, node)| {
+                        replaced.contains(node)
+                            && self
+                                .missing_any_block(&meta, stripe, *local, **node, code.as_ref())
+                    })
+                    .map(|(local, _)| local)
+                    .collect();
+                if failed_local.is_empty() {
+                    continue;
+                }
+                let plan = match code.repair_plan(&failed_local) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        report.unrecoverable_stripes += 1;
+                        continue;
+                    }
+                };
+                report.network_bytes += plan.network_blocks() as u64 * meta.block_size;
+                // Rebuild the stripe's data and re-materialise every missing block.
+                let decoded = match self.decode_stripe(&meta, stripe, code.as_ref()) {
+                    Ok(d) => d,
+                    Err(_) => {
+                        report.unrecoverable_stripes += 1;
+                        continue;
+                    }
+                };
+                let data_refs: Vec<Vec<u8>> = decoded.iter().map(|b| b.to_vec()).collect();
+                let coded = code.encode(&data_refs)?;
+                let mut restored_any = false;
+                for &local in &failed_local {
+                    let node = stripe_nodes[local];
+                    for &block in code.node_blocks(local) {
+                        let key = BlockKey::new(meta.id, stripe, block);
+                        let dn = self
+                            .datanodes
+                            .get(&node)
+                            .ok_or(HdfsError::DataNodeUnavailable { node: node.0 })?;
+                        if !dn.contains(&key) {
+                            dn.store(key, Bytes::from(coded[block].clone()));
+                            report.blocks_restored += 1;
+                            restored_any = true;
+                        }
+                    }
+                }
+                if restored_any {
+                    report.stripes_repaired += 1;
+                }
+            }
+        }
+        self.repair_network_bytes += report.network_bytes;
+        for &node in replacements {
+            self.cluster.set_up(node);
+        }
+        Ok(report)
+    }
+
+    fn missing_any_block(
+        &self,
+        meta: &FileMetadata,
+        stripe: usize,
+        local: usize,
+        node: NodeId,
+        code: &dyn ErasureCode,
+    ) -> bool {
+        code.node_blocks(local).iter().any(|&block| {
+            let key = BlockKey::new(meta.id, stripe, block);
+            self.datanodes
+                .get(&node)
+                .map(|dn| !dn.contains(&key))
+                .unwrap_or(true)
+        })
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> FsStats {
+        FsStats {
+            files: self.namenode.len(),
+            stored_blocks: self.datanodes.values().map(DataNode::block_count).sum(),
+            stored_bytes: self.datanodes.values().map(DataNode::used_bytes).sum(),
+            write_network_bytes: self.write_network_bytes,
+            read_network_bytes: self.read_network_bytes,
+            repair_network_bytes: self.repair_network_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        tiny_spec()
+    }
+
+    fn tiny_spec() -> ClusterSpec {
+        // 64 KiB blocks are enough to exercise multi-stripe files cheaply.
+        let mut s = ClusterSpec::simulation_25(4);
+        s.block_size_mb = 1;
+        s
+    }
+
+    fn sample_data(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_all_codes() {
+        for kind in [
+            CodeKind::TWO_REP,
+            CodeKind::THREE_REP,
+            CodeKind::Pentagon,
+            CodeKind::Heptagon,
+            CodeKind::HeptagonLocal,
+        ] {
+            let mut fs = DistributedFileSystem::new(tiny_spec(), 42);
+            let data = sample_data(3 * 1024 * 1024 + 123);
+            let id = fs.write_file("/data/file", &data, kind).unwrap();
+            let back = fs.read_file(id).unwrap();
+            assert_eq!(back, data, "roundtrip failed for {kind}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_files_and_duplicate_names() {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 1);
+        assert!(fs.write_file("/a", &[], CodeKind::TWO_REP).is_err());
+        fs.write_file("/a", &[1, 2, 3], CodeKind::TWO_REP).unwrap();
+        assert!(fs.write_file("/a", &[1], CodeKind::TWO_REP).is_err());
+    }
+
+    #[test]
+    fn storage_overhead_matches_code() {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 2);
+        let data = sample_data(9 * 1024 * 1024); // exactly one pentagon stripe
+        fs.write_file("/pent", &data, CodeKind::Pentagon).unwrap();
+        let stats = fs.stats();
+        assert_eq!(stats.files, 1);
+        assert_eq!(stats.stored_blocks, 20);
+        assert_eq!(stats.stored_bytes, 20 * 1024 * 1024);
+    }
+
+    #[test]
+    fn transient_failure_reads_from_other_replica() {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 3);
+        let data = sample_data(2 * 1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        let victim = meta.block_locations(0, 0)[0];
+        fs.fail_node(victim);
+        assert_eq!(fs.read_file(id).unwrap(), data);
+    }
+
+    #[test]
+    fn degraded_read_reconstructs_when_both_replicas_down() {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 4);
+        let data = sample_data(9 * 1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        for &node in meta.block_locations(0, 0) {
+            fs.fail_node(node);
+        }
+        let before = fs.stats().read_network_bytes;
+        let back = fs.read_file(id).unwrap();
+        assert_eq!(back, data);
+        assert!(fs.stats().read_network_bytes > before);
+    }
+
+    #[test]
+    fn too_many_failures_make_blocks_unavailable() {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 5);
+        let data = sample_data(1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::TWO_REP).unwrap();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        for &node in meta.block_locations(0, 0) {
+            fs.fail_node(node);
+        }
+        assert!(matches!(
+            fs.read_file(id),
+            Err(HdfsError::BlockUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn raidnode_repairs_permanent_single_failure() {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 6);
+        let data = sample_data(9 * 1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        let victim = meta.placement.stripes()[0].nodes[2];
+        let blocks_before = fs.datanode(victim).unwrap().block_count();
+        assert!(blocks_before > 0);
+        fs.fail_node_permanently(victim);
+        assert_eq!(fs.datanode(victim).unwrap().block_count(), 0);
+
+        let report = fs.repair_nodes(&[victim]).unwrap();
+        assert_eq!(report.unrecoverable_stripes, 0);
+        assert_eq!(report.blocks_restored, blocks_before);
+        assert!(report.stripes_repaired >= 1);
+        // Repair bandwidth per the pentagon plan: 4 blocks per stripe-node.
+        assert_eq!(report.network_bytes, 4 * 1024 * 1024);
+        // The node is up again and the file reads back correctly from it.
+        assert!(fs.cluster().is_up(victim));
+        assert_eq!(fs.read_file(id).unwrap(), data);
+        assert_eq!(fs.datanode(victim).unwrap().block_count(), blocks_before);
+    }
+
+    #[test]
+    fn raidnode_repairs_double_failure_with_partial_parity_accounting() {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 7);
+        let data = sample_data(9 * 1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        let victims = [
+            meta.placement.stripes()[0].nodes[0],
+            meta.placement.stripes()[0].nodes[1],
+        ];
+        for &v in &victims {
+            fs.fail_node_permanently(v);
+        }
+        let report = fs.repair_nodes(&victims).unwrap();
+        assert_eq!(report.unrecoverable_stripes, 0);
+        // Two-node pentagon repair costs 10 blocks of network traffic (§2.1).
+        assert_eq!(report.network_bytes, 10 * 1024 * 1024);
+        assert_eq!(fs.read_file(id).unwrap(), data);
+    }
+
+    #[test]
+    fn unrecoverable_stripes_are_reported_not_fatal() {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 8);
+        let data = sample_data(1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::TWO_REP).unwrap();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        let victims: Vec<NodeId> = meta.block_locations(0, 0).to_vec();
+        for &v in &victims {
+            fs.fail_node_permanently(v);
+        }
+        let report = fs.repair_nodes(&victims).unwrap();
+        assert_eq!(report.unrecoverable_stripes, 1);
+        assert_eq!(report.blocks_restored, 0);
+        let _ = id;
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let mut fs = DistributedFileSystem::new(spec(), 9);
+        let data = sample_data(512 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::THREE_REP).unwrap();
+        let stats = fs.stats();
+        assert!(stats.write_network_bytes >= 3 * 512 * 1024);
+        assert_eq!(stats.read_network_bytes, 0);
+        let _ = fs.read_file(id).unwrap();
+        assert!(fs.stats().read_network_bytes > 0);
+        assert_eq!(fs.stats().repair_network_bytes, 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The simulated NameNode: the file namespace and the block→location map.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use drc_cluster::{NodeId, PlacementMap};
+use drc_codes::CodeKind;
+
+use crate::block::BlockKey;
+use crate::HdfsError;
+
+/// Identifier of a file in the namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct FileId(pub u64);
+
+/// Metadata the NameNode keeps for one file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileMetadata {
+    /// The file id.
+    pub id: FileId,
+    /// The file's name (unique within the namespace).
+    pub name: String,
+    /// Logical file size in bytes (before padding).
+    pub size: u64,
+    /// Block size used when striping the file.
+    pub block_size: u64,
+    /// The coding scheme protecting the file.
+    pub code: CodeKind,
+    /// Number of stripes.
+    pub stripes: usize,
+    /// Number of data blocks per stripe.
+    pub data_blocks_per_stripe: usize,
+    /// The stripe→cluster-node placement.
+    pub placement: PlacementMap,
+}
+
+impl FileMetadata {
+    /// Number of data blocks that actually carry file content (the final
+    /// stripe may be partially filled with padding blocks).
+    pub fn content_blocks(&self) -> usize {
+        (self.size as usize).div_ceil(self.block_size as usize)
+    }
+
+    /// The cluster nodes holding a replica of the given block.
+    pub fn block_locations(&self, stripe: usize, block: usize) -> &[NodeId] {
+        self.placement
+            .block_locations(drc_cluster::GlobalBlockId { stripe, block })
+    }
+
+    /// The keys of the data blocks that carry file content, in file order.
+    pub fn content_block_keys(&self) -> Vec<BlockKey> {
+        (0..self.content_blocks())
+            .map(|i| BlockKey {
+                file: self.id,
+                stripe: i / self.data_blocks_per_stripe,
+                block: i % self.data_blocks_per_stripe,
+            })
+            .collect()
+    }
+}
+
+/// The file namespace plus block-location bookkeeping.
+#[derive(Debug, Default)]
+pub struct NameNode {
+    files: BTreeMap<FileId, FileMetadata>,
+    by_name: BTreeMap<String, FileId>,
+    next_id: u64,
+}
+
+impl NameNode {
+    /// Creates an empty namespace.
+    pub fn new() -> Self {
+        NameNode::default()
+    }
+
+    /// Registers a new file and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdfsError::FileExists`] if the name is already taken.
+    pub fn register(
+        &mut self,
+        name: &str,
+        size: u64,
+        block_size: u64,
+        code: CodeKind,
+        data_blocks_per_stripe: usize,
+        placement: PlacementMap,
+    ) -> Result<FileId, HdfsError> {
+        if self.by_name.contains_key(name) {
+            return Err(HdfsError::FileExists {
+                name: name.to_string(),
+            });
+        }
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        let meta = FileMetadata {
+            id,
+            name: name.to_string(),
+            size,
+            block_size,
+            code,
+            stripes: placement.stripe_count(),
+            data_blocks_per_stripe,
+            placement,
+        };
+        self.files.insert(id, meta);
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks up a file by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdfsError::FileNotFound`] if the id is unknown.
+    pub fn file(&self, id: FileId) -> Result<&FileMetadata, HdfsError> {
+        self.files.get(&id).ok_or_else(|| HdfsError::file_not_found(id))
+    }
+
+    /// Looks up a file by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdfsError::FileNotFound`] if the name is unknown.
+    pub fn file_by_name(&self, name: &str) -> Result<&FileMetadata, HdfsError> {
+        self.by_name
+            .get(name)
+            .and_then(|id| self.files.get(id))
+            .ok_or_else(|| HdfsError::FileNotFound {
+                file: name.to_string(),
+            })
+    }
+
+    /// Removes a file from the namespace, returning its metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdfsError::FileNotFound`] if the id is unknown.
+    pub fn unregister(&mut self, id: FileId) -> Result<FileMetadata, HdfsError> {
+        let meta = self.files.remove(&id).ok_or_else(|| HdfsError::file_not_found(id))?;
+        self.by_name.remove(&meta.name);
+        Ok(meta)
+    }
+
+    /// Iterates over every file's metadata.
+    pub fn iter(&self) -> impl Iterator<Item = &FileMetadata> {
+        self.files.values()
+    }
+
+    /// Number of files in the namespace.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Returns `true` if the namespace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Every block key (of every file) whose replica set includes `node` —
+    /// the NameNode's answer to "which blocks did we lose when this node
+    /// died?".
+    pub fn blocks_on_node(&self, node: NodeId) -> Vec<BlockKey> {
+        let mut out = Vec::new();
+        for meta in self.files.values() {
+            for gb in meta.placement.blocks_on_node(node) {
+                out.push(BlockKey {
+                    file: meta.id,
+                    stripe: gb.stripe,
+                    block: gb.block,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drc_cluster::{Cluster, ClusterSpec, PlacementPolicy};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn placement(stripes: usize) -> PlacementMap {
+        let cluster = Cluster::new(ClusterSpec::simulation_25(2));
+        let code = CodeKind::Pentagon.build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        PlacementMap::place(code.as_ref(), &cluster, stripes, PlacementPolicy::Random, &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn register_lookup_unregister() {
+        let mut nn = NameNode::new();
+        assert!(nn.is_empty());
+        let id = nn
+            .register("/data/a", 1000, 128, CodeKind::Pentagon, 9, placement(2))
+            .unwrap();
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn.file(id).unwrap().name, "/data/a");
+        assert_eq!(nn.file_by_name("/data/a").unwrap().id, id);
+        assert!(nn.file_by_name("/nope").is_err());
+        assert!(nn
+            .register("/data/a", 10, 128, CodeKind::TWO_REP, 1, placement(1))
+            .is_err());
+        let meta = nn.unregister(id).unwrap();
+        assert_eq!(meta.id, id);
+        assert!(nn.file(id).is_err());
+        assert!(nn.unregister(id).is_err());
+    }
+
+    #[test]
+    fn metadata_block_math() {
+        let mut nn = NameNode::new();
+        let id = nn
+            .register("/f", 1000, 128, CodeKind::Pentagon, 9, placement(2))
+            .unwrap();
+        let meta = nn.file(id).unwrap();
+        assert_eq!(meta.content_blocks(), 8); // ceil(1000 / 128)
+        assert_eq!(meta.stripes, 2);
+        let keys = meta.content_block_keys();
+        assert_eq!(keys.len(), 8);
+        assert!(keys.iter().all(|k| k.stripe == 0 && k.block < 9));
+        assert_eq!(meta.block_locations(0, 0).len(), 2);
+    }
+
+    #[test]
+    fn blocks_on_node_reports_all_files() {
+        let mut nn = NameNode::new();
+        let p = placement(3);
+        let node = p.stripes()[0].nodes[0];
+        nn.register("/x", 100, 10, CodeKind::Pentagon, 9, p).unwrap();
+        let blocks = nn.blocks_on_node(node);
+        // The node hosts one pentagon stripe-node => 4 blocks of stripe 0
+        // (possibly more from other stripes of the same file).
+        assert!(blocks.len() >= 4);
+        assert!(blocks.iter().all(|b| b.file == FileId(0)));
+        assert_eq!(nn.iter().count(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests on the simulated file system: write/read round-trips
+//! survive any tolerated failure pattern, and repairs restore full redundancy.
+
+use drc_cluster::ClusterSpec;
+use drc_codes::CodeKind;
+use drc_hdfs::DistributedFileSystem;
+use proptest::prelude::*;
+
+fn paper_code() -> impl Strategy<Value = CodeKind> {
+    prop_oneof![
+        Just(CodeKind::TWO_REP),
+        Just(CodeKind::THREE_REP),
+        Just(CodeKind::Pentagon),
+        Just(CodeKind::Heptagon),
+        Just(CodeKind::HeptagonLocal),
+    ]
+}
+
+fn tiny_spec() -> ClusterSpec {
+    let mut spec = ClusterSpec::simulation_25(4);
+    spec.block_size_mb = 1;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever we write comes back identical, before failures, under the
+    /// maximum tolerated number of permanent failures, and again after repair.
+    #[test]
+    fn roundtrip_with_failures_and_repair(
+        code in paper_code(),
+        // Up to ~3 stripes of 1 MiB blocks, with a ragged tail.
+        size_kb in 1usize..2600,
+        which in 0usize..100,
+        seed in any::<u64>(),
+    ) {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), seed);
+        let data: Vec<u8> = (0..size_kb * 1024)
+            .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15).to_le_bytes()[i % 8])
+            .collect();
+        let id = fs.write_file("/prop/file", &data, code).unwrap();
+        prop_assert_eq!(fs.read_file(id).unwrap(), data.clone());
+
+        // Fail `tolerance` nodes of a stripe chosen by `which`.
+        let built = code.build().unwrap();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        let stripe = which % meta.stripes;
+        let tolerance = built.fault_tolerance();
+        let victims: Vec<_> = meta.placement.stripes()[stripe].nodes[..tolerance].to_vec();
+        for &v in &victims {
+            fs.fail_node_permanently(v);
+        }
+        prop_assert_eq!(fs.read_file(id).unwrap(), data.clone());
+
+        // Repair and verify again; redundancy is fully restored.
+        let report = fs.repair_nodes(&victims).unwrap();
+        prop_assert_eq!(report.unrecoverable_stripes, 0);
+        prop_assert_eq!(fs.read_file(id).unwrap(), data);
+        let expected_bytes =
+            meta.stripes as u64 * built.stored_blocks() as u64 * meta.block_size;
+        prop_assert_eq!(fs.stats().stored_bytes, expected_bytes);
+    }
+
+    /// Degraded-read traffic accounting never undercounts: reading a file with
+    /// `t` failed nodes moves at least as many bytes as reading it healthy.
+    #[test]
+    fn degraded_reads_cost_at_least_healthy_reads(
+        code in paper_code(),
+        seed in any::<u64>(),
+    ) {
+        let data = vec![7u8; 2 * 1024 * 1024 + 333];
+        let mut healthy = DistributedFileSystem::new(tiny_spec(), seed);
+        let id = healthy.write_file("/f", &data, code).unwrap();
+        let _ = healthy.read_file(id).unwrap();
+        let healthy_bytes = healthy.stats().read_network_bytes;
+
+        let mut degraded = DistributedFileSystem::new(tiny_spec(), seed);
+        let id = degraded.write_file("/f", &data, code).unwrap();
+        let built = code.build().unwrap();
+        let meta = degraded.namenode().file(id).unwrap().clone();
+        let victims: Vec<_> =
+            meta.placement.stripes()[0].nodes[..built.fault_tolerance()].to_vec();
+        for &v in &victims {
+            degraded.fail_node(v);
+        }
+        let _ = degraded.read_file(id).unwrap();
+        prop_assert!(degraded.stats().read_network_bytes >= healthy_bytes);
+    }
+}

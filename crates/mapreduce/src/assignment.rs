@@ -1,0 +1,150 @@
+//! Task-to-node assignments and locality statistics.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use drc_cluster::NodeId;
+
+use crate::graph::TaskNodeGraph;
+use crate::job::TaskId;
+
+/// Where a map task ended up running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskAssignment {
+    /// The task.
+    pub task: TaskId,
+    /// The node the task runs on.
+    pub node: NodeId,
+    /// `true` if the node holds a replica of the task's block (a *local*
+    /// task in the paper's terminology).
+    pub local: bool,
+}
+
+/// A complete assignment of a set of map tasks to nodes.
+///
+/// Produced by the task schedulers; consumed by the locality experiments
+/// (Fig. 3) and the execution engine (Fig. 4/5).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Assignment {
+    assignments: Vec<TaskAssignment>,
+}
+
+impl Assignment {
+    /// Creates an assignment from the given per-task placements.
+    pub fn new(assignments: Vec<TaskAssignment>) -> Self {
+        Assignment { assignments }
+    }
+
+    /// The individual task assignments, in the order they were made.
+    pub fn iter(&self) -> impl Iterator<Item = &TaskAssignment> {
+        self.assignments.iter()
+    }
+
+    /// Number of assigned tasks.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Returns `true` if no task was assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Number of tasks that run on a node holding their block.
+    pub fn local_tasks(&self) -> usize {
+        self.assignments.iter().filter(|a| a.local).count()
+    }
+
+    /// Number of tasks that must read their block over the network.
+    pub fn remote_tasks(&self) -> usize {
+        self.len() - self.local_tasks()
+    }
+
+    /// Percentage of local tasks — the paper's *data locality* metric.
+    ///
+    /// Returns 100% for an empty assignment (no task had to go remote).
+    pub fn locality_percent(&self) -> f64 {
+        if self.assignments.is_empty() {
+            return 100.0;
+        }
+        self.local_tasks() as f64 / self.len() as f64 * 100.0
+    }
+
+    /// Number of tasks assigned to each node.
+    pub fn tasks_per_node(&self) -> BTreeMap<NodeId, usize> {
+        let mut map = BTreeMap::new();
+        for a in &self.assignments {
+            *map.entry(a.node).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Verifies the assignment against a graph and slot capacities: every
+    /// task assigned at most once, capacities respected, and the `local` flag
+    /// consistent with the graph's adjacency. Returns a description of the
+    /// first violation, if any.
+    pub fn validate(&self, graph: &TaskNodeGraph, slots_per_node: usize) -> Option<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut per_node: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for a in &self.assignments {
+            if !seen.insert(a.task) {
+                return Some(format!("task {:?} assigned twice", a.task));
+            }
+            let count = per_node.entry(a.node).or_insert(0);
+            *count += 1;
+            if *count > slots_per_node {
+                return Some(format!("node {} over capacity", a.node));
+            }
+            let is_local = graph.task(a.task).local_nodes.contains(&a.node);
+            if is_local != a.local {
+                return Some(format!("task {:?} locality flag mismatch", a.task));
+            }
+        }
+        None
+    }
+}
+
+impl FromIterator<TaskAssignment> for Assignment {
+    fn from_iter<I: IntoIterator<Item = TaskAssignment>>(iter: I) -> Self {
+        Assignment::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ta(task: usize, node: usize, local: bool) -> TaskAssignment {
+        TaskAssignment {
+            task: TaskId(task),
+            node: NodeId(node),
+            local,
+        }
+    }
+
+    #[test]
+    fn locality_math() {
+        let a = Assignment::new(vec![ta(0, 0, true), ta(1, 1, false), ta(2, 0, true), ta(3, 2, true)]);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        assert_eq!(a.local_tasks(), 3);
+        assert_eq!(a.remote_tasks(), 1);
+        assert!((a.locality_percent() - 75.0).abs() < 1e-12);
+        assert_eq!(a.tasks_per_node()[&NodeId(0)], 2);
+        assert_eq!(a.iter().count(), 4);
+    }
+
+    #[test]
+    fn empty_assignment_is_fully_local() {
+        let a = Assignment::default();
+        assert!(a.is_empty());
+        assert_eq!(a.locality_percent(), 100.0);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let a: Assignment = vec![ta(0, 0, true)].into_iter().collect();
+        assert_eq!(a.len(), 1);
+    }
+}

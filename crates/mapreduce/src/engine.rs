@@ -1,0 +1,474 @@
+//! A discrete-event MapReduce execution engine.
+//!
+//! This is the substitute for the paper's physical Hadoop clusters (§4): it
+//! executes a [`JobSpec`] against a block placement on a cluster, using one of
+//! the task schedulers, and reports the three quantities Fig. 4 and Fig. 5
+//! plot — job execution time, network traffic and data locality — plus
+//! degraded-read statistics for the failure experiments.
+//!
+//! The model is deliberately simple but mechanistic: map tasks read their
+//! block from local disk or over the network (or rebuild it with a degraded
+//! read when every replica is unreachable), spend CPU time proportional to
+//! the input, and occupy a map slot for their duration; the shuffle moves the
+//! map output across the network to the reducers; reducers then merge and
+//! write their output. Absolute times depend on the bandwidth constants in
+//! [`ClusterSpec`], but the *differences between codes* come only from
+//! locality and degraded reads — exactly the mechanism the paper identifies.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use drc_cluster::{Cluster, NodeId, PlacementMap};
+use drc_codes::ErasureCode;
+
+use crate::assignment::Assignment;
+use crate::graph::TaskNodeGraph;
+use crate::job::{JobSpec, MapTask};
+use crate::scheduler::TaskScheduler;
+use crate::MapReduceError;
+
+/// Measurements from one simulated job execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Name of the job.
+    pub job: String,
+    /// Name of the code whose placement was used.
+    pub code: String,
+    /// Total job execution time in seconds (map phase + reduce phase).
+    pub job_time_s: f64,
+    /// Duration of the map phase in seconds.
+    pub map_phase_s: f64,
+    /// Duration of the shuffle + reduce phase in seconds.
+    pub reduce_phase_s: f64,
+    /// Total bytes that crossed the network during the job.
+    pub network_traffic_bytes: u64,
+    /// Bytes of map input fetched remotely (replica reads from other nodes).
+    pub remote_input_bytes: u64,
+    /// Bytes fetched to serve degraded reads (reconstruction traffic).
+    pub degraded_read_bytes: u64,
+    /// Bytes of map output moved across the network during the shuffle.
+    pub shuffle_bytes: u64,
+    /// Number of map tasks.
+    pub map_tasks: usize,
+    /// Number of map tasks that ran on a node holding their block.
+    pub local_map_tasks: usize,
+    /// Number of map tasks that needed a degraded read (no live replica).
+    pub degraded_reads: usize,
+}
+
+impl JobMetrics {
+    /// Data locality in percent (the paper's metric).
+    pub fn data_locality_percent(&self) -> f64 {
+        if self.map_tasks == 0 {
+            return 100.0;
+        }
+        self.local_map_tasks as f64 / self.map_tasks as f64 * 100.0
+    }
+
+    /// Network traffic in GiB (the unit of Fig. 4 and Fig. 5).
+    pub fn network_traffic_gb(&self) -> f64 {
+        self.network_traffic_bytes as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+}
+
+/// Runs `job` on `cluster` against `placement`, scheduling map tasks with
+/// `scheduler`. `code` must be the code the placement was built with; it is
+/// used to plan degraded reads when every replica of a block is unreachable.
+///
+/// # Errors
+///
+/// Returns [`MapReduceError::InvalidConfig`] if a task references a block that
+/// is not in the placement, or [`MapReduceError::UnreadableBlock`] if a block
+/// cannot be served at all (more failures than the code tolerates).
+pub fn run_job(
+    job: &JobSpec,
+    code: &dyn ErasureCode,
+    placement: &PlacementMap,
+    cluster: &Cluster,
+    scheduler: &dyn TaskScheduler,
+    rng: &mut dyn RngCore,
+) -> Result<JobMetrics, MapReduceError> {
+    let spec = cluster.spec();
+    let block_mb = spec.block_size_mb as f64;
+    let block_bytes = spec.block_size_bytes();
+
+    for task in job.map_tasks() {
+        if placement.block_locations(task.block).is_empty() {
+            return Err(MapReduceError::InvalidConfig {
+                reason: format!("task block {:?} is not present in the placement", task.block),
+            });
+        }
+    }
+
+    // ---- Map phase -------------------------------------------------------
+    let mut pending: Vec<MapTask> = job.map_tasks().to_vec();
+    let slots = spec.map_slots_per_node;
+    // Per-node slot availability times; one entry per slot.
+    let mut node_slots: BTreeMap<NodeId, Vec<f64>> = cluster
+        .up_nodes()
+        .into_iter()
+        .map(|n| (n, vec![0.0; slots]))
+        .collect();
+    let mut wave_start = 0.0f64;
+    let mut map_phase_end = 0.0f64;
+
+    let mut remote_input_bytes = 0u64;
+    let mut degraded_read_bytes = 0u64;
+    let mut local_map_tasks = 0usize;
+    let mut degraded_reads = 0usize;
+
+    while !pending.is_empty() {
+        let graph = TaskNodeGraph::build(&pending, placement, cluster);
+        let capacities: BTreeMap<NodeId, usize> =
+            graph.nodes().iter().map(|&n| (n, slots)).collect();
+        let assignment: Assignment = scheduler.assign(&graph, &capacities, rng);
+        if assignment.is_empty() {
+            return Err(MapReduceError::InvalidConfig {
+                reason: "scheduler made no progress (no capacity available)".to_string(),
+            });
+        }
+        let assigned_ids: BTreeSet<usize> = assignment.iter().map(|a| a.task.0).collect();
+        let mut wave_network_mb = 0.0f64;
+
+        for a in assignment.iter() {
+            let task = pending[a.task.0];
+            // Read cost.
+            let (read_s, remote_bytes, degraded_bytes) = if a.local {
+                (block_mb / spec.disk_bandwidth_mbps, 0u64, 0u64)
+            } else {
+                // Which stripe-local nodes are down for this block's stripe?
+                let stripe_nodes = &placement.stripes()[task.block.stripe].nodes;
+                let down_local: BTreeSet<usize> = stripe_nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| !cluster.is_up(**n))
+                    .map(|(i, _)| i)
+                    .collect();
+                let replicas_alive = placement
+                    .block_locations(task.block)
+                    .iter()
+                    .any(|n| cluster.is_up(*n));
+                if replicas_alive {
+                    // Plain remote read of one block.
+                    (block_mb / spec.network_bandwidth_mbps, block_bytes, 0u64)
+                } else {
+                    // Degraded read: rebuild from the code's plan.
+                    let plan = code
+                        .degraded_read_plan(task.block.block, &down_local)
+                        .map_err(|source| MapReduceError::UnreadableBlock {
+                            block: task.block,
+                            source,
+                        })?;
+                    let bytes = plan.network_blocks as u64 * block_bytes;
+                    degraded_reads += 1;
+                    (
+                        plan.network_blocks as f64 * block_mb / spec.network_bandwidth_mbps,
+                        0u64,
+                        bytes,
+                    )
+                }
+            };
+            if a.local {
+                local_map_tasks += 1;
+            }
+            remote_input_bytes += remote_bytes;
+            degraded_read_bytes += degraded_bytes;
+            wave_network_mb += (remote_bytes + degraded_bytes) as f64 / (1024.0 * 1024.0);
+
+            let run_s = job.task_overhead_s() + read_s + block_mb * job.map_cpu_s_per_mb();
+            // Occupy the earliest-free slot of the assigned node.
+            let slot_times = node_slots
+                .get_mut(&a.node)
+                .expect("assignment only uses up nodes");
+            let slot = slot_times
+                .iter_mut()
+                .min_by(|a, b| a.partial_cmp(b).expect("finite times"))
+                .expect("at least one slot per node");
+            let start = slot.max(wave_start);
+            let end = start + run_s;
+            *slot = end;
+            map_phase_end = map_phase_end.max(end);
+        }
+        // The cluster's LAN is shared: if the wave's remote reads exceed what
+        // the aggregate network can move while the slots are busy, the map
+        // phase is network-bound and stretches accordingly. This is the
+        // mechanism behind the paper's observation that lost locality costs
+        // job time, not just traffic.
+        let aggregate_bw = spec.network_bandwidth_mbps * cluster.up_nodes().len().max(1) as f64;
+        let network_floor = wave_start + wave_network_mb / aggregate_bw;
+        map_phase_end = map_phase_end.max(network_floor);
+
+        // Remove assigned tasks; renumber the remainder for the next wave.
+        pending = pending
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !assigned_ids.contains(i))
+            .map(|(_, t)| *t)
+            .collect();
+        for (i, t) in pending.iter_mut().enumerate() {
+            t.id = crate::job::TaskId(i);
+        }
+        wave_start = map_phase_end;
+    }
+
+    // ---- Shuffle + reduce phase -------------------------------------------
+    let input_bytes = job.map_tasks().len() as u64 * block_bytes;
+    let map_output_bytes = (input_bytes as f64 * job.shuffle_ratio()) as u64;
+    let reduce_nodes = cluster.up_nodes().len().min(job.reduce_tasks()).max(1);
+    // Fraction of map output that must cross the network: everything except
+    // the share produced on the same node as its reducer.
+    let network_fraction = 1.0 - 1.0 / cluster.up_nodes().len().max(1) as f64;
+    let shuffle_bytes = (map_output_bytes as f64 * network_fraction) as u64;
+
+    let reduce_phase_s = if job.reduce_tasks() == 0 || map_output_bytes == 0 {
+        0.0
+    } else {
+        let per_reducer_mb =
+            map_output_bytes as f64 / (1024.0 * 1024.0) / job.reduce_tasks() as f64;
+        let reducers_per_node = job.reduce_tasks().div_ceil(reduce_nodes) as f64;
+        // Shuffle fetch, merge/CPU, and output write, per reducer wave.
+        let fetch_s = per_reducer_mb * network_fraction / spec.network_bandwidth_mbps;
+        let cpu_s = per_reducer_mb * job.reduce_cpu_s_per_mb();
+        let write_s = per_reducer_mb / spec.disk_bandwidth_mbps;
+        job.task_overhead_s() + reducers_per_node * (fetch_s + cpu_s + write_s)
+    };
+
+    let network_traffic_bytes = remote_input_bytes + degraded_read_bytes + shuffle_bytes;
+    Ok(JobMetrics {
+        job: job.name().to_string(),
+        code: placement.code_name().to_string(),
+        job_time_s: map_phase_end + reduce_phase_s,
+        map_phase_s: map_phase_end,
+        reduce_phase_s,
+        network_traffic_bytes,
+        remote_input_bytes,
+        degraded_read_bytes,
+        shuffle_bytes,
+        map_tasks: job.map_tasks().len(),
+        local_map_tasks,
+        degraded_reads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use crate::scheduler::{DelayScheduler, SchedulerKind};
+    use drc_cluster::{ClusterSpec, PlacementPolicy};
+    use drc_codes::CodeKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn run(
+        kind: CodeKind,
+        spec: ClusterSpec,
+        tasks: usize,
+        down: &[usize],
+        seed: u64,
+    ) -> JobMetrics {
+        let code = kind.build().unwrap();
+        let mut cluster = Cluster::new(spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let stripes = tasks.div_ceil(code.data_blocks());
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            stripes,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
+        for &n in down {
+            cluster.set_down(NodeId(n));
+        }
+        let blocks: Vec<_> = placement.data_blocks().into_iter().take(tasks).collect();
+        let job = JobSpec::new("terasort", blocks).with_reduce_tasks(8);
+        run_job(
+            &job,
+            code.as_ref(),
+            &placement,
+            &cluster,
+            &DelayScheduler::default(),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn healthy_cluster_metrics_are_consistent() {
+        let m = run(CodeKind::Pentagon, ClusterSpec::simulation_25(2), 50, &[], 3);
+        assert_eq!(m.map_tasks, 50);
+        assert_eq!(m.degraded_reads, 0);
+        assert!(m.job_time_s > 0.0);
+        assert!(m.map_phase_s > 0.0 && m.reduce_phase_s > 0.0);
+        assert!((m.job_time_s - (m.map_phase_s + m.reduce_phase_s)).abs() < 1e-9);
+        assert!(m.data_locality_percent() > 0.0 && m.data_locality_percent() <= 100.0);
+        // Remote input bytes match the number of non-local tasks.
+        let expected_remote =
+            (m.map_tasks - m.local_map_tasks) as u64 * 128 * 1024 * 1024;
+        assert_eq!(m.remote_input_bytes, expected_remote);
+        assert_eq!(
+            m.network_traffic_bytes,
+            m.remote_input_bytes + m.degraded_read_bytes + m.shuffle_bytes
+        );
+        assert!(m.network_traffic_gb() > 0.0);
+    }
+
+    #[test]
+    fn lost_locality_costs_traffic_and_time() {
+        // The pentagon loses locality relative to 2-rep at full load on a
+        // 2-slot cluster (Fig. 4), which must show up as extra network
+        // traffic and a longer map phase.
+        let mut pent_traffic = 0.0;
+        let mut rep_traffic = 0.0;
+        let mut pent_time = 0.0;
+        let mut rep_time = 0.0;
+        let mut pent_local = 0.0;
+        let mut rep_local = 0.0;
+        for seed in 0..5 {
+            let pent = run(CodeKind::Pentagon, ClusterSpec::simulation_25(2), 50, &[], seed);
+            let rep = run(CodeKind::TWO_REP, ClusterSpec::simulation_25(2), 50, &[], seed);
+            pent_traffic += pent.network_traffic_gb();
+            rep_traffic += rep.network_traffic_gb();
+            pent_time += pent.job_time_s;
+            rep_time += rep.job_time_s;
+            pent_local += pent.data_locality_percent();
+            rep_local += rep.data_locality_percent();
+        }
+        assert!(pent_local < rep_local);
+        assert!(pent_traffic > rep_traffic);
+        assert!(pent_time >= rep_time);
+    }
+
+    #[test]
+    fn degraded_reads_happen_when_both_replicas_are_down() {
+        // Force failures until some block loses every replica; pentagon
+        // degraded reads then fetch 3 blocks each.
+        let code = CodeKind::Pentagon.build().unwrap();
+        let mut cluster = Cluster::new(ClusterSpec::simulation_25(4));
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            1,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
+        // Take both hosts of data block 0 of stripe 0 down.
+        let block = drc_cluster::GlobalBlockId { stripe: 0, block: 0 };
+        for &n in placement.block_locations(block) {
+            cluster.set_down(n);
+        }
+        let job = JobSpec::new("degraded", vec![block]);
+        let metrics = run_job(
+            &job,
+            code.as_ref(),
+            &placement,
+            &cluster,
+            &DelayScheduler::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(metrics.degraded_reads, 1);
+        assert_eq!(metrics.degraded_read_bytes, 3 * 128 * 1024 * 1024);
+        assert_eq!(metrics.local_map_tasks, 0);
+    }
+
+    #[test]
+    fn unreadable_blocks_are_an_error() {
+        let code = CodeKind::TWO_REP.build().unwrap();
+        let mut cluster = Cluster::new(ClusterSpec::simulation_25(4));
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let placement =
+            PlacementMap::place(code.as_ref(), &cluster, 1, PlacementPolicy::Random, &mut rng)
+                .unwrap();
+        let block = drc_cluster::GlobalBlockId { stripe: 0, block: 0 };
+        for &n in placement.block_locations(block) {
+            cluster.set_down(n);
+        }
+        let job = JobSpec::new("doomed", vec![block]);
+        let err = run_job(
+            &job,
+            code.as_ref(),
+            &placement,
+            &cluster,
+            &DelayScheduler::default(),
+            &mut rng,
+        );
+        assert!(matches!(err, Err(MapReduceError::UnreadableBlock { .. })));
+    }
+
+    #[test]
+    fn unknown_blocks_are_rejected() {
+        let code = CodeKind::TWO_REP.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let placement =
+            PlacementMap::place(code.as_ref(), &cluster, 1, PlacementPolicy::Random, &mut rng)
+                .unwrap();
+        let job = JobSpec::new(
+            "bogus",
+            vec![drc_cluster::GlobalBlockId { stripe: 7, block: 0 }],
+        );
+        assert!(matches!(
+            run_job(
+                &job,
+                code.as_ref(),
+                &placement,
+                &cluster,
+                &DelayScheduler::default(),
+                &mut rng
+            ),
+            Err(MapReduceError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn overload_executes_in_multiple_waves() {
+        // 150% load on setup 1: 75 tasks over 50 slots -> two waves, roughly
+        // double the map-phase time of a 50%-load run.
+        let half = run(CodeKind::TWO_REP, ClusterSpec::setup1(), 25, &[], 11);
+        let over = run(CodeKind::TWO_REP, ClusterSpec::setup1(), 75, &[], 11);
+        assert_eq!(over.map_tasks, 75);
+        assert!(over.map_phase_s > 1.5 * half.map_phase_s);
+    }
+
+    #[test]
+    fn more_reduce_tasks_spread_the_reduce_phase() {
+        let code = CodeKind::TWO_REP.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::setup2());
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let placement =
+            PlacementMap::place(code.as_ref(), &cluster, 18, PlacementPolicy::Random, &mut rng)
+                .unwrap();
+        let blocks = placement.data_blocks();
+        let narrow = JobSpec::new("sort", blocks.clone()).with_reduce_tasks(1);
+        let wide = JobSpec::new("sort", blocks).with_reduce_tasks(18);
+        let m_narrow = run_job(&narrow, code.as_ref(), &placement, &cluster, &DelayScheduler::default(), &mut rng).unwrap();
+        let m_wide = run_job(&wide, code.as_ref(), &placement, &cluster, &DelayScheduler::default(), &mut rng).unwrap();
+        assert!(m_wide.reduce_phase_s < m_narrow.reduce_phase_s);
+    }
+
+    #[test]
+    fn scheduler_kind_integration() {
+        // The engine works with every scheduler kind.
+        let code = CodeKind::Heptagon.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let placement =
+            PlacementMap::place(code.as_ref(), &cluster, 5, PlacementPolicy::Random, &mut rng)
+                .unwrap();
+        let job = JobSpec::new("sweep", placement.data_blocks());
+        for kind in SchedulerKind::all() {
+            let scheduler = kind.build();
+            let m = run_job(&job, code.as_ref(), &placement, &cluster, scheduler.as_ref(), &mut rng)
+                .unwrap();
+            assert_eq!(m.map_tasks, 100);
+            assert!(m.job_time_s.is_finite());
+        }
+    }
+}

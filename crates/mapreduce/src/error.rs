@@ -1,0 +1,86 @@
+use std::fmt;
+
+use drc_cluster::{ClusterError, GlobalBlockId};
+use drc_codes::CodeError;
+
+/// Errors produced by the scheduling and execution simulators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MapReduceError {
+    /// An experiment or job configuration was invalid.
+    InvalidConfig {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A placement operation failed.
+    Cluster(ClusterError),
+    /// Building a code failed.
+    Code(CodeError),
+    /// A map task's block could not be served even with a degraded read.
+    UnreadableBlock {
+        /// The block that could not be read.
+        block: GlobalBlockId,
+        /// The underlying code error.
+        source: CodeError,
+    },
+}
+
+impl fmt::Display for MapReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapReduceError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            MapReduceError::Cluster(e) => write!(f, "cluster error: {e}"),
+            MapReduceError::Code(e) => write!(f, "code error: {e}"),
+            MapReduceError::UnreadableBlock { block, source } => write!(
+                f,
+                "block (stripe {}, block {}) cannot be read: {source}",
+                block.stripe, block.block
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MapReduceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MapReduceError::Cluster(e) => Some(e),
+            MapReduceError::Code(e) => Some(e),
+            MapReduceError::UnreadableBlock { source, .. } => Some(source),
+            MapReduceError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<ClusterError> for MapReduceError {
+    fn from(e: ClusterError) -> Self {
+        MapReduceError::Cluster(e)
+    }
+}
+
+impl From<CodeError> for MapReduceError {
+    fn from(e: CodeError) -> Self {
+        MapReduceError::Code(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e = MapReduceError::InvalidConfig { reason: "zero trials".into() };
+        assert!(!e.to_string().is_empty());
+        assert!(e.source().is_none());
+        let e: MapReduceError = ClusterError::UnknownNode { node: 1 }.into();
+        assert!(e.source().is_some());
+        let e: MapReduceError = CodeError::UnequalBlockLengths.into();
+        assert!(e.source().is_some());
+        let e = MapReduceError::UnreadableBlock {
+            block: GlobalBlockId { stripe: 0, block: 1 },
+            source: CodeError::UnequalBlockLengths,
+        };
+        assert!(e.to_string().contains("stripe 0"));
+    }
+}

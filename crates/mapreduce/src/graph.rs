@@ -1,0 +1,212 @@
+//! The task–node bipartite graph of §3.2.
+//!
+//! "The map-task-assignment problem can be modeled as a maximum-matching
+//! problem on a bipartite graph, with the tasks on one side and the nodes on
+//! the other. The edges on this graph indicate the nodes where the replicas
+//! of the blocks reside." The choice of code determines the right-hand degree
+//! structure: with the pentagon code all blocks of one stripe-node map onto
+//! one cluster node (Fig. 2), concentrating edges.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use drc_cluster::{Cluster, GlobalBlockId, NodeId, PlacementMap};
+
+use crate::job::{MapTask, TaskId};
+
+/// The bipartite graph between map tasks and the cluster nodes that can run
+/// them locally.
+///
+/// Only *up* nodes appear in the graph; a task whose every replica is on a
+/// down node has no edges and can only run remotely (with a degraded read).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskNodeGraph {
+    tasks: Vec<TaskVertex>,
+    nodes: Vec<NodeId>,
+    node_tasks: BTreeMap<NodeId, Vec<TaskId>>,
+}
+
+/// A task vertex together with its adjacency (the up nodes holding a replica
+/// of its block).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskVertex {
+    /// The task.
+    pub task: TaskId,
+    /// The block the task reads.
+    pub block: GlobalBlockId,
+    /// Up cluster nodes holding a replica of the block (the task's edges).
+    pub local_nodes: Vec<NodeId>,
+}
+
+impl TaskNodeGraph {
+    /// Builds the graph for `tasks` given the block placement and the current
+    /// cluster liveness.
+    pub fn build(tasks: &[MapTask], placement: &PlacementMap, cluster: &Cluster) -> Self {
+        let nodes: Vec<NodeId> = cluster.up_nodes();
+        let mut node_tasks: BTreeMap<NodeId, Vec<TaskId>> =
+            nodes.iter().map(|&n| (n, Vec::new())).collect();
+        let mut vertices = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            let local_nodes: Vec<NodeId> = placement
+                .block_locations(task.block)
+                .iter()
+                .copied()
+                .filter(|n| cluster.is_up(*n))
+                .collect();
+            for &n in &local_nodes {
+                node_tasks
+                    .entry(n)
+                    .or_default()
+                    .push(task.id);
+            }
+            vertices.push(TaskVertex {
+                task: task.id,
+                block: task.block,
+                local_nodes,
+            });
+        }
+        TaskNodeGraph {
+            tasks: vertices,
+            nodes,
+            node_tasks,
+        }
+    }
+
+    /// The task vertices, in task-id order.
+    pub fn tasks(&self) -> &[TaskVertex] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The up nodes (right-hand vertices), in id order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The vertex for a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task id is out of range.
+    pub fn task(&self, id: TaskId) -> &TaskVertex {
+        &self.tasks[id.0]
+    }
+
+    /// The tasks that could run locally on `node`.
+    pub fn tasks_local_to(&self, node: NodeId) -> &[TaskId] {
+        self.node_tasks.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Left-hand degree of a task (number of nodes that can serve it locally).
+    pub fn task_degree(&self, id: TaskId) -> usize {
+        self.tasks[id.0].local_nodes.len()
+    }
+
+    /// Right-hand degree of a node (number of tasks with a local replica there).
+    pub fn node_degree(&self, node: NodeId) -> usize {
+        self.tasks_local_to(node).len()
+    }
+
+    /// Mean number of local candidate nodes per task.
+    pub fn mean_task_degree(&self) -> f64 {
+        if self.tasks.is_empty() {
+            return 0.0;
+        }
+        self.tasks.iter().map(|t| t.local_nodes.len()).sum::<usize>() as f64
+            / self.tasks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drc_cluster::{ClusterSpec, PlacementPolicy};
+    use drc_codes::CodeKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(kind: CodeKind, stripes: usize) -> (Cluster, PlacementMap, Vec<MapTask>) {
+        let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+        let code = kind.build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            stripes,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
+        let tasks: Vec<MapTask> = placement
+            .data_blocks()
+            .into_iter()
+            .enumerate()
+            .map(|(i, block)| MapTask { id: TaskId(i), block })
+            .collect();
+        (cluster, placement, tasks)
+    }
+
+    #[test]
+    fn pentagon_graph_has_left_degree_two() {
+        // Fig. 2: "left degree = 2" for the pentagon code.
+        let (cluster, placement, tasks) = setup(CodeKind::Pentagon, 5);
+        let graph = TaskNodeGraph::build(&tasks, &placement, &cluster);
+        assert_eq!(graph.task_count(), 45);
+        for t in graph.tasks() {
+            assert_eq!(t.local_nodes.len(), 2);
+            assert_eq!(graph.task_degree(t.task), 2);
+        }
+        assert!((graph.mean_task_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_degrees_reflect_block_concentration() {
+        // Each pentagon stripe places 4 of its 9 data-block tasks... more
+        // precisely: a node hosting a pentagon stripe-node can serve locally
+        // every data block stored there (3 or 4 of the 9, depending on
+        // whether the parity edge is incident).
+        let (cluster, placement, tasks) = setup(CodeKind::Pentagon, 1);
+        let graph = TaskNodeGraph::build(&tasks, &placement, &cluster);
+        let used: Vec<NodeId> = placement.stripes()[0].nodes.clone();
+        for &node in &used {
+            let d = graph.node_degree(node);
+            assert!(d == 3 || d == 4, "degree {d}");
+        }
+        // Unused nodes have degree zero.
+        let unused = cluster.nodes().find(|n| !used.contains(n)).unwrap();
+        assert_eq!(graph.node_degree(unused), 0);
+        // Consistency between the two adjacency directions.
+        for t in graph.tasks() {
+            for &n in &t.local_nodes {
+                assert!(graph.tasks_local_to(n).contains(&t.task));
+            }
+        }
+    }
+
+    #[test]
+    fn down_nodes_drop_out_of_the_graph() {
+        let (mut cluster, placement, tasks) = setup(CodeKind::TWO_REP, 30);
+        let victim = placement.block_locations(tasks[0].block)[0];
+        cluster.set_down(victim);
+        let graph = TaskNodeGraph::build(&tasks, &placement, &cluster);
+        assert_eq!(graph.nodes().len(), 24);
+        assert!(!graph.nodes().contains(&victim));
+        // Task 0 lost one of its two candidate nodes.
+        assert_eq!(graph.task_degree(TaskId(0)), 1);
+        assert!(graph.tasks_local_to(victim).is_empty());
+    }
+
+    #[test]
+    fn empty_task_list_gives_empty_graph() {
+        let (cluster, placement, _) = setup(CodeKind::TWO_REP, 1);
+        let graph = TaskNodeGraph::build(&[], &placement, &cluster);
+        assert_eq!(graph.task_count(), 0);
+        assert_eq!(graph.mean_task_degree(), 0.0);
+        assert_eq!(graph.nodes().len(), 25);
+    }
+}

@@ -1,0 +1,251 @@
+//! The data-locality simulation of §3.2 (Fig. 3).
+//!
+//! For a given code, scheduler, cluster and *load* (map tasks as a percentage
+//! of the cluster's total map slots), the simulation repeatedly:
+//!
+//! 1. places enough stripes of the code on the cluster to provide one data
+//!    block per map task,
+//! 2. builds the task–node bipartite graph,
+//! 3. runs the scheduler against the per-node slot capacities, and
+//! 4. records the percentage of tasks that ended up on a node holding their
+//!    block.
+//!
+//! Averaging over many random placements gives the curves of Fig. 3.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use drc_cluster::{Cluster, ClusterSpec, PlacementMap, PlacementPolicy};
+use drc_codes::CodeKind;
+
+use crate::graph::TaskNodeGraph;
+use crate::job::{MapTask, TaskId};
+use crate::scheduler::SchedulerKind;
+use crate::MapReduceError;
+
+/// Configuration of one locality-simulation point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalityConfig {
+    /// The coding scheme under test.
+    pub code: CodeKind,
+    /// The task scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// The cluster (node count and map slots per node).
+    pub cluster: ClusterSpec,
+    /// Load: map tasks as a percentage of total map slots (§3.2).
+    pub load_percent: f64,
+    /// Number of independent random placements to average over.
+    pub trials: usize,
+    /// Base RNG seed; trial `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl LocalityConfig {
+    /// A convenient starting point: the paper's 25-node simulation cluster
+    /// with the given map slots per node, 200 trials.
+    pub fn new(code: CodeKind, scheduler: SchedulerKind, map_slots: usize, load_percent: f64) -> Self {
+        LocalityConfig {
+            code,
+            scheduler,
+            cluster: ClusterSpec::simulation_25(map_slots),
+            load_percent,
+            trials: 200,
+            seed: 0xD0C5,
+        }
+    }
+
+    /// Overrides the number of trials.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The outcome of a locality simulation point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalityResult {
+    /// The configuration's code.
+    pub code: CodeKind,
+    /// The configuration's scheduler.
+    pub scheduler: SchedulerKind,
+    /// The simulated load percentage.
+    pub load_percent: f64,
+    /// Map slots per node.
+    pub map_slots: usize,
+    /// Number of map tasks per trial.
+    pub tasks: usize,
+    /// Number of trials.
+    pub trials: usize,
+    /// Mean data locality over the trials, in percent.
+    pub mean_locality_percent: f64,
+    /// Sample standard deviation of the per-trial locality, in percent.
+    pub std_dev_percent: f64,
+}
+
+/// Runs the locality simulation for one `(code, scheduler, load)` point.
+///
+/// # Errors
+///
+/// Returns [`MapReduceError::InvalidConfig`] if the load or trial count is
+/// not positive, or a placement error if the code does not fit the cluster.
+pub fn simulate_locality(config: &LocalityConfig) -> Result<LocalityResult, MapReduceError> {
+    if config.trials == 0 {
+        return Err(MapReduceError::InvalidConfig {
+            reason: "at least one trial is required".to_string(),
+        });
+    }
+    if config.load_percent <= 0.0 {
+        return Err(MapReduceError::InvalidConfig {
+            reason: "load must be positive".to_string(),
+        });
+    }
+    let cluster = Cluster::new(config.cluster.clone());
+    let code = config.code.build().map_err(MapReduceError::Code)?;
+    let scheduler = config.scheduler.build();
+    let tasks_per_trial = config.cluster.tasks_for_load(config.load_percent).max(1);
+    let stripes = tasks_per_trial.div_ceil(code.data_blocks());
+
+    let mut samples = Vec::with_capacity(config.trials);
+    for trial in 0..config.trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(trial as u64));
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            stripes,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .map_err(MapReduceError::Cluster)?;
+        let map_tasks: Vec<MapTask> = placement
+            .data_blocks()
+            .into_iter()
+            .take(tasks_per_trial)
+            .enumerate()
+            .map(|(i, block)| MapTask {
+                id: TaskId(i),
+                block,
+            })
+            .collect();
+        let graph = TaskNodeGraph::build(&map_tasks, &placement, &cluster);
+        let capacities = graph
+            .nodes()
+            .iter()
+            .map(|&n| (n, config.cluster.map_slots_per_node))
+            .collect();
+        let assignment = scheduler.assign(&graph, &capacities, &mut rng);
+        debug_assert!(assignment
+            .validate(&graph, config.cluster.map_slots_per_node)
+            .is_none());
+        samples.push(assignment.locality_percent());
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let variance = if samples.len() > 1 {
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64
+    } else {
+        0.0
+    };
+    Ok(LocalityResult {
+        code: config.code,
+        scheduler: config.scheduler,
+        load_percent: config.load_percent,
+        map_slots: config.cluster.map_slots_per_node,
+        tasks: tasks_per_trial,
+        trials: config.trials,
+        mean_locality_percent: mean,
+        std_dev_percent: variance.sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(code: CodeKind, scheduler: SchedulerKind, mu: usize, load: f64) -> LocalityResult {
+        simulate_locality(
+            &LocalityConfig::new(code, scheduler, mu, load)
+                .with_trials(40)
+                .with_seed(99),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad = LocalityConfig::new(CodeKind::TWO_REP, SchedulerKind::Delay, 2, 50.0).with_trials(0);
+        assert!(simulate_locality(&bad).is_err());
+        let bad = LocalityConfig::new(CodeKind::TWO_REP, SchedulerKind::Delay, 2, 0.0);
+        assert!(simulate_locality(&bad).is_err());
+    }
+
+    #[test]
+    fn locality_decreases_with_load_for_pentagon_delay() {
+        // The qualitative shape of Fig. 3: locality falls as load rises.
+        let low = point(CodeKind::Pentagon, SchedulerKind::Delay, 2, 25.0);
+        let high = point(CodeKind::Pentagon, SchedulerKind::Delay, 2, 100.0);
+        assert!(low.mean_locality_percent >= high.mean_locality_percent);
+        assert!(high.mean_locality_percent < 95.0);
+    }
+
+    #[test]
+    fn two_rep_beats_pentagon_beats_heptagon_at_two_slots() {
+        // Fig. 3 (mu = 2): the array codes lose significant locality relative
+        // to plain double replication, and the heptagon (6 blocks per node)
+        // suffers more than the pentagon (4 blocks per node).
+        let two_rep = point(CodeKind::TWO_REP, SchedulerKind::Delay, 2, 100.0);
+        let pentagon = point(CodeKind::Pentagon, SchedulerKind::Delay, 2, 100.0);
+        let heptagon = point(CodeKind::Heptagon, SchedulerKind::Delay, 2, 100.0);
+        assert!(two_rep.mean_locality_percent > pentagon.mean_locality_percent);
+        assert!(pentagon.mean_locality_percent > heptagon.mean_locality_percent);
+    }
+
+    #[test]
+    fn more_map_slots_recover_locality() {
+        // Fig. 3: "the loss in locality decreases with increasing number of
+        // map slots per node"; at mu = 8 both codes exceed 90% at full load.
+        let mu2 = point(CodeKind::Pentagon, SchedulerKind::Delay, 2, 100.0);
+        let mu8 = point(CodeKind::Pentagon, SchedulerKind::Delay, 8, 100.0);
+        assert!(mu8.mean_locality_percent > mu2.mean_locality_percent);
+        assert!(mu8.mean_locality_percent > 85.0);
+        let hept8 = point(CodeKind::Heptagon, SchedulerKind::Delay, 8, 100.0);
+        let hept2 = point(CodeKind::Heptagon, SchedulerKind::Delay, 2, 100.0);
+        assert!(hept8.mean_locality_percent > hept2.mean_locality_percent);
+        assert!(hept8.mean_locality_percent > 80.0);
+        // The optimal (max-matching) assignment exceeds 90% for both codes,
+        // the paper's headline number for mu = 8.
+        let pent8_mm = point(CodeKind::Pentagon, SchedulerKind::MaxMatching, 8, 100.0);
+        let hept8_mm = point(CodeKind::Heptagon, SchedulerKind::MaxMatching, 8, 100.0);
+        assert!(pent8_mm.mean_locality_percent > 90.0);
+        assert!(hept8_mm.mean_locality_percent > 90.0);
+    }
+
+    #[test]
+    fn max_matching_dominates_delay_scheduling() {
+        for code in [CodeKind::Pentagon, CodeKind::Heptagon] {
+            let mm = point(code, SchedulerKind::MaxMatching, 4, 100.0);
+            let ds = point(code, SchedulerKind::Delay, 4, 100.0);
+            assert!(
+                mm.mean_locality_percent >= ds.mean_locality_percent - 0.5,
+                "{code}: mm {} < ds {}",
+                mm.mean_locality_percent,
+                ds.mean_locality_percent
+            );
+        }
+    }
+
+    #[test]
+    fn result_metadata_is_populated() {
+        let r = point(CodeKind::TWO_REP, SchedulerKind::Peeling, 4, 75.0);
+        assert_eq!(r.map_slots, 4);
+        assert_eq!(r.tasks, 75);
+        assert_eq!(r.trials, 40);
+        assert!(r.mean_locality_percent > 0.0 && r.mean_locality_percent <= 100.0);
+        assert!(r.std_dev_percent >= 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline maximum bipartite matching between tasks and node slots.
+//!
+//! §3.2 uses maximum matching as the locality benchmark: it is the largest
+//! number of tasks that can possibly be placed on nodes holding their blocks,
+//! given the slot capacities. "From a practical point of view,
+//! maximum-matching algorithms are computationally intensive", which is why
+//! Hadoop uses delay scheduling instead — but for a simulator the instance
+//! sizes are tiny.
+//!
+//! The implementation is the classic augmenting-path (Kuhn) algorithm run on
+//! the capacity-expanded graph: each node contributes as many right-hand
+//! vertices as it has free slots.
+
+use std::collections::BTreeMap;
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use drc_cluster::NodeId;
+
+use crate::assignment::{Assignment, TaskAssignment};
+use crate::graph::TaskNodeGraph;
+use crate::job::TaskId;
+use crate::scheduler::{fill_remote, TaskScheduler};
+
+/// Maximum-matching task assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaxMatchingScheduler;
+
+impl TaskScheduler for MaxMatchingScheduler {
+    fn name(&self) -> &str {
+        "max-matching"
+    }
+
+    fn assign(
+        &self,
+        graph: &TaskNodeGraph,
+        capacities: &BTreeMap<NodeId, usize>,
+        rng: &mut dyn RngCore,
+    ) -> Assignment {
+        let mut capacities = capacities.clone();
+
+        // Build the capacity-expanded right-hand side: one vertex per free slot.
+        let mut slot_owner: Vec<NodeId> = Vec::new();
+        let mut node_slots: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        for (&node, &cap) in &capacities {
+            for _ in 0..cap {
+                node_slots.entry(node).or_default().push(slot_owner.len());
+                slot_owner.push(node);
+            }
+        }
+
+        // Adjacency: task -> candidate slot indices (all slots of its local nodes).
+        let mut adjacency: Vec<Vec<usize>> = Vec::with_capacity(graph.task_count());
+        for t in graph.tasks() {
+            let mut slots: Vec<usize> = t
+                .local_nodes
+                .iter()
+                .flat_map(|n| node_slots.get(n).cloned().unwrap_or_default())
+                .collect();
+            // Randomising candidate order makes ties unbiased across trials.
+            slots.shuffle(rng);
+            adjacency.push(slots);
+        }
+
+        // Kuhn's algorithm.
+        let mut slot_match: Vec<Option<TaskId>> = vec![None; slot_owner.len()];
+        let mut task_match: Vec<Option<usize>> = vec![None; graph.task_count()];
+        // Processing tasks in random order avoids systematic bias.
+        let mut order: Vec<usize> = (0..graph.task_count()).collect();
+        order.shuffle(rng);
+        for &task in &order {
+            let mut visited = vec![false; slot_owner.len()];
+            try_augment(task, &adjacency, &mut slot_match, &mut task_match, &mut visited);
+        }
+
+        // Emit local assignments from the matching.
+        let mut out: Vec<TaskAssignment> = Vec::with_capacity(graph.task_count());
+        let mut unmatched: Vec<TaskId> = Vec::new();
+        for (task_idx, slot) in task_match.iter().enumerate() {
+            let task = TaskId(task_idx);
+            match slot {
+                Some(s) => {
+                    let node = slot_owner[*s];
+                    *capacities.get_mut(&node).expect("node exists") -= 1;
+                    out.push(TaskAssignment {
+                        task,
+                        node,
+                        local: true,
+                    });
+                }
+                None => unmatched.push(task),
+            }
+        }
+        // Whatever could not be matched locally is spread over the remaining slots.
+        fill_remote(graph, &unmatched, &mut capacities, &mut out);
+        Assignment::new(out)
+    }
+}
+
+/// Attempts to find an augmenting path from `task`; returns `true` on success.
+fn try_augment(
+    task: usize,
+    adjacency: &[Vec<usize>],
+    slot_match: &mut Vec<Option<TaskId>>,
+    task_match: &mut Vec<Option<usize>>,
+    visited: &mut Vec<bool>,
+) -> bool {
+    for &slot in &adjacency[task] {
+        if visited[slot] {
+            continue;
+        }
+        visited[slot] = true;
+        let free = match slot_match[slot] {
+            None => true,
+            Some(other) => try_augment(other.0, adjacency, slot_match, task_match, visited),
+        };
+        if free {
+            slot_match[slot] = Some(TaskId(task));
+            task_match[task] = Some(slot);
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::MapTask;
+    use crate::scheduler::DelayScheduler;
+    use drc_cluster::{Cluster, ClusterSpec, PlacementMap, PlacementPolicy};
+    use drc_codes::CodeKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn graph_for(kind: CodeKind, tasks: usize, seed: u64, slots: usize) -> (TaskNodeGraph, BTreeMap<NodeId, usize>) {
+        let cluster = Cluster::new(ClusterSpec::simulation_25(slots));
+        let code = kind.build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let stripes = tasks.div_ceil(code.data_blocks());
+        let placement =
+            PlacementMap::place(code.as_ref(), &cluster, stripes, PlacementPolicy::Random, &mut rng)
+                .unwrap();
+        let map_tasks: Vec<MapTask> = placement
+            .data_blocks()
+            .into_iter()
+            .take(tasks)
+            .enumerate()
+            .map(|(i, block)| MapTask {
+                id: TaskId(i),
+                block,
+            })
+            .collect();
+        let graph = TaskNodeGraph::build(&map_tasks, &placement, &cluster);
+        let caps = graph.nodes().iter().map(|&n| (n, slots)).collect();
+        (graph, caps)
+    }
+
+    #[test]
+    fn matches_everything_when_capacity_is_ample() {
+        let (graph, caps) = graph_for(CodeKind::TWO_REP, 40, 1, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let a = MaxMatchingScheduler.assign(&graph, &caps, &mut rng);
+        assert_eq!(a.len(), 40);
+        assert!(a.validate(&graph, 8).is_none());
+        // 2-rep at 20% load: the optimum is full locality.
+        assert_eq!(a.locality_percent(), 100.0);
+    }
+
+    #[test]
+    fn never_below_delay_scheduling() {
+        // Maximum matching is the locality optimum; it must dominate the
+        // delay heuristic on the same instance.
+        for (kind, tasks) in [
+            (CodeKind::Pentagon, 100),
+            (CodeKind::Heptagon, 100),
+            (CodeKind::TWO_REP, 100),
+        ] {
+            let (graph, caps) = graph_for(kind, tasks, 23, 4);
+            let mut rng1 = ChaCha8Rng::seed_from_u64(5);
+            let mut rng2 = ChaCha8Rng::seed_from_u64(5);
+            let mm = MaxMatchingScheduler.assign(&graph, &caps, &mut rng1);
+            let ds = DelayScheduler::default().assign(&graph, &caps, &mut rng2);
+            assert!(
+                mm.local_tasks() >= ds.local_tasks(),
+                "{kind}: matching {} < delay {}",
+                mm.local_tasks(),
+                ds.local_tasks()
+            );
+            assert!(mm.validate(&graph, 4).is_none());
+        }
+    }
+
+    #[test]
+    fn respects_capacities_under_overload() {
+        let (graph, caps) = graph_for(CodeKind::Pentagon, 150, 3, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = MaxMatchingScheduler.assign(&graph, &caps, &mut rng);
+        // 25 nodes x 4 slots = 100 assignments max.
+        assert_eq!(a.len(), 100);
+        assert!(a.validate(&graph, 4).is_none());
+    }
+
+    #[test]
+    fn exact_optimum_on_a_hand_built_instance() {
+        // Two tasks share the only replica-holding node with one slot; the
+        // optimum places exactly one of them locally.
+        use drc_cluster::GlobalBlockId;
+        let cluster = Cluster::new(ClusterSpec::custom(3, 1, 1));
+        let code = CodeKind::Replication { replicas: 1 }.build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            2,
+            PlacementPolicy::RoundRobin,
+            &mut rng,
+        )
+        .unwrap();
+        // Both stripes land on node 0 and node 1 respectively under round-robin;
+        // craft tasks referencing stripe 0's block twice to force contention.
+        let block = GlobalBlockId { stripe: 0, block: 0 };
+        let tasks = vec![
+            MapTask { id: TaskId(0), block },
+            MapTask { id: TaskId(1), block },
+        ];
+        let graph = TaskNodeGraph::build(&tasks, &placement, &cluster);
+        let caps: BTreeMap<NodeId, usize> = cluster.nodes().map(|n| (n, 1)).collect();
+        let a = MaxMatchingScheduler.assign(&graph, &caps, &mut rng);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.local_tasks(), 1);
+    }
+}

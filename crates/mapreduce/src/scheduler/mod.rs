@@ -1,0 +1,134 @@
+//! Map-task schedulers.
+//!
+//! Three assignment strategies are evaluated in §3.2 of the paper:
+//!
+//! * [`DelayScheduler`] — Hadoop's production heuristic (Zaharia et al.,
+//!   EuroSys 2010): a node that cannot be given a local task is skipped a
+//!   bounded number of times before the scheduler settles for a remote task,
+//! * [`MaxMatchingScheduler`] — an offline maximum bipartite matching between
+//!   tasks and node slots, the locality upper bound used as a benchmark,
+//! * [`PeelingScheduler`] — the degree-guided peeling heuristic of Xie & Lu
+//!   (ISIT 2012), modified to handle the block concentration of the
+//!   pentagon/heptagon array codes.
+//!
+//! All schedulers consume the same [`TaskNodeGraph`] and produce an
+//! [`Assignment`]; tasks that cannot be placed locally are spread over the
+//! remaining slot capacity as remote tasks.
+
+mod delay;
+mod matching;
+mod peeling;
+
+use std::collections::BTreeMap;
+
+use rand::RngCore;
+
+use drc_cluster::NodeId;
+
+use crate::assignment::{Assignment, TaskAssignment};
+use crate::graph::TaskNodeGraph;
+use crate::job::TaskId;
+
+pub use delay::DelayScheduler;
+pub use matching::MaxMatchingScheduler;
+pub use peeling::PeelingScheduler;
+
+/// A map-task scheduler: assigns the tasks of a [`TaskNodeGraph`] to nodes,
+/// subject to per-node slot capacities.
+pub trait TaskScheduler: std::fmt::Debug + Send + Sync {
+    /// Short human-readable name (used in experiment output).
+    fn name(&self) -> &str;
+
+    /// Assigns as many tasks as the capacities allow.
+    ///
+    /// Implementations must never assign a task twice nor exceed any node's
+    /// capacity; tasks left over when every slot is full remain unassigned.
+    fn assign(
+        &self,
+        graph: &TaskNodeGraph,
+        capacities: &BTreeMap<NodeId, usize>,
+        rng: &mut dyn RngCore,
+    ) -> Assignment;
+}
+
+/// Which scheduler to use, for experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum SchedulerKind {
+    /// Hadoop's delay scheduling with the given maximum number of skipped
+    /// heartbeats (`None` = one full sweep of the cluster).
+    Delay,
+    /// Offline maximum bipartite matching.
+    MaxMatching,
+    /// Degree-guided peeling.
+    Peeling,
+}
+
+impl SchedulerKind {
+    /// Builds the scheduler with its default parameters.
+    pub fn build(&self) -> Box<dyn TaskScheduler> {
+        match self {
+            SchedulerKind::Delay => Box::new(DelayScheduler::default()),
+            SchedulerKind::MaxMatching => Box::new(MaxMatchingScheduler::default()),
+            SchedulerKind::Peeling => Box::new(PeelingScheduler::default()),
+        }
+    }
+
+    /// The three schedulers simulated for Fig. 3.
+    pub fn all() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::Delay,
+            SchedulerKind::MaxMatching,
+            SchedulerKind::Peeling,
+        ]
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerKind::Delay => write!(f, "delay-scheduling"),
+            SchedulerKind::MaxMatching => write!(f, "max-matching"),
+            SchedulerKind::Peeling => write!(f, "peeling"),
+        }
+    }
+}
+
+/// Assigns the remaining (non-local) tasks to whatever slots are left,
+/// spreading them over the least-loaded nodes first. Shared by all
+/// schedulers.
+pub(crate) fn fill_remote(
+    graph: &TaskNodeGraph,
+    pending: &[TaskId],
+    capacities: &mut BTreeMap<NodeId, usize>,
+    out: &mut Vec<TaskAssignment>,
+) {
+    for &task in pending {
+        // Pick the node with the largest remaining capacity (ties broken by id).
+        let Some((&node, _)) = capacities
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .max_by_key(|(n, &c)| (c, std::cmp::Reverse(n.0)))
+        else {
+            return; // no capacity anywhere; leave the rest unassigned
+        };
+        *capacities.get_mut(&node).expect("node exists") -= 1;
+        let local = graph.task(task).local_nodes.contains(&node);
+        out.push(TaskAssignment { task, node, local });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_kinds_build_and_display() {
+        for kind in SchedulerKind::all() {
+            let s = kind.build();
+            assert!(!s.name().is_empty());
+            assert!(!kind.to_string().is_empty());
+        }
+        assert_eq!(SchedulerKind::all().len(), 3);
+    }
+}

@@ -1,0 +1,232 @@
+//! The degree-guided peeling heuristic of Xie & Lu (ISIT 2012), modified for
+//! array codes.
+//!
+//! The idea: tasks whose block survives on few candidate nodes are the ones
+//! that lose locality when scheduled late, so they should be *peeled* first —
+//! a task with a single remaining candidate is assigned there immediately;
+//! otherwise the scheduler picks a most-constrained task and sends it to its
+//! least-contended candidate node. The modification needed for the
+//! pentagon/heptagon codes is to track per-node remaining slot capacity
+//! rather than assuming one block per node, because these codes concentrate
+//! several blocks of a stripe on the same node (Fig. 2); the capacity
+//! bookkeeping below handles that directly.
+
+use std::collections::BTreeMap;
+
+use rand::RngCore;
+
+use drc_cluster::NodeId;
+
+use crate::assignment::{Assignment, TaskAssignment};
+use crate::graph::TaskNodeGraph;
+use crate::job::TaskId;
+use crate::scheduler::{fill_remote, TaskScheduler};
+
+/// Degree-guided peeling task assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeelingScheduler;
+
+impl TaskScheduler for PeelingScheduler {
+    fn name(&self) -> &str {
+        "peeling"
+    }
+
+    fn assign(
+        &self,
+        graph: &TaskNodeGraph,
+        capacities: &BTreeMap<NodeId, usize>,
+        rng: &mut dyn RngCore,
+    ) -> Assignment {
+        let _ = rng; // deterministic given the graph; kept for interface symmetry
+        let mut capacities = capacities.clone();
+        let mut out: Vec<TaskAssignment> = Vec::with_capacity(graph.task_count());
+        // remaining[t] = candidate nodes of task t that still have capacity.
+        let mut remaining: Vec<Option<Vec<NodeId>>> = graph
+            .tasks()
+            .iter()
+            .map(|t| {
+                Some(
+                    t.local_nodes
+                        .iter()
+                        .copied()
+                        .filter(|n| capacities.get(n).copied().unwrap_or(0) > 0)
+                        .collect(),
+                )
+            })
+            .collect();
+        // node -> pending local demand (for picking the least-contended node).
+        let mut node_demand: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for cand in remaining.iter().flatten() {
+            for &n in cand {
+                *node_demand.entry(n).or_insert(0) += 1;
+            }
+        }
+
+        let mut leftovers: Vec<TaskId> = Vec::new();
+        loop {
+            // Find the unassigned task with the smallest positive degree.
+            let mut best: Option<(usize, usize)> = None; // (degree, task index)
+            for (idx, cand) in remaining.iter().enumerate() {
+                if let Some(c) = cand {
+                    if c.is_empty() {
+                        continue;
+                    }
+                    let d = c.len();
+                    if best.map_or(true, |(bd, _)| d < bd) {
+                        best = Some((d, idx));
+                        if d == 1 {
+                            break; // cannot do better than a forced task
+                        }
+                    }
+                }
+            }
+            let Some((_, task_idx)) = best else {
+                break;
+            };
+            let candidates = remaining[task_idx].take().expect("candidate list exists");
+            // Degree-guided choice: the candidate node with the fewest other
+            // pending local tasks per unit of remaining capacity.
+            let node = candidates
+                .iter()
+                .copied()
+                .filter(|n| capacities.get(n).copied().unwrap_or(0) > 0)
+                .min_by_key(|n| {
+                    let demand = node_demand.get(n).copied().unwrap_or(0);
+                    let cap = capacities.get(n).copied().unwrap_or(0).max(1);
+                    // Scale to compare demand-per-slot without floating point.
+                    (demand * 1024 / cap, n.0)
+                });
+            let Some(node) = node else {
+                // All candidates filled up in the meantime; defer to remote fill.
+                leftovers.push(TaskId(task_idx));
+                continue;
+            };
+            out.push(TaskAssignment {
+                task: TaskId(task_idx),
+                node,
+                local: true,
+            });
+            // Update bookkeeping.
+            for &n in &candidates {
+                if let Some(d) = node_demand.get_mut(&n) {
+                    *d = d.saturating_sub(1);
+                }
+            }
+            let cap = capacities.get_mut(&node).expect("node exists");
+            *cap -= 1;
+            if *cap == 0 {
+                // Remove the exhausted node from every remaining candidate list.
+                for cand in remaining.iter_mut().flatten() {
+                    cand.retain(|&n| n != node);
+                }
+            }
+        }
+        // Tasks with no (remaining) local candidates are assigned remotely.
+        for (idx, cand) in remaining.iter().enumerate() {
+            if cand.is_some() {
+                leftovers.push(TaskId(idx));
+            }
+        }
+        leftovers.sort_unstable();
+        leftovers.dedup();
+        fill_remote(graph, &leftovers, &mut capacities, &mut out);
+        Assignment::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::MapTask;
+    use crate::scheduler::{DelayScheduler, MaxMatchingScheduler};
+    use drc_cluster::{Cluster, ClusterSpec, PlacementMap, PlacementPolicy};
+    use drc_codes::CodeKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn instance(
+        kind: CodeKind,
+        tasks: usize,
+        slots: usize,
+        seed: u64,
+    ) -> (TaskNodeGraph, BTreeMap<NodeId, usize>) {
+        let cluster = Cluster::new(ClusterSpec::simulation_25(slots));
+        let code = kind.build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let stripes = tasks.div_ceil(code.data_blocks());
+        let placement =
+            PlacementMap::place(code.as_ref(), &cluster, stripes, PlacementPolicy::Random, &mut rng)
+                .unwrap();
+        let map_tasks: Vec<MapTask> = placement
+            .data_blocks()
+            .into_iter()
+            .take(tasks)
+            .enumerate()
+            .map(|(i, block)| MapTask {
+                id: TaskId(i),
+                block,
+            })
+            .collect();
+        let graph = TaskNodeGraph::build(&map_tasks, &placement, &cluster);
+        let caps = graph.nodes().iter().map(|&n| (n, slots)).collect();
+        (graph, caps)
+    }
+
+    #[test]
+    fn produces_valid_assignments() {
+        for kind in [CodeKind::Pentagon, CodeKind::Heptagon, CodeKind::TWO_REP] {
+            let (graph, caps) = instance(kind, 100, 4, 31);
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let a = PeelingScheduler.assign(&graph, &caps, &mut rng);
+            assert_eq!(a.len(), 100, "{kind}");
+            assert!(a.validate(&graph, 4).is_none(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn peeling_sits_between_delay_and_matching_on_average() {
+        // Fig. 3 (bottom-right): peeling improves on delay scheduling and is
+        // bounded by maximum matching. Individual instances can tie, so check
+        // the aggregate over several seeds.
+        let mut delay_total = 0usize;
+        let mut peel_total = 0usize;
+        let mut match_total = 0usize;
+        for seed in 0..10u64 {
+            let (graph, caps) = instance(CodeKind::Pentagon, 100, 4, seed);
+            let mut r1 = ChaCha8Rng::seed_from_u64(seed);
+            let mut r2 = ChaCha8Rng::seed_from_u64(seed);
+            let mut r3 = ChaCha8Rng::seed_from_u64(seed);
+            delay_total += DelayScheduler::default().assign(&graph, &caps, &mut r1).local_tasks();
+            peel_total += PeelingScheduler.assign(&graph, &caps, &mut r2).local_tasks();
+            match_total += MaxMatchingScheduler.assign(&graph, &caps, &mut r3).local_tasks();
+        }
+        assert!(
+            peel_total >= delay_total,
+            "peeling {peel_total} < delay {delay_total}"
+        );
+        assert!(
+            match_total >= peel_total,
+            "matching {match_total} < peeling {peel_total}"
+        );
+    }
+
+    #[test]
+    fn forced_tasks_are_peeled_first() {
+        // With a single slot per node, degree-1 tasks must keep their only
+        // candidate; peeling guarantees that.
+        let (graph, caps) = instance(CodeKind::TWO_REP, 25, 1, 17);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = PeelingScheduler.assign(&graph, &caps, &mut rng);
+        assert_eq!(a.len(), 25);
+        assert!(a.validate(&graph, 1).is_none());
+    }
+
+    #[test]
+    fn handles_overload_gracefully() {
+        let (graph, caps) = instance(CodeKind::Heptagon, 140, 4, 19);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = PeelingScheduler.assign(&graph, &caps, &mut rng);
+        assert_eq!(a.len(), 100);
+        assert!(a.validate(&graph, 4).is_none());
+    }
+}

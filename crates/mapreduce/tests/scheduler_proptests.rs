@@ -1,0 +1,119 @@
+//! Property-based tests on the task schedulers: every scheduler must produce
+//! valid assignments, and the three schedulers must respect their known
+//! quality ordering in aggregate.
+
+use std::collections::BTreeMap;
+
+use drc_cluster::{Cluster, ClusterSpec, NodeId, PlacementMap, PlacementPolicy};
+use drc_codes::CodeKind;
+use drc_mapreduce::{MapTask, SchedulerKind, TaskId, TaskNodeGraph};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn paper_code() -> impl Strategy<Value = CodeKind> {
+    prop_oneof![
+        Just(CodeKind::TWO_REP),
+        Just(CodeKind::THREE_REP),
+        Just(CodeKind::Pentagon),
+        Just(CodeKind::Heptagon),
+        Just(CodeKind::HeptagonLocal),
+    ]
+}
+
+fn build_instance(
+    code: CodeKind,
+    nodes: usize,
+    slots: usize,
+    tasks: usize,
+    seed: u64,
+) -> (TaskNodeGraph, BTreeMap<NodeId, usize>) {
+    let cluster = Cluster::new(ClusterSpec::custom(nodes, 3, slots));
+    let built = code.build().unwrap();
+    let stripes = tasks.div_ceil(built.data_blocks()).max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let placement = PlacementMap::place(
+        built.as_ref(),
+        &cluster,
+        stripes,
+        PlacementPolicy::Random,
+        &mut rng,
+    )
+    .unwrap();
+    let map_tasks: Vec<MapTask> = placement
+        .data_blocks()
+        .into_iter()
+        .take(tasks)
+        .enumerate()
+        .map(|(i, block)| MapTask {
+            id: TaskId(i),
+            block,
+        })
+        .collect();
+    let graph = TaskNodeGraph::build(&map_tasks, &placement, &cluster);
+    let caps = graph.nodes().iter().map(|&n| (n, slots)).collect();
+    (graph, caps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every scheduler produces a valid assignment: no duplicate tasks, no
+    /// over-capacity nodes, correct locality flags, and full coverage when
+    /// capacity allows.
+    #[test]
+    fn schedulers_produce_valid_assignments(
+        code in paper_code(),
+        slots in 1usize..5,
+        tasks in 1usize..120,
+        seed in any::<u64>(),
+    ) {
+        // A cluster large enough for every paper code's stripe (>= 15 nodes).
+        let (graph, caps) = build_instance(code, 25, slots, tasks, seed);
+        let capacity_total: usize = caps.values().sum();
+        for kind in SchedulerKind::all() {
+            let scheduler = kind.build();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
+            let assignment = scheduler.assign(&graph, &caps, &mut rng);
+            prop_assert!(assignment.validate(&graph, slots).is_none(), "{kind} invalid");
+            prop_assert_eq!(assignment.len(), tasks.min(capacity_total), "{} wrong size", kind);
+            prop_assert!(assignment.locality_percent() >= 0.0);
+            prop_assert!(assignment.locality_percent() <= 100.0);
+        }
+    }
+
+    /// Maximum matching never places fewer tasks locally than the heuristics,
+    /// on any instance.
+    #[test]
+    fn matching_is_an_upper_bound(
+        code in paper_code(),
+        slots in 1usize..5,
+        tasks in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let (graph, caps) = build_instance(code, 25, slots, tasks, seed);
+        let mut rng_m = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng_d = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng_p = ChaCha8Rng::seed_from_u64(seed);
+        let mm = SchedulerKind::MaxMatching.build().assign(&graph, &caps, &mut rng_m);
+        let ds = SchedulerKind::Delay.build().assign(&graph, &caps, &mut rng_d);
+        let peel = SchedulerKind::Peeling.build().assign(&graph, &caps, &mut rng_p);
+        prop_assert!(mm.local_tasks() >= ds.local_tasks());
+        prop_assert!(mm.local_tasks() >= peel.local_tasks());
+    }
+
+    /// With ample slots (capacity >= tasks on every replica holder) every
+    /// 2-replica code instance can be scheduled fully locally by matching.
+    #[test]
+    fn matching_achieves_full_locality_with_ample_capacity(
+        tasks in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let (graph, caps) = build_instance(CodeKind::TWO_REP, 25, 8, tasks, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mm = SchedulerKind::MaxMatching.build().assign(&graph, &caps, &mut rng);
+        // 8 slots x 25 nodes = 200 >> tasks, and every task has 2 candidates:
+        // by Hall's theorem a perfect local matching exists.
+        prop_assert_eq!(mm.local_tasks(), tasks);
+    }
+}

@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors produced by the reliability models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReliabilityError {
+    /// The linear system for the Markov chain is singular.
+    SingularSystem,
+    /// A linear system had inconsistent dimensions.
+    DimensionMismatch {
+        /// Number of rows in the coefficient matrix.
+        rows: usize,
+        /// Number of columns in the coefficient matrix.
+        cols: usize,
+        /// Length of the right-hand side.
+        rhs: usize,
+    },
+    /// The code cannot form a meaningful reliability model (e.g. it tolerates
+    /// no failures at all).
+    DegenerateModel {
+        /// Name of the offending code.
+        code: String,
+        /// Why the model is degenerate.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReliabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReliabilityError::SingularSystem => write!(f, "singular linear system"),
+            ReliabilityError::DimensionMismatch { rows, cols, rhs } => write!(
+                f,
+                "dimension mismatch: {rows}x{cols} matrix with rhs of length {rhs}"
+            ),
+            ReliabilityError::DegenerateModel { code, reason } => {
+                write!(f, "degenerate reliability model for {code}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReliabilityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            ReliabilityError::SingularSystem,
+            ReliabilityError::DimensionMismatch { rows: 1, cols: 2, rhs: 3 },
+            ReliabilityError::DegenerateModel { code: "1-rep".into(), reason: "no tolerance".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! A small dense linear solver over `f64`, used to compute expected
+//! absorption times of the MTTDL Markov chains.
+
+use crate::ReliabilityError;
+
+/// Solves `a x = b` by Gaussian elimination with partial pivoting.
+///
+/// `a` is given in row-major order as `n` rows of `n` coefficients.
+///
+/// # Errors
+///
+/// Returns [`ReliabilityError::SingularSystem`] if the matrix is (numerically)
+/// singular, and [`ReliabilityError::DimensionMismatch`] if the shapes are
+/// inconsistent.
+pub fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, ReliabilityError> {
+    let n = b.len();
+    if a.len() != n || a.iter().any(|row| row.len() != n) {
+        return Err(ReliabilityError::DimensionMismatch {
+            rows: a.len(),
+            cols: a.first().map(Vec::len).unwrap_or(0),
+            rhs: n,
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    // Augmented working copy.
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivoting.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty range");
+        if m[pivot][col].abs() < 1e-300 {
+            return Err(ReliabilityError::SingularSystem);
+        }
+        m.swap(col, pivot);
+        let diag = m[col][col];
+        for c in col..=n {
+            m[col][c] /= diag;
+        }
+        for r in 0..n {
+            if r != col && m[r][col] != 0.0 {
+                let factor = m[r][col];
+                for c in col..=n {
+                    m[r][c] -= factor * m[col][c];
+                }
+            }
+        }
+    }
+    Ok(m.into_iter().map(|row| row[n]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_system() {
+        // x + y = 3, x - y = 1 => x = 2, y = 1.
+        let a = vec![vec![1.0, 1.0], vec![1.0, -1.0]];
+        let x = solve_linear(&a, &[3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_with_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 2.0, 1.0], vec![1.0, 1.0, 1.0], vec![2.0, 0.0, 3.0]];
+        let b = [5.0, 6.0, 13.0];
+        let x = solve_linear(&a, &b).unwrap();
+        for (row, &rhs) in a.iter().zip(&b) {
+            let lhs: f64 = row.iter().zip(&x).map(|(c, v)| c * v).sum();
+            assert!((lhs - rhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn detects_singular_and_mismatched_systems() {
+        let singular = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert_eq!(
+            solve_linear(&singular, &[1.0, 2.0]),
+            Err(ReliabilityError::SingularSystem)
+        );
+        let a = vec![vec![1.0, 2.0]];
+        assert!(matches!(
+            solve_linear(&a, &[1.0, 2.0]),
+            Err(ReliabilityError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_system_is_trivially_solved() {
+        assert_eq!(solve_linear(&[], &[]).unwrap(), Vec::<f64>::new());
+    }
+}

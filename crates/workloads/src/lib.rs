@@ -1,0 +1,18 @@
+//! Workload generators and load sweeps.
+//!
+//! §4 of the paper runs the Terasort benchmark "at various load points (from
+//! 25% to 100%)". This crate turns a *(cluster, code, load)* triple into a
+//! concrete [`JobSpec`](drc_mapreduce::JobSpec) over placed HDFS blocks, so
+//! the same workload definition drives the locality simulations, the
+//! execution engine and the benchmarks. Besides Terasort it provides two
+//! other canonical MapReduce workloads (WordCount-like and Grep-like) for the
+//! broader evaluation the paper lists as future work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod load;
+mod workload;
+
+pub use load::{fig3_loads, setup1_loads, setup2_loads, LoadPoint};
+pub use workload::{provision_workload, ProvisionedWorkload, WorkloadKind};

@@ -1,0 +1,75 @@
+//! Degraded-cluster walk-through on the simulated HDFS.
+//!
+//! Writes a file protected by the heptagon-local code, kills three nodes of
+//! one heptagon, reads the file back through degraded reads, lets the
+//! RaidNode repair the lost replicas, and prints the network traffic of every
+//! step.
+//!
+//! Run with: `cargo run --release --example degraded_cluster`
+
+use drc_core::cluster::ClusterSpec;
+use drc_core::codes::CodeKind;
+use drc_core::hdfs::DistributedFileSystem;
+use drc_core::DrcError;
+
+fn main() -> Result<(), DrcError> {
+    // A 25-node cluster with 1 MiB blocks keeps the walk-through instant.
+    let mut spec = ClusterSpec::simulation_25(4);
+    spec.block_size_mb = 1;
+    let mut fs = DistributedFileSystem::new(spec, 2014);
+
+    // Write one heptagon-local file (40 data blocks per stripe) and one
+    // pentagon file for comparison.
+    let payload: Vec<u8> = (0..40 * 1024 * 1024u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 16) as u8)
+        .collect();
+    let hl_file = fs.write_file("/warehouse/part-00000", &payload, CodeKind::HeptagonLocal)?;
+    let pent_file = fs.write_file(
+        "/warehouse/part-00001",
+        &payload[..9 * 1024 * 1024],
+        CodeKind::Pentagon,
+    )?;
+    let after_write = fs.stats();
+    println!(
+        "wrote 2 files: {} stored blocks, {:.1} MiB stored, {:.1} MiB written over the network",
+        after_write.stored_blocks,
+        after_write.stored_bytes as f64 / (1024.0 * 1024.0),
+        after_write.write_network_bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    // Kill three nodes hosting the heptagon-local file (its full tolerance).
+    let meta = fs.namenode().file(hl_file)?.clone();
+    let victims: Vec<_> = meta.placement.stripes()[0].nodes[0..3].to_vec();
+    for &v in &victims {
+        fs.fail_node_permanently(v);
+    }
+    println!("permanently failed nodes {victims:?}");
+
+    // Reads still succeed via degraded reads.
+    let read_back = fs.read_file(hl_file)?;
+    assert_eq!(read_back, payload);
+    let pent_back = fs.read_file(pent_file)?;
+    assert_eq!(pent_back, &payload[..9 * 1024 * 1024]);
+    let after_read = fs.stats();
+    println!(
+        "read both files back correctly; read path moved {:.1} MiB over the network",
+        after_read.read_network_bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    // The RaidNode repairs the wiped nodes.
+    let report = fs.repair_nodes(&victims)?;
+    println!(
+        "RaidNode repaired {} stripes / {} blocks using {:.1} MiB of repair traffic \
+         ({} unrecoverable stripes)",
+        report.stripes_repaired,
+        report.blocks_restored,
+        report.network_bytes as f64 / (1024.0 * 1024.0),
+        report.unrecoverable_stripes,
+    );
+
+    // After repair, reads are replica reads again and the data is intact.
+    let final_read = fs.read_file(hl_file)?;
+    assert_eq!(final_read, payload);
+    println!("post-repair read verified byte-for-byte");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Locality study: a compact version of the paper's Fig. 3.
+//!
+//! Sweeps load from 25% to 100% on the 25-node simulation cluster and prints
+//! the map-task data locality of 2-rep, pentagon and heptagon under the delay
+//! scheduler, the maximum-matching benchmark and the peeling algorithm, for a
+//! chosen number of map slots per node.
+//!
+//! Run with: `cargo run --release --example locality_study [-- <map_slots>]`
+
+use drc_core::codes::CodeKind;
+use drc_core::mapreduce::{simulate_locality, LocalityConfig, SchedulerKind};
+use drc_core::workloads::fig3_loads;
+use drc_core::{DrcError, TextTable};
+
+fn main() -> Result<(), DrcError> {
+    let map_slots: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let trials = 100;
+    println!(
+        "Map-task data locality on a 25-node cluster with {map_slots} map slots per node \
+         ({trials} random placements per point)\n"
+    );
+
+    for scheduler in [
+        SchedulerKind::Delay,
+        SchedulerKind::MaxMatching,
+        SchedulerKind::Peeling,
+    ] {
+        let mut table = TextTable::new(
+            format!("{scheduler}"),
+            &["Code", "25% load", "50% load", "75% load", "100% load"],
+        );
+        for code in [CodeKind::TWO_REP, CodeKind::Pentagon, CodeKind::Heptagon] {
+            let mut cells = vec![code.to_string()];
+            for load in fig3_loads() {
+                let result = simulate_locality(
+                    &LocalityConfig::new(code, scheduler, map_slots, load.percent)
+                        .with_trials(trials),
+                )?;
+                cells.push(format!("{:.1}%", result.mean_locality_percent));
+            }
+            table.push_row(cells);
+        }
+        println!("{table}");
+    }
+    println!(
+        "Reading the tables: the pentagon and heptagon codes concentrate 4 and 6 blocks of a \
+         stripe on each node, so they lose locality at low slot counts; the loss shrinks as the \
+         number of map slots grows, and better schedulers (matching, peeling) recover part of it."
+    );
+    Ok(())
+}

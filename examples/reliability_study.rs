@@ -1,0 +1,82 @@
+//! Reliability study: Table 1 plus a sensitivity analysis.
+//!
+//! Reproduces the paper's Table 1 (storage overhead, code length, MTTDL) with
+//! the default failure/repair calibration, then shows how the MTTDL of each
+//! code responds to the repair time, and cross-checks the Markov model
+//! against Monte-Carlo simulation with artificially failure-prone parameters.
+//!
+//! Run with: `cargo run --release --example reliability_study`
+
+use drc_core::codes::CodeKind;
+use drc_core::experiments::table1::run_table1;
+use drc_core::reliability::{group_mttdl, monte_carlo_mttdl, FatalityModel, ReliabilityParams};
+use drc_core::{scientific, DrcError, TextTable};
+
+fn main() -> Result<(), DrcError> {
+    // 1. Table 1 with the default calibration.
+    let table1 = run_table1(&ReliabilityParams::default())?;
+    println!("{table1}");
+
+    // 2. Sensitivity: how MTTDL scales with repair time.
+    let mut sensitivity = TextTable::new(
+        "MTTDL (years) vs repair time",
+        &["Code", "0.5 h", "1.2 h", "6 h", "24 h"],
+    );
+    for kind in CodeKind::table1_set() {
+        let code = kind.build()?;
+        let mut cells = vec![kind.to_string()];
+        for hours in [0.5, 1.2, 6.0, 24.0] {
+            let params = ReliabilityParams {
+                node_repair_hours: hours,
+                ..ReliabilityParams::default()
+            };
+            cells.push(scientific(group_mttdl(code.as_ref(), &params)?.mttdl_years));
+        }
+        sensitivity.push_row(cells);
+    }
+    println!("{sensitivity}");
+
+    // 3. Pattern-aware vs worst-case models.
+    let mut models = TextTable::new(
+        "Worst-case vs pattern-aware fatality model (years)",
+        &["Code", "Worst-case", "Pattern-aware"],
+    );
+    for kind in [CodeKind::RAID_M_10_9, CodeKind::HeptagonLocal, CodeKind::Pentagon] {
+        let code = kind.build()?;
+        let worst = group_mttdl(code.as_ref(), &ReliabilityParams::default())?;
+        let aware = group_mttdl(
+            code.as_ref(),
+            &ReliabilityParams::default().with_fatality_model(FatalityModel::PatternAware),
+        )?;
+        models.push_row(vec![
+            kind.to_string(),
+            scientific(worst.mttdl_years),
+            scientific(aware.mttdl_years),
+        ]);
+    }
+    println!("{models}");
+
+    // 4. Monte-Carlo cross-check with failure-prone parameters.
+    let fast = ReliabilityParams {
+        node_mttf_hours: 100.0,
+        node_repair_hours: 40.0,
+        ..ReliabilityParams::default()
+    };
+    let mut check = TextTable::new(
+        "Markov vs Monte-Carlo (failure-prone parameters, hours)",
+        &["Code", "Markov", "Monte-Carlo", "Std error"],
+    );
+    for kind in [CodeKind::THREE_REP, CodeKind::Pentagon, CodeKind::Heptagon] {
+        let code = kind.build()?;
+        let markov = group_mttdl(code.as_ref(), &fast)?;
+        let mc = monte_carlo_mttdl(code.as_ref(), &fast, 3000, 7);
+        check.push_row(vec![
+            kind.to_string(),
+            format!("{:.1}", markov.mttdl_hours),
+            format!("{:.1}", mc.mean_hours),
+            format!("{:.1}", mc.std_error_hours),
+        ]);
+    }
+    println!("{check}");
+    Ok(())
+}

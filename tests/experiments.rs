@@ -1,0 +1,137 @@
+//! Integration tests for the experiment drivers: every table/figure driver
+//! runs, produces structurally-complete output, renders to text, and
+//! round-trips through JSON (the format the `repro --json` flag emits).
+
+use drc_core::codes::CodeKind;
+use drc_core::experiments::{
+    degraded_mr::run_degraded_mr,
+    encoding::run_encoding,
+    fig3::{run_fig3, Fig3Data},
+    fig4::{run_fig4, TerasortSweep},
+    fig5::run_fig5,
+    repair_bandwidth::{run_repair_bandwidth, RepairBandwidthTable},
+    table1::{run_table1, Table1},
+    Effort,
+};
+use drc_core::mapreduce::SchedulerKind;
+use drc_core::reliability::ReliabilityParams;
+
+#[test]
+fn table1_serialises_and_renders() {
+    let table = run_table1(&ReliabilityParams::default()).unwrap();
+    let json = serde_json::to_string(&table).unwrap();
+    let back: Table1 = serde_json::from_str(&json).unwrap();
+    assert_eq!(table, back);
+    let text = table.to_string();
+    for code in CodeKind::table1_set() {
+        assert!(text.contains(&code.to_string()), "missing {code} in rendering");
+    }
+}
+
+#[test]
+fn repair_bandwidth_serialises_and_covers_all_codes() {
+    let table = run_repair_bandwidth().unwrap();
+    assert_eq!(table.rows.len(), 7); // 2-rep + the six Table 1 codes
+    let json = serde_json::to_string(&table).unwrap();
+    let back: RepairBandwidthTable = serde_json::from_str(&json).unwrap();
+    assert_eq!(table, back);
+}
+
+#[test]
+fn fig3_data_is_complete_and_serialisable() {
+    let data = run_fig3(Effort::Quick).unwrap();
+    let json = serde_json::to_string(&data).unwrap();
+    let back: Fig3Data = serde_json::from_str(&json).unwrap();
+    assert_eq!(data.points.len(), back.points.len());
+    // Every (mu, code, load) combination exists for the delay scheduler.
+    for mu in [2usize, 4, 8] {
+        for code in CodeKind::fig3_set() {
+            for load in [25.0, 50.0, 75.0, 100.0] {
+                assert!(
+                    data.point(mu, SchedulerKind::Delay, code, load).is_some(),
+                    "missing point mu={mu} {code} load={load}"
+                );
+            }
+        }
+    }
+    // Locality percentages are valid percentages.
+    for p in &data.points {
+        assert!(p.mean_locality_percent >= 0.0 && p.mean_locality_percent <= 100.0);
+        assert!(p.std_dev_percent >= 0.0);
+        assert!(p.trials > 0);
+    }
+}
+
+#[test]
+fn fig4_and_fig5_are_consistent_with_their_setups() {
+    let fig4 = run_fig4(Effort::Quick).unwrap();
+    let fig5 = run_fig5(Effort::Quick).unwrap();
+    assert!(fig4.setup.contains("setup1"));
+    assert!(fig5.setup.contains("setup2"));
+    // Set-up 1 sweeps 4 codes over 3 loads; set-up 2 sweeps 3 codes over 4 loads.
+    assert_eq!(fig4.points.len(), 12);
+    assert_eq!(fig5.points.len(), 12);
+    // The heptagon is only measured on set-up 1 (like the paper).
+    assert!(fig5.point(CodeKind::Heptagon, 100.0).is_none());
+    // JSON round-trip preserves the structure (float comparison with a
+    // tolerance: serialisation may drop the last ulp).
+    let json = serde_json::to_string(&fig4).unwrap();
+    let back: TerasortSweep = serde_json::from_str(&json).unwrap();
+    assert_eq!(fig4.points.len(), back.points.len());
+    for (a, b) in fig4.points.iter().zip(&back.points) {
+        assert_eq!(a.code, b.code);
+        assert!((a.job_time_s - b.job_time_s).abs() < 1e-6);
+        assert!((a.network_traffic_gb - b.network_traffic_gb).abs() < 1e-6);
+        assert!((a.data_locality_percent - b.data_locality_percent).abs() < 1e-6);
+    }
+    // Input volume grows with load, so traffic at 100% exceeds the lowest load
+    // for the same code, for both figures.
+    for sweep in [&fig4, &fig5] {
+        let codes: Vec<CodeKind> = sweep.points.iter().map(|p| p.code).collect();
+        for code in codes {
+            let min_load = sweep
+                .points
+                .iter()
+                .filter(|p| p.code == code)
+                .map(|p| p.load_percent)
+                .fold(f64::INFINITY, f64::min);
+            let lo = sweep.point(code, min_load).unwrap();
+            let hi = sweep.point(code, 100.0).unwrap();
+            assert!(hi.network_traffic_gb >= lo.network_traffic_gb);
+            assert!(hi.job_time_s >= lo.job_time_s * 0.9);
+        }
+    }
+}
+
+#[test]
+fn encoding_report_scales_with_parity_work() {
+    let report = run_encoding(32 * 1024, 4).unwrap();
+    let row = |kind: CodeKind| report.rows.iter().find(|r| r.code == kind).unwrap();
+    // Replication does no parity work; coded schemes do.
+    assert_eq!(row(CodeKind::THREE_REP).stripe_parity_bytes, 0);
+    assert!(row(CodeKind::HeptagonLocal).stripe_parity_bytes > row(CodeKind::Pentagon).stripe_parity_bytes);
+    // Throughput numbers are positive and the report renders.
+    assert!(report.rows.iter().all(|r| r.throughput_mb_per_s > 0.0));
+    assert!(report.to_string().contains("Encoding throughput"));
+}
+
+#[test]
+fn degraded_mr_report_counts_failures_sensibly() {
+    let report = run_degraded_mr(Effort::Quick).unwrap();
+    // Degraded reads can only appear when nodes have failed.
+    for p in &report.points {
+        if p.failed_nodes == 0 {
+            assert_eq!(p.degraded_reads, 0.0);
+            assert_eq!(p.failed_job_fraction, 0.0);
+        }
+        assert!(p.data_locality_percent <= 100.0);
+    }
+    // The report includes every Fig. 4 code at 0, 1 and 2 failures.
+    for code in CodeKind::fig4_set() {
+        for failed in [0usize, 1, 2] {
+            assert!(report.point(code, failed).is_some());
+        }
+    }
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("failed_nodes"));
+}
