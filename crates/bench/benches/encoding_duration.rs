@@ -13,7 +13,10 @@ fn bench_encoding(c: &mut Criterion) {
 
     let mut kinds = vec![CodeKind::TWO_REP];
     kinds.extend(CodeKind::table1_set());
-    kinds.push(CodeKind::ReedSolomon { data: 10, parity: 4 });
+    kinds.push(CodeKind::ReedSolomon {
+        data: 10,
+        parity: 4,
+    });
     for kind in kinds {
         let code = kind.build().expect("builds");
         let k = code.data_blocks();
@@ -35,7 +38,11 @@ fn bench_decoding(c: &mut Criterion) {
     let mut group = c.benchmark_group("decoding_after_two_failures");
     group.sample_size(20);
 
-    for kind in [CodeKind::Pentagon, CodeKind::Heptagon, CodeKind::HeptagonLocal] {
+    for kind in [
+        CodeKind::Pentagon,
+        CodeKind::Heptagon,
+        CodeKind::HeptagonLocal,
+    ] {
         let code = kind.build().expect("builds");
         let k = code.data_blocks();
         let data: Vec<Vec<u8>> = (0..k)

@@ -18,10 +18,9 @@ fn bench_fig4_jobs(c: &mut Criterion) {
     for kind in CodeKind::fig4_set() {
         let code = kind.build().expect("builds");
         let cluster = Cluster::new(ClusterSpec::setup1());
-        let mut rng = ChaCha8Rng::seed_from_u64(0xF16_4);
-        let workload =
-            provision_workload(WorkloadKind::Terasort, kind, &cluster, 100.0, &mut rng)
-                .expect("provisions");
+        let mut rng = ChaCha8Rng::seed_from_u64(0xF164);
+        let workload = provision_workload(WorkloadKind::Terasort, kind, &cluster, 100.0, &mut rng)
+            .expect("provisions");
         group.bench_with_input(
             BenchmarkId::new("terasort_100pct", kind.to_string()),
             &workload,

@@ -19,10 +19,15 @@ fn bench_fig5_jobs(c: &mut Criterion) {
         for load in setup2_loads() {
             let code = kind.build().expect("builds");
             let cluster = Cluster::new(ClusterSpec::setup2());
-            let mut rng = ChaCha8Rng::seed_from_u64(0xF16_5);
-            let workload =
-                provision_workload(WorkloadKind::Terasort, kind, &cluster, load.percent, &mut rng)
-                    .expect("provisions");
+            let mut rng = ChaCha8Rng::seed_from_u64(0xF165);
+            let workload = provision_workload(
+                WorkloadKind::Terasort,
+                kind,
+                &cluster,
+                load.percent,
+                &mut rng,
+            )
+            .expect("provisions");
             let label = format!("{kind}/load{load}");
             group.bench_with_input(
                 BenchmarkId::new("terasort", label),

@@ -1,23 +1,63 @@
 //! Galois-field substrate micro-benchmarks: bulk XOR, multiply-accumulate and
-//! Reed–Solomon encode/reconstruct throughput.
+//! Reed–Solomon encode/reconstruct throughput, per kernel variant.
+//!
+//! Run as a normal criterion bench (`cargo bench --bench gf_throughput`), or
+//! with a `repro` argument (`cargo bench --bench gf_throughput -- repro`) to
+//! emit `BENCH_gf.json` — bytes/sec per kernel per operation plus RS(10,4)
+//! stripe-encode throughput — so the perf trajectory is tracked across PRs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 
-use drc_core::gf::{slice, Gf256, Matrix, ReedSolomon};
+use drc_gf::kernel::{self, Kernel};
+use drc_gf::{slice, Matrix, ReedSolomon};
 
 const BUF: usize = 1024 * 1024;
 
+fn make_src(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 + 7) as u8).collect()
+}
+
 fn bench_slice_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gf_slice_ops");
-    group.throughput(Throughput::Bytes(BUF as u64));
-    let src: Vec<u8> = (0..BUF).map(|i| i as u8).collect();
-    group.bench_function("xor_assign_1MiB", |b| {
-        let mut dst = vec![0u8; BUF];
-        b.iter(|| slice::xor_assign(&mut dst, &src))
+    for kern in kernel::all() {
+        let mut group = c.benchmark_group(format!("gf_slice_ops/{}", kern.name()));
+        group.throughput(Throughput::Bytes(BUF as u64));
+        let src = make_src(BUF);
+        group.bench_function("xor_assign_1MiB", |b| {
+            let mut dst = vec![0u8; BUF];
+            b.iter(|| kern.xor_assign(&mut dst, &src))
+        });
+        group.bench_function("mul_acc_1MiB", |b| {
+            let mut dst = vec![0u8; BUF];
+            b.iter(|| kern.mul_acc(&mut dst, &src, 0x1d))
+        });
+        group.bench_function("scale_assign_1MiB", |b| {
+            let mut dst = make_src(BUF);
+            b.iter(|| kern.scale_assign(&mut dst, 0x1d))
+        });
+        group.finish();
+    }
+}
+
+fn bench_fused_encode(c: &mut Criterion) {
+    // The fused cache-blocked matrix product vs row-by-row mul_acc, on an
+    // RS(10,4)-shaped parity computation over 10 x 64 KiB shards.
+    let rs = ReedSolomon::new(10, 4).expect("valid parameters");
+    let shard = 64 * 1024;
+    let data: Vec<Vec<u8>> = (0..10).map(|_| make_src(shard)).collect();
+    let coeffs = rs.generator().rows_flat(10, 14).to_vec();
+    let mut group = c.benchmark_group("gf_fused");
+    group.throughput(Throughput::Bytes((10 * shard) as u64));
+    group.bench_function("matrix_mul_into_rs(10,4)_64KiB", |b| {
+        let mut outs = vec![vec![0u8; shard]; 4];
+        b.iter(|| slice::matrix_mul_into(&coeffs, 10, &data, &mut outs))
     });
-    group.bench_function("mul_acc_1MiB", |b| {
-        let mut dst = vec![0u8; BUF];
-        b.iter(|| slice::mul_acc(&mut dst, &src, Gf256::new(0x1d)))
+    group.bench_function("row_by_row_rs(10,4)_64KiB", |b| {
+        let mut outs = vec![vec![0u8; shard]; 4];
+        b.iter(|| {
+            for (p, out) in outs.iter_mut().enumerate() {
+                slice::linear_combination_into(&coeffs[p * 10..(p + 1) * 10], &data, out);
+            }
+        })
     });
     group.finish();
 }
@@ -35,6 +75,14 @@ fn bench_reed_solomon(c: &mut Criterion) {
             &data,
             |b, data| b.iter(|| rs.encode(data).expect("encodes")),
         );
+        group.bench_with_input(
+            BenchmarkId::new("encode_into", format!("rs({k},{m})")),
+            &data,
+            |b, data| {
+                let mut parity = vec![vec![0u8; shard]; m];
+                b.iter(|| rs.encode_into(data, &mut parity).expect("encodes"))
+            },
+        );
         let coded = rs.encode(&data).expect("encodes");
         let present: Vec<Option<&[u8]>> = coded
             .iter()
@@ -45,6 +93,17 @@ fn bench_reed_solomon(c: &mut Criterion) {
             BenchmarkId::new("reconstruct_worst_case", format!("rs({k},{m})")),
             &present,
             |b, present| b.iter(|| rs.reconstruct(present, shard).expect("reconstructs")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct_into_worst_case", format!("rs({k},{m})")),
+            &present,
+            |b, present| {
+                let mut out = vec![vec![0u8; shard]; k + m];
+                b.iter(|| {
+                    rs.reconstruct_into(present, shard, &mut out)
+                        .expect("reconstructs")
+                })
+            },
         );
     }
     group.finish();
@@ -64,5 +123,94 @@ fn bench_matrix_inversion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_slice_ops, bench_reed_solomon, bench_matrix_inversion);
-criterion_main!(benches);
+criterion_group!(
+    benches,
+    bench_slice_ops,
+    bench_fused_encode,
+    bench_reed_solomon,
+    bench_matrix_inversion
+);
+
+// ---------------------------------------------------------------------------
+// `repro` mode: machine-readable kernel throughput for cross-PR tracking.
+// ---------------------------------------------------------------------------
+
+/// `BENCH_gf.json` lives at the workspace root regardless of the cwd cargo
+/// gives bench binaries (the package directory).
+const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gf.json");
+
+fn bps_value(m: &criterion::Measurement) -> serde_json::Value {
+    match m.bytes_per_sec() {
+        Some(bps) => serde_json::Value::Float(bps),
+        None => serde_json::Value::Null,
+    }
+}
+
+/// Runs the criterion benches and distils their measurements into
+/// `BENCH_gf.json`, so the JSON and the human-readable bench output come
+/// from one measurement harness (budget: `CRITERION_MEASURE_MS`).
+fn repro() {
+    let mut criterion = Criterion::default();
+    bench_slice_ops(&mut criterion);
+    bench_fused_encode(&mut criterion);
+    bench_reed_solomon(&mut criterion);
+
+    let mut kernels_json: Vec<(String, serde_json::Value)> = Vec::new();
+    for kern in kernel::all() {
+        let kern: &Kernel = kern;
+        let prefix = format!("gf_slice_ops/{}/", kern.name());
+        let ops: Vec<(String, serde_json::Value)> = criterion
+            .measurements()
+            .iter()
+            .filter_map(|m| {
+                let op = m.id.strip_prefix(&prefix)?.strip_suffix("_1MiB")?;
+                Some((format!("{op}_bps"), bps_value(m)))
+            })
+            .collect();
+        kernels_json.push((kern.name().to_string(), serde_json::Value::Map(ops)));
+    }
+
+    // RS(10,4) over 10 x 64 KiB shards — the HDFS-RAID configuration.
+    let mut rs_json = vec![(
+        "shard_bytes".to_string(),
+        serde_json::Value::UInt(64 * 1024),
+    )];
+    for (key, id) in [
+        ("encode_bps", "gf_reed_solomon/encode/rs(10,4)"),
+        ("encode_into_bps", "gf_reed_solomon/encode_into/rs(10,4)"),
+        (
+            "reconstruct_bps",
+            "gf_reed_solomon/reconstruct_worst_case/rs(10,4)",
+        ),
+    ] {
+        let m = criterion
+            .measurements()
+            .iter()
+            .find(|m| m.id == id)
+            .expect("bench_reed_solomon ran");
+        rs_json.push((key.to_string(), bps_value(m)));
+    }
+
+    let doc = serde_json::Value::Map(vec![
+        (
+            "active_kernel".into(),
+            serde_json::Value::Str(kernel::active().name().into()),
+        ),
+        ("buffer_bytes".into(), serde_json::Value::UInt(BUF as u64)),
+        ("kernels".into(), serde_json::Value::Map(kernels_json)),
+        ("rs_10_4".into(), serde_json::Value::Map(rs_json)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("serializable");
+    std::fs::write(BENCH_JSON_PATH, &json).expect("writable BENCH_gf.json");
+    println!("{json}");
+    println!("wrote {BENCH_JSON_PATH}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "repro") {
+        repro();
+        return;
+    }
+    let mut criterion = Criterion::default();
+    benches(&mut criterion);
+}

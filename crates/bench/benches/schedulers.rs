@@ -12,20 +12,34 @@ use drc_core::cluster::{Cluster, ClusterSpec, NodeId, PlacementMap, PlacementPol
 use drc_core::codes::CodeKind;
 use drc_core::mapreduce::{MapTask, SchedulerKind, TaskId, TaskNodeGraph};
 
-fn build_graph(code: CodeKind, nodes: usize, mu: usize, load: f64) -> (TaskNodeGraph, BTreeMap<NodeId, usize>) {
+fn build_graph(
+    code: CodeKind,
+    nodes: usize,
+    mu: usize,
+    load: f64,
+) -> (TaskNodeGraph, BTreeMap<NodeId, usize>) {
     let cluster = Cluster::new(ClusterSpec::custom(nodes, 3, mu));
     let built = code.build().expect("builds");
     let tasks = cluster.spec().tasks_for_load(load);
     let stripes = tasks.div_ceil(built.data_blocks());
     let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let placement = PlacementMap::place(built.as_ref(), &cluster, stripes, PlacementPolicy::Random, &mut rng)
-        .expect("places");
+    let placement = PlacementMap::place(
+        built.as_ref(),
+        &cluster,
+        stripes,
+        PlacementPolicy::Random,
+        &mut rng,
+    )
+    .expect("places");
     let map_tasks: Vec<MapTask> = placement
         .data_blocks()
         .into_iter()
         .take(tasks)
         .enumerate()
-        .map(|(i, block)| MapTask { id: TaskId(i), block })
+        .map(|(i, block)| MapTask {
+            id: TaskId(i),
+            block,
+        })
         .collect();
     let graph = TaskNodeGraph::build(&map_tasks, &placement, &cluster);
     let caps = graph.nodes().iter().map(|&n| (n, mu)).collect();

@@ -67,32 +67,50 @@ fn run(options: &Options) -> Result<BTreeMap<String, serde_json::Value>, DrcErro
     if wanted("table1") {
         let table = run_table1(&ReliabilityParams::default())?;
         println!("{table}\n");
-        results.insert("table1".to_string(), serde_json::to_value(&table).expect("serializable"));
+        results.insert(
+            "table1".to_string(),
+            serde_json::to_value(&table).expect("serializable"),
+        );
     }
     if wanted("repair_bw") {
         let table = run_repair_bandwidth()?;
         println!("{table}\n");
-        results.insert("repair_bw".to_string(), serde_json::to_value(&table).expect("serializable"));
+        results.insert(
+            "repair_bw".to_string(),
+            serde_json::to_value(&table).expect("serializable"),
+        );
     }
     if wanted("fig3") {
         let data = run_fig3(options.effort)?;
         println!("{data}");
-        results.insert("fig3".to_string(), serde_json::to_value(&data).expect("serializable"));
+        results.insert(
+            "fig3".to_string(),
+            serde_json::to_value(&data).expect("serializable"),
+        );
     }
     if wanted("fig4") {
         let data = run_fig4(options.effort)?;
         println!("{data}\n");
-        results.insert("fig4".to_string(), serde_json::to_value(&data).expect("serializable"));
+        results.insert(
+            "fig4".to_string(),
+            serde_json::to_value(&data).expect("serializable"),
+        );
     }
     if wanted("fig5") {
         let data = run_fig5(options.effort)?;
         println!("{data}\n");
-        results.insert("fig5".to_string(), serde_json::to_value(&data).expect("serializable"));
+        results.insert(
+            "fig5".to_string(),
+            serde_json::to_value(&data).expect("serializable"),
+        );
     }
     if wanted("encoding") {
         let report = run_encoding(1024 * 1024, 8)?;
         println!("{report}\n");
-        results.insert("encoding".to_string(), serde_json::to_value(&report).expect("serializable"));
+        results.insert(
+            "encoding".to_string(),
+            serde_json::to_value(&report).expect("serializable"),
+        );
     }
     if wanted("degraded_mr") {
         let report = run_degraded_mr(options.effort)?;

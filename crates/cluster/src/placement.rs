@@ -285,7 +285,13 @@ mod tests {
         let code = CodeKind::Pentagon.build().unwrap();
         let cluster = Cluster::new(ClusterSpec::simulation_25(2));
         assert!(matches!(
-            PlacementMap::place(code.as_ref(), &cluster, 0, PlacementPolicy::Random, &mut rng(1)),
+            PlacementMap::place(
+                code.as_ref(),
+                &cluster,
+                0,
+                PlacementPolicy::Random,
+                &mut rng(1)
+            ),
             Err(ClusterError::InvalidPlacement { .. })
         ));
         // The paper's point about code length: a (10,9) RAID+m stripe spans 20
@@ -293,7 +299,13 @@ mod tests {
         let raid_m = CodeKind::RAID_M_10_9.build().unwrap();
         let small = Cluster::new(ClusterSpec::setup2());
         assert!(matches!(
-            PlacementMap::place(raid_m.as_ref(), &small, 1, PlacementPolicy::Random, &mut rng(1)),
+            PlacementMap::place(
+                raid_m.as_ref(),
+                &small,
+                1,
+                PlacementPolicy::Random,
+                &mut rng(1)
+            ),
             Err(ClusterError::InsufficientNodes {
                 needed: 20,
                 available: 9
@@ -446,8 +458,22 @@ mod tests {
     fn placement_is_deterministic_given_seed() {
         let code = CodeKind::Pentagon.build().unwrap();
         let cluster = Cluster::new(ClusterSpec::simulation_25(2));
-        let a = PlacementMap::place(code.as_ref(), &cluster, 8, PlacementPolicy::Random, &mut rng(42)).unwrap();
-        let b = PlacementMap::place(code.as_ref(), &cluster, 8, PlacementPolicy::Random, &mut rng(42)).unwrap();
+        let a = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            8,
+            PlacementPolicy::Random,
+            &mut rng(42),
+        )
+        .unwrap();
+        let b = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            8,
+            PlacementPolicy::Random,
+            &mut rng(42),
+        )
+        .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -234,8 +234,16 @@ impl PolygonLocalCode {
         let map_block = |b: usize| Self::map_local_block(b, instance, k_local, parity_base);
         RepairPlan {
             failed_nodes: plan.failed_nodes.iter().map(|&n| n + base).collect(),
-            blocks_to_restore: plan.blocks_to_restore.iter().map(|&b| map_block(b)).collect(),
-            fully_lost_blocks: plan.fully_lost_blocks.iter().map(|&b| map_block(b)).collect(),
+            blocks_to_restore: plan
+                .blocks_to_restore
+                .iter()
+                .map(|&b| map_block(b))
+                .collect(),
+            fully_lost_blocks: plan
+                .fully_lost_blocks
+                .iter()
+                .map(|&b| map_block(b))
+                .collect(),
             transfers: plan
                 .transfers
                 .into_iter()
@@ -246,9 +254,11 @@ impl PolygonLocalCode {
                         TransferPayload::Replica { block } => TransferPayload::Replica {
                             block: map_block(block),
                         },
-                        TransferPayload::Reconstructed { block } => TransferPayload::Reconstructed {
-                            block: map_block(block),
-                        },
+                        TransferPayload::Reconstructed { block } => {
+                            TransferPayload::Reconstructed {
+                                block: map_block(block),
+                            }
+                        }
                         TransferPayload::PartialParity { combines, target } => {
                             TransferPayload::PartialParity {
                                 combines: combines.into_iter().map(map_block).collect(),
@@ -505,7 +515,10 @@ mod tests {
             for b in (a + 1)..n {
                 for c in (b + 1)..n {
                     let failed: BTreeSet<usize> = [a, b, c].into_iter().collect();
-                    assert!(hl.can_recover(&failed), "pattern {{{a},{b},{c}}} must be recoverable");
+                    assert!(
+                        hl.can_recover(&failed),
+                        "pattern {{{a},{b},{c}}} must be recoverable"
+                    );
                     // Cross-check the combinatorial shortcut against the
                     // generic rank computation.
                     let surviving = hl.structure().layout.surviving_blocks(&failed);
@@ -605,16 +618,67 @@ mod tests {
         let hl = PolygonLocalCode::heptagon_local();
         let plan = hl.repair_plan(&[14].into_iter().collect()).unwrap();
         // Every transfer is a partial weighted sum destined for the global node.
-        assert!(plan
-            .transfers
-            .iter()
-            .all(|t| t.to_node == 14 && matches!(t.payload, TransferPayload::PartialParity { .. })));
+        assert!(
+            plan.transfers
+                .iter()
+                .all(|t| t.to_node == 14
+                    && matches!(t.payload, TransferPayload::PartialParity { .. }))
+        );
         // Each contributing node sends one partial weighted sum per global
         // parity; the total stays well below the 40 blocks a naive re-encode
         // would move.
         assert!(plan.network_blocks() < 40);
         assert_eq!(plan.network_blocks() % 2, 0);
         assert_eq!(plan.fully_lost_blocks, vec![42, 43]);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let hl = PolygonLocalCode::heptagon_local();
+        let data = sample_data(40, 64);
+        let coded = hl.encode(&data).unwrap();
+        let m = hl.distinct_blocks() - hl.data_blocks();
+        let mut parities = vec![vec![0u8; 64]; m];
+        hl.encode_into(&data, &mut parities).unwrap();
+        assert_eq!(parities.as_slice(), &coded[40..]);
+    }
+
+    #[test]
+    fn global_parity_partial_sums_combine_to_the_parity_block() {
+        // Execute the §2.2 combine functions: each helper node of a
+        // global-node repair sends a GF-weighted partial sum; XOR-ing all of
+        // them must reproduce the global parity block exactly.
+        let hl = PolygonLocalCode::heptagon_local();
+        let data = sample_data(40, 32);
+        let coded = hl.encode(&data).unwrap();
+        let plan = hl
+            .repair_plan(&[hl.global_node()].into_iter().collect())
+            .unwrap();
+        for g in 0..hl.global_parities() {
+            let target = 42 + g;
+            let row = hl.structure().generator.row(target);
+            let mut rebuilt = vec![0u8; 32];
+            let mut partial = vec![0u8; 32];
+            for t in &plan.transfers {
+                let crate::repair::TransferPayload::PartialParity {
+                    combines,
+                    target: t_block,
+                } = &t.payload
+                else {
+                    panic!("global-node repair sends only partial parities");
+                };
+                if *t_block != target {
+                    continue;
+                }
+                let payloads: Vec<&[u8]> = combines.iter().map(|&b| coded[b].as_slice()).collect();
+                crate::repair::combine_partial_parity_into(row, combines, &payloads, &mut partial);
+                drc_gf::slice::xor_assign(&mut rebuilt, &partial);
+            }
+            assert_eq!(
+                rebuilt, coded[target],
+                "global parity {g} rebuilt from partial sums"
+            );
+        }
     }
 
     #[test]

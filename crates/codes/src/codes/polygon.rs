@@ -55,7 +55,7 @@ impl PolygonCode {
     /// to stay within GF(2^8)-sized matrices used elsewhere (`n > 23`,
     /// i.e. more than 253 distinct blocks).
     pub fn new(n: usize) -> Result<Self, CodeError> {
-        if n < 3 || n > 23 {
+        if !(3..=23).contains(&n) {
             return Err(CodeError::InvalidParameters {
                 code: format!("{n}-gon"),
                 reason: "polygon codes require 3 <= n <= 23 nodes".to_string(),
@@ -197,7 +197,10 @@ impl ErasureCode for PolygonCode {
         if failed_nodes.iter().any(|&x| x >= self.n) {
             return Err(CodeError::IndexOutOfRange {
                 what: "node",
-                index: *failed_nodes.iter().find(|&&x| x >= self.n).expect("checked"),
+                index: *failed_nodes
+                    .iter()
+                    .find(|&&x| x >= self.n)
+                    .expect("checked"),
                 limit: self.n,
             });
         }
@@ -289,12 +292,16 @@ impl ErasureCode for PolygonCode {
         }
         // Both replicas down. If every other node of the stripe is alive we
         // can use the partial-parity fast path: n - 2 helper blocks.
-        let others_alive = (0..self.n).filter(|x| *x != u && *x != v).all(|x| !down_nodes.contains(&x));
+        let others_alive = (0..self.n)
+            .filter(|x| *x != u && *x != v)
+            .all(|x| !down_nodes.contains(&x));
         if others_alive {
             let helpers: Vec<usize> = (0..self.n).filter(|x| *x != u && *x != v).collect();
             return Ok(ReadPlan {
                 block: data_block,
-                source: ReadSource::PartialParities { helpers: helpers.clone() },
+                source: ReadSource::PartialParities {
+                    helpers: helpers.clone(),
+                },
                 network_blocks: helpers.len(),
             });
         }
@@ -363,6 +370,18 @@ mod tests {
         assert_eq!(coded.len(), 10);
         assert_eq!(&coded[..9], data.as_slice());
         assert_eq!(coded[9], drc_gf::slice::xor_all(&data));
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        for poly in [PolygonCode::pentagon(), PolygonCode::heptagon()] {
+            let k = poly.data_blocks();
+            let data = sample_data(k, 48);
+            let coded = poly.encode(&data).unwrap();
+            let mut parities = vec![vec![0u8; 48]];
+            poly.encode_into(&data, &mut parities).unwrap();
+            assert_eq!(parities[0], coded[k], "XOR parity via the fused path");
+        }
     }
 
     #[test]
@@ -449,14 +468,21 @@ mod tests {
         let target = plan.fully_lost_blocks[0];
         let mut acc = vec![0u8; 16];
         for t in &plan.transfers {
-            if let TransferPayload::PartialParity { combines, target: tgt } = &t.payload {
+            if let TransferPayload::PartialParity {
+                combines,
+                target: tgt,
+            } = &t.payload
+            {
                 assert_eq!(*tgt, target);
                 // The sender must actually host every block it combines.
                 for b in combines {
                     assert!(p.node_blocks(t.from_node).contains(b));
                 }
                 let partial = drc_gf::slice::xor_all(
-                    &combines.iter().map(|&b| coded[b].clone()).collect::<Vec<_>>(),
+                    &combines
+                        .iter()
+                        .map(|&b| coded[b].clone())
+                        .collect::<Vec<_>>(),
                 );
                 drc_gf::slice::xor_assign(&mut acc, &partial);
             }
@@ -472,11 +498,11 @@ mod tests {
             .degraded_read_plan(0, &[0, 1].into_iter().collect())
             .unwrap();
         assert_eq!(plan.network_blocks, 3);
-        assert!(matches!(plan.source, ReadSource::PartialParities { ref helpers } if helpers.len() == 3));
+        assert!(
+            matches!(plan.source, ReadSource::PartialParities { ref helpers } if helpers.len() == 3)
+        );
         // One replica alive: a single remote read.
-        let plan = p
-            .degraded_read_plan(0, &[0].into_iter().collect())
-            .unwrap();
+        let plan = p.degraded_read_plan(0, &[0].into_iter().collect()).unwrap();
         assert_eq!(plan.network_blocks, 1);
         // Heptagon: 5 partial parities.
         let h = PolygonCode::heptagon();

@@ -41,7 +41,7 @@ impl RaidMirrorCode {
     /// Returns [`CodeError::InvalidParameters`] if `total < 2` or
     /// `total > 128` (which would exceed 256 stored blocks).
     pub fn new(total: usize) -> Result<Self, CodeError> {
-        if total < 2 || total > 128 {
+        if !(2..=128).contains(&total) {
             return Err(CodeError::InvalidParameters {
                 code: format!("({total},{}) RAID+m", total.saturating_sub(1)),
                 reason: "RAID+m requires 2 <= total coded blocks <= 128".to_string(),
@@ -156,6 +156,16 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_matches_encode() {
+        let c = RaidMirrorCode::new(10).unwrap();
+        let data = sample_data(9, 56);
+        let coded = c.encode(&data).unwrap();
+        let mut parities = vec![vec![0u8; 56]];
+        c.encode_into(&data, &mut parities).unwrap();
+        assert_eq!(parities[0], coded[9]);
+    }
+
+    #[test]
     fn encode_and_decode_roundtrip() {
         let c = RaidMirrorCode::new(6).unwrap();
         let data = sample_data(5, 40);
@@ -228,8 +238,8 @@ mod tests {
     #[test]
     fn fatal_pattern_counts() {
         let c = RaidMirrorCode::new(3).unwrap(); // 6 nodes, blocks {0,1,2}
-        // 2 failures: fatal only if they are a mirror pair -> never fatal
-        // (one pair lost is still recoverable via parity).
+                                                 // 2 failures: fatal only if they are a mirror pair -> never fatal
+                                                 // (one pair lost is still recoverable via parity).
         assert_eq!(c.count_fatal_patterns(2), (0, 15));
         // 4 failures: fatal iff at least two mirror pairs are fully lost.
         // Choosing 2 of the 3 pairs = 3 fatal patterns out of C(6,4)=15.

@@ -68,6 +68,15 @@ impl ErasureCode for RsCode {
         &self.structure
     }
 
+    fn encode_into(&self, data: &[Vec<u8>], parities: &mut [Vec<u8>]) -> Result<(), CodeError> {
+        // Delegate straight to the codec's fused zero-allocation path (the
+        // RS layout stores exactly one distinct block per node, so the
+        // codes-level parities are the codec's parity shards verbatim).
+        self.codec
+            .encode_into(data, parities)
+            .map_err(CodeError::from)
+    }
+
     fn can_recover(&self, failed_nodes: &std::collections::BTreeSet<usize>) -> bool {
         failed_nodes
             .iter()
@@ -125,9 +134,24 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_matches_encode() {
+        let rs = RsCode::new(6, 3).unwrap();
+        let data: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8 * 3 + 1; 33]).collect();
+        let full = rs.encode(&data).unwrap();
+        let mut parities = vec![vec![0u8; 33]; 3];
+        rs.encode_into(&data, &mut parities).unwrap();
+        assert_eq!(parities.as_slice(), &full[6..]);
+        // Wrong parity buffer count is rejected.
+        let mut short = vec![vec![0u8; 33]; 2];
+        assert!(rs.encode_into(&data, &mut short).is_err());
+    }
+
+    #[test]
     fn degraded_read_needs_k_blocks_when_holder_down() {
         let rs = RsCode::new(10, 4).unwrap();
-        let plan = rs.degraded_read_plan(3, &[3].into_iter().collect()).unwrap();
+        let plan = rs
+            .degraded_read_plan(3, &[3].into_iter().collect())
+            .unwrap();
         assert_eq!(plan.network_blocks, 10);
         let plan = rs.degraded_read_plan(3, &BTreeSet::new()).unwrap();
         assert_eq!(plan.network_blocks, 1);

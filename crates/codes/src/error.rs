@@ -21,6 +21,13 @@ pub enum CodeError {
         /// Number of data blocks supplied.
         found: usize,
     },
+    /// `encode_into` was given the wrong number of parity output buffers.
+    WrongParityBlockCount {
+        /// Number of non-data distinct blocks the code produces per stripe.
+        expected: usize,
+        /// Number of parity buffers supplied.
+        found: usize,
+    },
     /// Blocks passed to a single call did not all have the same length.
     UnequalBlockLengths,
     /// A block or node index was outside the valid range for the code.
@@ -49,6 +56,12 @@ impl fmt::Display for CodeError {
             }
             CodeError::WrongDataBlockCount { expected, found } => {
                 write!(f, "expected {expected} data blocks, found {found}")
+            }
+            CodeError::WrongParityBlockCount { expected, found } => {
+                write!(
+                    f,
+                    "expected {expected} parity output buffers, found {found}"
+                )
             }
             CodeError::UnequalBlockLengths => write!(f, "blocks have unequal lengths"),
             CodeError::IndexOutOfRange { what, index, limit } => {

@@ -134,7 +134,10 @@ impl NodeLayout {
 
     /// Iterates over `(node, blocks)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[usize])> {
-        self.per_node.iter().enumerate().map(|(n, b)| (n, b.as_slice()))
+        self.per_node
+            .iter()
+            .enumerate()
+            .map(|(n, b)| (n, b.as_slice()))
     }
 
     /// The set of distinct blocks that survive when `failed_nodes` are lost.
@@ -225,7 +228,9 @@ impl CodeStructure {
         for group in &self.rack_groups {
             for &n in group {
                 if n >= self.layout.node_count() || !seen.insert(n) {
-                    return Err(invalid("rack groups do not partition the nodes".to_string()));
+                    return Err(invalid(
+                        "rack groups do not partition the nodes".to_string(),
+                    ));
                 }
             }
         }

@@ -12,7 +12,9 @@
 //!
 //! * the stripe *structure* (generator matrix + node layout) used by the
 //!   placement, locality and reliability analyses,
-//! * `encode` / `decode` over real block payloads,
+//! * `encode` / `decode` over real block payloads, plus the zero-allocation
+//!   [`ErasureCode::encode_into`] fast path and the buffer-reusing
+//!   [`StripeEncoder`] built on it,
 //! * failure analysis (`can_recover`, `fault_tolerance`,
 //!   `count_fatal_patterns`), and
 //! * repair and degraded-read *plans* whose network cost is measured in
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod codes;
+mod encoder;
 mod error;
 mod layout;
 mod registry;
@@ -52,8 +55,11 @@ mod repair;
 mod traits;
 
 pub use codes::{PolygonCode, PolygonLocalCode, RaidMirrorCode, ReplicationCode, RsCode};
+pub use encoder::StripeEncoder;
 pub use error::CodeError;
 pub use layout::{CodeStructure, NodeLayout};
 pub use registry::CodeKind;
-pub use repair::{ReadPlan, ReadSource, RepairPlan, Transfer, TransferPayload};
+pub use repair::{
+    combine_partial_parity_into, ReadPlan, ReadSource, RepairPlan, Transfer, TransferPayload,
+};
 pub use traits::ErasureCode;

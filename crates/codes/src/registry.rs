@@ -161,7 +161,10 @@ mod tests {
             CodeKind::HeptagonLocal,
             CodeKind::RAID_M_10_9,
             CodeKind::RAID_M_12_11,
-            CodeKind::ReedSolomon { data: 10, parity: 4 },
+            CodeKind::ReedSolomon {
+                data: 10,
+                parity: 4,
+            },
             CodeKind::Polygon { nodes: 6 },
         ] {
             let code = kind.build().unwrap();
@@ -232,7 +235,11 @@ mod tests {
         assert!(CodeKind::RAID_M_10_9.has_inherent_double_replication());
         assert!(CodeKind::TWO_REP.has_inherent_double_replication());
         assert!(!CodeKind::Replication { replicas: 1 }.has_inherent_double_replication());
-        assert!(!CodeKind::ReedSolomon { data: 10, parity: 4 }.has_inherent_double_replication());
+        assert!(!CodeKind::ReedSolomon {
+            data: 10,
+            parity: 4
+        }
+        .has_inherent_double_replication());
     }
 
     #[test]
@@ -240,7 +247,9 @@ mod tests {
         assert!(CodeKind::Replication { replicas: 0 }.build().is_err());
         assert!(CodeKind::Polygon { nodes: 2 }.build().is_err());
         assert!(CodeKind::RaidMirror { total: 1 }.build().is_err());
-        assert!(CodeKind::ReedSolomon { data: 0, parity: 1 }.build().is_err());
+        assert!(CodeKind::ReedSolomon { data: 0, parity: 1 }
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -12,6 +12,8 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
+use drc_gf::{slice, Gf256};
+
 /// One network transfer performed during repair.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Transfer {
@@ -85,6 +87,38 @@ impl RepairPlan {
     }
 }
 
+/// Computes the payload of a [`TransferPayload::PartialParity`] transfer
+/// into a caller-owned buffer, without allocating.
+///
+/// A helper node rebuilding distinct block `t` sends the GF-weighted partial
+/// sum of the data blocks it holds: `out = sum_j target_row[combines[j]] *
+/// payloads[j]`, where `target_row` is row `t` of the code's generator
+/// matrix. For the pentagon/heptagon XOR parities every weight is 1 and this
+/// degenerates to the plain XOR of §2.1; for the heptagon-local global
+/// parities the weights are the RAID-6-style coefficients of §2.2.
+///
+/// # Panics
+///
+/// Panics if `combines` and `payloads` have different lengths, any combined
+/// index has no column in `target_row`, or payload lengths differ from
+/// `out.len()`.
+pub fn combine_partial_parity_into(
+    target_row: &[Gf256],
+    combines: &[usize],
+    payloads: &[&[u8]],
+    out: &mut [u8],
+) {
+    assert_eq!(
+        combines.len(),
+        payloads.len(),
+        "one payload per combined block is required"
+    );
+    out.fill(0);
+    for (&block, payload) in combines.iter().zip(payloads) {
+        slice::mul_acc(out, payload, target_row[block]);
+    }
+}
+
 /// A plan for reading one data block when some nodes are unavailable
 /// (a *degraded read*, executed on the fly during a MapReduce job).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -129,7 +163,10 @@ impl ReadPlan {
     /// Returns `true` if the read required no reconstruction (a replica was
     /// available somewhere).
     pub fn is_replica_read(&self) -> bool {
-        matches!(self.source, ReadSource::Local { .. } | ReadSource::Remote { .. })
+        matches!(
+            self.source,
+            ReadSource::Local { .. } | ReadSource::Remote { .. }
+        )
     }
 }
 
@@ -186,7 +223,9 @@ mod tests {
         assert!(local.is_replica_read());
         let degraded = ReadPlan {
             block: 0,
-            source: ReadSource::PartialParities { helpers: vec![2, 3, 4] },
+            source: ReadSource::PartialParities {
+                helpers: vec![2, 3, 4],
+            },
             network_blocks: 3,
         };
         assert!(!degraded.is_replica_read());

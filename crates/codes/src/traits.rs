@@ -95,23 +95,46 @@ pub trait ErasureCode: std::fmt::Debug + Send + Sync {
     /// Returns an error if the number of blocks is not `k` or the blocks have
     /// unequal lengths.
     fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
-        let s = self.structure();
-        if data.len() != s.data_blocks {
-            return Err(CodeError::WrongDataBlockCount {
-                expected: s.data_blocks,
-                found: data.len(),
-            });
-        }
-        let len = data[0].len();
-        if data.iter().any(|b| b.len() != len) {
-            return Err(CodeError::UnequalBlockLengths);
-        }
+        let len = validate_data_blocks(self, data)?;
         let mut out = Vec::with_capacity(self.distinct_blocks());
         out.extend(data.iter().cloned());
-        for row in s.data_blocks..self.distinct_blocks() {
-            out.push(slice::linear_combination(s.generator.row(row), data, len));
-        }
+        out.resize(self.distinct_blocks(), vec![0u8; len]);
+        let (data, parities) = out.split_at_mut(self.data_blocks());
+        self.encode_into(&*data, parities)?;
         Ok(out)
+    }
+
+    /// Computes the stripe's non-data distinct blocks (local and global
+    /// parities — blocks `k..distinct_blocks()`) into caller-owned buffers.
+    ///
+    /// This is the zero-allocation encode path: `parities` must hold exactly
+    /// `distinct_blocks() - k` buffers of the common block length; they are
+    /// fully overwritten. The default implementation applies the whole parity
+    /// sub-matrix through the fused, cache-blocked
+    /// [`slice::matrix_mul_into`], so a caller that reuses its buffers (see
+    /// [`crate::StripeEncoder`]) encodes stripe after stripe without touching
+    /// the heap.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the data block count, the parity buffer count, or
+    /// any block length is wrong.
+    fn encode_into(&self, data: &[Vec<u8>], parities: &mut [Vec<u8>]) -> Result<(), CodeError> {
+        let len = validate_data_blocks(self, data)?;
+        let s = self.structure();
+        let parity_count = self.distinct_blocks() - s.data_blocks;
+        if parities.len() != parity_count {
+            return Err(CodeError::WrongParityBlockCount {
+                expected: parity_count,
+                found: parities.len(),
+            });
+        }
+        if parities.iter().any(|b| b.len() != len) {
+            return Err(CodeError::UnequalBlockLengths);
+        }
+        let coeffs = s.generator.rows_flat(s.data_blocks, self.distinct_blocks());
+        slice::matrix_mul_into(coeffs, s.data_blocks, data, parities);
+        Ok(())
     }
 
     /// Decodes the `k` data blocks from whatever distinct blocks are
@@ -231,6 +254,25 @@ pub trait ErasureCode: std::fmt::Debug + Send + Sync {
             .sum();
         total as f64 / n as f64
     }
+}
+
+/// Validates an encode input, returning the common block length.
+fn validate_data_blocks<C: ErasureCode + ?Sized>(
+    code: &C,
+    data: &[Vec<u8>],
+) -> Result<usize, CodeError> {
+    let k = code.structure().data_blocks;
+    if data.len() != k {
+        return Err(CodeError::WrongDataBlockCount {
+            expected: k,
+            found: data.len(),
+        });
+    }
+    let len = data[0].len();
+    if data.iter().any(|b| b.len() != len) {
+        return Err(CodeError::UnequalBlockLengths);
+    }
+    Ok(len)
 }
 
 /// Checks that every subset of `t` of the `n` stripe nodes is survivable.
@@ -386,7 +428,9 @@ pub(crate) fn generic_degraded_read_plan<C: ErasureCode + ?Sized>(
     let surviving = layout.surviving_blocks(down_nodes);
     if !s.recoverable_from_blocks(&surviving) {
         return Err(CodeError::Unrecoverable {
-            detail: format!("data block {data_block} cannot be rebuilt with nodes {down_nodes:?} down"),
+            detail: format!(
+                "data block {data_block} cannot be rebuilt with nodes {down_nodes:?} down"
+            ),
         });
     }
     let mut chosen: Vec<usize> = Vec::new();

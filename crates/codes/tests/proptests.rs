@@ -15,7 +15,10 @@ fn any_paper_code() -> impl Strategy<Value = CodeKind> {
         Just(CodeKind::HeptagonLocal),
         Just(CodeKind::RAID_M_10_9),
         Just(CodeKind::RAID_M_12_11),
-        Just(CodeKind::ReedSolomon { data: 10, parity: 4 }),
+        Just(CodeKind::ReedSolomon {
+            data: 10,
+            parity: 4
+        }),
     ]
 }
 

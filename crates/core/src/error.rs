@@ -97,7 +97,9 @@ mod tests {
             MapReduceError::InvalidConfig { reason: "x".into() }.into(),
             ReliabilityError::SingularSystem.into(),
             HdfsError::DataNodeUnavailable { node: 2 }.into(),
-            DrcError::InvalidExperiment { reason: "bad".into() },
+            DrcError::InvalidExperiment {
+                reason: "bad".into(),
+            },
         ];
         for (i, e) in errors.iter().enumerate() {
             assert!(!e.to_string().is_empty());

@@ -87,8 +87,13 @@ pub fn run_degraded_mr(effort: Effort) -> Result<DegradedMrReport, DrcError> {
                 let mut rng = ChaCha8Rng::seed_from_u64(
                     DEFAULT_SEED ^ ((trial as u64) << 8) ^ ((failed_nodes as u64) << 40),
                 );
-                let workload =
-                    provision_workload(WorkloadKind::Terasort, code_kind, &cluster, load, &mut rng)?;
+                let workload = provision_workload(
+                    WorkloadKind::Terasort,
+                    code_kind,
+                    &cluster,
+                    load,
+                    &mut rng,
+                )?;
                 // Failures strike after the data was written.
                 let scenario = FailureScenario::random(&cluster, failed_nodes, &mut rng);
                 scenario.apply(&mut cluster);

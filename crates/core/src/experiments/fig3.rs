@@ -71,7 +71,13 @@ pub fn run_fig3(effort: Effort) -> Result<Fig3Data, DrcError> {
     // The peeling panel (µ = 4), pentagon and heptagon as in the paper.
     for code in [CodeKind::Pentagon, CodeKind::Heptagon] {
         for load in fig3_loads() {
-            points.push(run_point(code, SchedulerKind::Peeling, 4, load.percent, trials)?);
+            points.push(run_point(
+                code,
+                SchedulerKind::Peeling,
+                4,
+                load.percent,
+                trials,
+            )?);
         }
     }
     Ok(Fig3Data { points })
@@ -162,7 +168,9 @@ mod tests {
     fn figure_shape_matches_paper() {
         let data = run_fig3(Effort::Quick).unwrap();
         let loc = |mu, sched, code, load| {
-            data.point(mu, sched, code, load).unwrap().mean_locality_percent
+            data.point(mu, sched, code, load)
+                .unwrap()
+                .mean_locality_percent
         };
         // At mu = 2 and full load the ordering is 2-rep > pentagon > heptagon.
         assert!(

@@ -91,8 +91,9 @@ pub fn run_terasort_sweep(
             let mut degraded = 0.0;
             for trial in 0..trials {
                 let cluster = Cluster::new(spec.clone());
-                let mut rng =
-                    ChaCha8Rng::seed_from_u64(DEFAULT_SEED ^ (trial as u64) << 17 ^ load.percent as u64);
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    DEFAULT_SEED ^ (trial as u64) << 17 ^ load.percent as u64,
+                );
                 let workload = provision_workload(
                     WorkloadKind::Terasort,
                     code_kind,
@@ -189,9 +190,7 @@ mod tests {
         );
         // (iv) With only 2 map slots there is a visible job-time penalty for
         // the heptagon at high load.
-        assert!(
-            p(CodeKind::Heptagon, 100.0).job_time_s >= p(CodeKind::TWO_REP, 100.0).job_time_s
-        );
+        assert!(p(CodeKind::Heptagon, 100.0).job_time_s >= p(CodeKind::TWO_REP, 100.0).job_time_s);
         // Network traffic grows with load for every code.
         for code in CodeKind::fig4_set() {
             assert!(p(code, 100.0).network_traffic_gb > p(code, 50.0).network_traffic_gb);

@@ -40,9 +40,10 @@ impl TextTable {
 
 impl std::fmt::Display for TextTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let columns = self.header.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

@@ -59,7 +59,10 @@ impl fmt::Display for GfError {
             }
             GfError::UnequalShardLengths => write!(f, "shards have unequal lengths"),
             GfError::TooFewShards { needed, present } => {
-                write!(f, "too few shards to reconstruct: need {needed}, have {present}")
+                write!(
+                    f,
+                    "too few shards to reconstruct: need {needed}, have {present}"
+                )
             }
             GfError::DuplicateInterpolationPoint => {
                 write!(f, "duplicate x-coordinate in interpolation points")
@@ -82,8 +85,14 @@ mod tests {
             GfError::UnequalShardLengths,
             GfError::DuplicateInterpolationPoint,
             GfError::InvalidShardCounts { data: 0, parity: 1 },
-            GfError::WrongShardCount { expected: 3, found: 2 },
-            GfError::TooFewShards { needed: 4, present: 2 },
+            GfError::WrongShardCount {
+                expected: 3,
+                found: 2,
+            },
+            GfError::TooFewShards {
+                needed: 4,
+                present: 2,
+            },
             GfError::DimensionMismatch {
                 expected: "3x3".into(),
                 found: "2x3".into(),

@@ -14,43 +14,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::GfError;
 
-/// The primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 used to construct the field.
-pub const PRIMITIVE_POLY: u16 = 0x11d;
+pub use crate::tables::{FIELD_SIZE, GROUP_ORDER, PRIMITIVE_POLY};
 
-/// Number of elements in the field.
-pub const FIELD_SIZE: usize = 256;
-
-/// Order of the multiplicative group (number of non-zero elements).
-pub const GROUP_ORDER: usize = FIELD_SIZE - 1;
-
-/// Exponentiation (antilog) and logarithm tables, generated once at compile time.
-struct Tables {
-    /// `exp[i] = g^i` for the generator g = 2; doubled in length so that
-    /// `exp[log a + log b]` never needs an explicit modulo reduction.
-    exp: [u8; 2 * GROUP_ORDER],
-    /// `log[a]` = discrete log of `a` (undefined, stored as 0, for a = 0).
-    log: [u8; FIELD_SIZE],
-}
-
-const fn build_tables() -> Tables {
-    let mut exp = [0u8; 2 * GROUP_ORDER];
-    let mut log = [0u8; FIELD_SIZE];
-    let mut x: u16 = 1;
-    let mut i = 0;
-    while i < GROUP_ORDER {
-        exp[i] = x as u8;
-        exp[i + GROUP_ORDER] = x as u8;
-        log[x as usize] = i as u8;
-        x <<= 1;
-        if x & 0x100 != 0 {
-            x ^= PRIMITIVE_POLY;
-        }
-        i += 1;
-    }
-    Tables { exp, log }
-}
-
-static TABLES: Tables = build_tables();
+use crate::tables::TABLES;
 
 /// An element of the finite field GF(2^8).
 ///
@@ -70,7 +36,9 @@ static TABLES: Tables = build_tables();
 /// assert_eq!(a * Gf256::ONE, a);
 /// assert_eq!((a * b) / b, a);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Gf256(u8);
 
@@ -117,7 +85,11 @@ impl Gf256 {
     /// polynomials at zero.
     pub fn pow(self, mut exponent: u32) -> Self {
         if self.is_zero() {
-            return if exponent == 0 { Gf256::ONE } else { Gf256::ZERO };
+            return if exponent == 0 {
+                Gf256::ONE
+            } else {
+                Gf256::ZERO
+            };
         }
         exponent %= GROUP_ORDER as u32;
         let log = TABLES.log[self.0 as usize] as u32;
@@ -163,14 +135,14 @@ impl Gf256 {
     ///
     /// This is the hot-path primitive used by the bulk slice operations in
     /// [`crate::slice`].
+    /// Branch-free: `log[0]` is a sentinel large enough that any log-sum
+    /// involving it indexes the zero padding of the antilog table (see the
+    /// `tables` module), so zero operands need no test — the hot bulk
+    /// loops stay free of data-dependent branches.
     #[inline]
     pub fn mul_bytes(a: u8, b: u8) -> u8 {
-        if a == 0 || b == 0 {
-            0
-        } else {
-            let log_sum = TABLES.log[a as usize] as usize + TABLES.log[b as usize] as usize;
-            TABLES.exp[log_sum]
-        }
+        let log_sum = TABLES.log[a as usize] as usize + TABLES.log[b as usize] as usize;
+        TABLES.exp[log_sum]
     }
 
     /// Iterates over every element of the field, starting at zero.
@@ -226,6 +198,7 @@ impl From<Gf256> for u8 {
 impl Add for Gf256 {
     type Output = Gf256;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // GF(2^8) addition IS xor
     fn add(self, rhs: Self) -> Self {
         Gf256(self.0 ^ rhs.0)
     }
@@ -233,6 +206,7 @@ impl Add for Gf256 {
 
 impl AddAssign for Gf256 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)] // GF(2^8) addition IS xor
     fn add_assign(&mut self, rhs: Self) {
         self.0 ^= rhs.0;
     }
@@ -241,6 +215,7 @@ impl AddAssign for Gf256 {
 impl Sub for Gf256 {
     type Output = Gf256;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // characteristic 2: sub == add == xor
     fn sub(self, rhs: Self) -> Self {
         // Characteristic 2: subtraction is identical to addition.
         Gf256(self.0 ^ rhs.0)
@@ -249,6 +224,7 @@ impl Sub for Gf256 {
 
 impl SubAssign for Gf256 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)] // characteristic 2: sub == add == xor
     fn sub_assign(&mut self, rhs: Self) {
         self.0 ^= rhs.0;
     }
@@ -436,7 +412,11 @@ mod tests {
         for a in (0..=255u16).step_by(11) {
             for b in (0..=255u16).step_by(13) {
                 for c in (0..=255u16).step_by(17) {
-                    let (a, b, c) = (Gf256::new(a as u8), Gf256::new(b as u8), Gf256::new(c as u8));
+                    let (a, b, c) = (
+                        Gf256::new(a as u8),
+                        Gf256::new(b as u8),
+                        Gf256::new(c as u8),
+                    );
                     assert_eq!(a * (b + c), a * b + a * c);
                     assert_eq!((a * b) * c, a * (b * c));
                 }

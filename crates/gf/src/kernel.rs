@@ -1,0 +1,474 @@
+//! Runtime-dispatched bulk kernels for GF(2^8) slice operations.
+//!
+//! # Design
+//!
+//! A [`Kernel`] is a named bundle of three function pointers — bulk XOR,
+//! bulk scalar multiply, and fused multiply-accumulate — that every public
+//! operation in [`crate::slice`] is built from. Implementations:
+//!
+//! | name | lane width | technique | available |
+//! |---|---|---|---|
+//! | `avx2` | 32 B | split-nibble `vpshufb` table lookups | x86-64 with AVX2 |
+//! | `ssse3` | 16 B | split-nibble `pshufb` table lookups | x86-64 with SSSE3 |
+//! | `neon` | 16 B | split-nibble `tbl` lookups | aarch64 (always) |
+//! | `wide` | 8 B xor / 1 B mul | `u64` XOR lanes + per-coefficient 256-byte product row | everywhere |
+//! | `reference` | 1 B | branch-free log/antilog scalar | everywhere |
+//!
+//! [`active`] picks the widest kernel the CPU supports **once** (cached in an
+//! atomic) so steady-state dispatch is a single relaxed load plus an indirect
+//! call per bulk operation — amortised over whole blocks, not per byte. The
+//! `DRC_GF_KERNEL` environment variable (`avx2|ssse3|neon|wide|reference`)
+//! pins the choice for benchmarks and differential tests; an unavailable or
+//! unknown name falls back to auto-detection. [`all`] lists every kernel the
+//! host can run, which the proptests use to verify byte-for-byte agreement
+//! and the benches use for per-variant throughput curves.
+//!
+//! # Safety
+//!
+//! This is the only module in the crate allowed to use `unsafe`, and every
+//! unsafe block is one of exactly two shapes:
+//!
+//! 1. **ISA intrinsics behind verified CPU support.** The `target_feature`
+//!    functions (`*_avx2`, `*_ssse3`) are only ever reachable through a
+//!    [`Kernel`] whose constructor site is guarded by
+//!    `is_x86_feature_detected!`; the NEON path compiles only on aarch64
+//!    where NEON is part of the baseline ISA. Calling them is therefore
+//!    never UB by reason of unsupported instructions.
+//! 2. **Unaligned loads/stores inside bounds.** All pointer arithmetic walks
+//!    `chunks_exact`-style over ranges `i * LANE .. (i + 1) * LANE` with
+//!    `i < len / LANE`, so every access is in-bounds, and the `loadu`/
+//!    `storeu` (or `vld1q`/`vst1q`) forms have no alignment requirement.
+//!    Residual tails are handled with safe scalar code.
+//!
+//! The wrappers additionally `assert_eq!` slice lengths *before* entering
+//! unsafe code, so the invariants above hold for any caller input.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use crate::tables::TABLES;
+
+/// A bundle of bulk GF(2^8) kernels sharing one implementation technique.
+///
+/// All functions require `dst.len() == src.len()`; the safe wrappers in
+/// [`crate::slice`] check this before dispatch.
+pub struct Kernel {
+    name: &'static str,
+    xor_assign: fn(&mut [u8], &[u8]),
+    scale_assign: fn(&mut [u8], u8),
+    mul_acc: fn(&mut [u8], &[u8], u8),
+}
+
+impl Kernel {
+    /// The kernel's name (`avx2`, `ssse3`, `neon`, `wide` or `reference`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// `dst[i] ^= src[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn xor_assign(&self, dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len(), "xor_assign requires equal lengths");
+        (self.xor_assign)(dst, src);
+    }
+
+    /// `dst[i] = coeff · dst[i]`.
+    #[inline]
+    pub fn scale_assign(&self, dst: &mut [u8], coeff: u8) {
+        (self.scale_assign)(dst, coeff);
+    }
+
+    /// `dst[i] ^= coeff · src[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn mul_acc(&self, dst: &mut [u8], src: &[u8], coeff: u8) {
+        assert_eq!(dst.len(), src.len(), "mul_acc requires equal lengths");
+        (self.mul_acc)(dst, src, coeff);
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel").field("name", &self.name).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernel: branch-free scalar log/antilog.
+// ---------------------------------------------------------------------------
+
+fn xor_assign_scalar(dst: &mut [u8], src: &[u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}
+
+fn scale_assign_reference(dst: &mut [u8], coeff: u8) {
+    let log_c = TABLES.log[coeff as usize] as usize;
+    for d in dst.iter_mut() {
+        *d = TABLES.exp[log_c + TABLES.log[*d as usize] as usize];
+    }
+}
+
+fn mul_acc_reference(dst: &mut [u8], src: &[u8], coeff: u8) {
+    let log_c = TABLES.log[coeff as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= TABLES.exp[log_c + TABLES.log[*s as usize] as usize];
+    }
+}
+
+static REFERENCE: Kernel = Kernel {
+    name: "reference",
+    xor_assign: xor_assign_scalar,
+    scale_assign: scale_assign_reference,
+    mul_acc: mul_acc_reference,
+};
+
+// ---------------------------------------------------------------------------
+// Wide portable kernel: u64 XOR lanes + per-coefficient product row.
+// ---------------------------------------------------------------------------
+
+fn xor_assign_wide(dst: &mut [u8], src: &[u8]) {
+    let mut d8 = dst.chunks_exact_mut(8);
+    let mut s8 = src.chunks_exact(8);
+    for (d, s) in d8.by_ref().zip(s8.by_ref()) {
+        let x = u64::from_ne_bytes(d.as_ref().try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (d, s) in d8.into_remainder().iter_mut().zip(s8.remainder()) {
+        *d ^= *s;
+    }
+}
+
+fn scale_assign_wide(dst: &mut [u8], coeff: u8) {
+    let row = &TABLES.mul[coeff as usize];
+    for d in dst.iter_mut() {
+        *d = row[*d as usize];
+    }
+}
+
+fn mul_acc_wide(dst: &mut [u8], src: &[u8], coeff: u8) {
+    let row = &TABLES.mul[coeff as usize];
+    let mut chunks_d = dst.chunks_exact_mut(8);
+    let mut chunks_s = src.chunks_exact(8);
+    for (d, s) in chunks_d.by_ref().zip(chunks_s.by_ref()) {
+        // Manually unrolled: one table load per byte, no log/antilog math.
+        d[0] ^= row[s[0] as usize];
+        d[1] ^= row[s[1] as usize];
+        d[2] ^= row[s[2] as usize];
+        d[3] ^= row[s[3] as usize];
+        d[4] ^= row[s[4] as usize];
+        d[5] ^= row[s[5] as usize];
+        d[6] ^= row[s[6] as usize];
+        d[7] ^= row[s[7] as usize];
+    }
+    for (d, s) in chunks_d
+        .into_remainder()
+        .iter_mut()
+        .zip(chunks_s.remainder())
+    {
+        *d ^= row[*s as usize];
+    }
+}
+
+static WIDE: Kernel = Kernel {
+    name: "wide",
+    xor_assign: xor_assign_wide,
+    scale_assign: scale_assign_wide,
+    mul_acc: mul_acc_wide,
+};
+
+// ---------------------------------------------------------------------------
+// x86-64 SIMD kernels: split-nibble pshufb.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// Caller must ensure SSSE3 is available and `dst.len() == src.len()`.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn mul_acc_ssse3_impl(dst: &mut [u8], src: &[u8], coeff: u8) {
+        let lo_tbl = _mm_loadu_si128(TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i);
+        let hi_tbl = _mm_loadu_si128(TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0f);
+        let lanes = dst.len() / 16;
+        let d_ptr = dst.as_mut_ptr();
+        let s_ptr = src.as_ptr();
+        for i in 0..lanes {
+            let s = _mm_loadu_si128(s_ptr.add(i * 16) as *const __m128i);
+            let lo = _mm_and_si128(s, mask);
+            let hi = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+            let prod = _mm_xor_si128(_mm_shuffle_epi8(lo_tbl, lo), _mm_shuffle_epi8(hi_tbl, hi));
+            let d = _mm_loadu_si128(d_ptr.add(i * 16) as *const __m128i);
+            _mm_storeu_si128(d_ptr.add(i * 16) as *mut __m128i, _mm_xor_si128(d, prod));
+        }
+        mul_acc_wide(&mut dst[lanes * 16..], &src[lanes * 16..], coeff);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure SSSE3 is available and `dst.len() == src.len()`.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn scale_assign_ssse3_impl(dst: &mut [u8], coeff: u8) {
+        let lo_tbl = _mm_loadu_si128(TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i);
+        let hi_tbl = _mm_loadu_si128(TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0f);
+        let lanes = dst.len() / 16;
+        let d_ptr = dst.as_mut_ptr();
+        for i in 0..lanes {
+            let d = _mm_loadu_si128(d_ptr.add(i * 16) as *const __m128i);
+            let lo = _mm_and_si128(d, mask);
+            let hi = _mm_and_si128(_mm_srli_epi64(d, 4), mask);
+            let prod = _mm_xor_si128(_mm_shuffle_epi8(lo_tbl, lo), _mm_shuffle_epi8(hi_tbl, hi));
+            _mm_storeu_si128(d_ptr.add(i * 16) as *mut __m128i, prod);
+        }
+        scale_assign_wide(&mut dst[lanes * 16..], coeff);
+    }
+
+    fn mul_acc_ssse3(dst: &mut [u8], src: &[u8], coeff: u8) {
+        // SAFETY: this kernel is only registered after
+        // `is_x86_feature_detected!("ssse3")`; lengths checked by the wrapper.
+        unsafe { mul_acc_ssse3_impl(dst, src, coeff) }
+    }
+
+    fn scale_assign_ssse3(dst: &mut [u8], coeff: u8) {
+        // SAFETY: as above.
+        unsafe { scale_assign_ssse3_impl(dst, coeff) }
+    }
+
+    pub(super) static SSSE3: Kernel = Kernel {
+        name: "ssse3",
+        xor_assign: xor_assign_wide,
+        scale_assign: scale_assign_ssse3,
+        mul_acc: mul_acc_ssse3,
+    };
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_acc_avx2_impl(dst: &mut [u8], src: &[u8], coeff: u8) {
+        let lo_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+            TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i,
+        ));
+        let hi_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+            TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i,
+        ));
+        let mask = _mm256_set1_epi8(0x0f);
+        let lanes = dst.len() / 32;
+        let d_ptr = dst.as_mut_ptr();
+        let s_ptr = src.as_ptr();
+        for i in 0..lanes {
+            let s = _mm256_loadu_si256(s_ptr.add(i * 32) as *const __m256i);
+            let lo = _mm256_and_si256(s, mask);
+            let hi = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+            let prod = _mm256_xor_si256(
+                _mm256_shuffle_epi8(lo_tbl, lo),
+                _mm256_shuffle_epi8(hi_tbl, hi),
+            );
+            let d = _mm256_loadu_si256(d_ptr.add(i * 32) as *const __m256i);
+            _mm256_storeu_si256(d_ptr.add(i * 32) as *mut __m256i, _mm256_xor_si256(d, prod));
+        }
+        mul_acc_wide(&mut dst[lanes * 32..], &src[lanes * 32..], coeff);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn scale_assign_avx2_impl(dst: &mut [u8], coeff: u8) {
+        let lo_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+            TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i,
+        ));
+        let hi_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+            TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i,
+        ));
+        let mask = _mm256_set1_epi8(0x0f);
+        let lanes = dst.len() / 32;
+        let d_ptr = dst.as_mut_ptr();
+        for i in 0..lanes {
+            let d = _mm256_loadu_si256(d_ptr.add(i * 32) as *const __m256i);
+            let lo = _mm256_and_si256(d, mask);
+            let hi = _mm256_and_si256(_mm256_srli_epi64(d, 4), mask);
+            let prod = _mm256_xor_si256(
+                _mm256_shuffle_epi8(lo_tbl, lo),
+                _mm256_shuffle_epi8(hi_tbl, hi),
+            );
+            _mm256_storeu_si256(d_ptr.add(i * 32) as *mut __m256i, prod);
+        }
+        scale_assign_wide(&mut dst[lanes * 32..], coeff);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn xor_assign_avx2_impl(dst: &mut [u8], src: &[u8]) {
+        let lanes = dst.len() / 32;
+        let d_ptr = dst.as_mut_ptr();
+        let s_ptr = src.as_ptr();
+        for i in 0..lanes {
+            let s = _mm256_loadu_si256(s_ptr.add(i * 32) as *const __m256i);
+            let d = _mm256_loadu_si256(d_ptr.add(i * 32) as *const __m256i);
+            _mm256_storeu_si256(d_ptr.add(i * 32) as *mut __m256i, _mm256_xor_si256(d, s));
+        }
+        xor_assign_wide(&mut dst[lanes * 32..], &src[lanes * 32..]);
+    }
+
+    fn mul_acc_avx2(dst: &mut [u8], src: &[u8], coeff: u8) {
+        // SAFETY: this kernel is only registered after
+        // `is_x86_feature_detected!("avx2")`; lengths checked by the wrapper.
+        unsafe { mul_acc_avx2_impl(dst, src, coeff) }
+    }
+
+    fn scale_assign_avx2(dst: &mut [u8], coeff: u8) {
+        // SAFETY: as above.
+        unsafe { scale_assign_avx2_impl(dst, coeff) }
+    }
+
+    fn xor_assign_avx2(dst: &mut [u8], src: &[u8]) {
+        // SAFETY: as above.
+        unsafe { xor_assign_avx2_impl(dst, src) }
+    }
+
+    pub(super) static AVX2: Kernel = Kernel {
+        name: "avx2",
+        xor_assign: xor_assign_avx2,
+        scale_assign: scale_assign_avx2,
+        mul_acc: mul_acc_avx2,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// aarch64 NEON kernel: split-nibble tbl.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    use super::*;
+    use std::arch::aarch64::*;
+
+    /// # Safety
+    ///
+    /// Caller must ensure `dst.len() == src.len()`. NEON is part of the
+    /// aarch64 baseline, so no feature detection is required.
+    unsafe fn mul_acc_neon_impl(dst: &mut [u8], src: &[u8], coeff: u8) {
+        let lo_tbl = vld1q_u8(TABLES.nib_lo[coeff as usize].as_ptr());
+        let hi_tbl = vld1q_u8(TABLES.nib_hi[coeff as usize].as_ptr());
+        let mask = vdupq_n_u8(0x0f);
+        let lanes = dst.len() / 16;
+        let d_ptr = dst.as_mut_ptr();
+        let s_ptr = src.as_ptr();
+        for i in 0..lanes {
+            let s = vld1q_u8(s_ptr.add(i * 16));
+            let lo = vandq_u8(s, mask);
+            let hi = vshrq_n_u8(s, 4);
+            let prod = veorq_u8(vqtbl1q_u8(lo_tbl, lo), vqtbl1q_u8(hi_tbl, hi));
+            let d = vld1q_u8(d_ptr.add(i * 16));
+            vst1q_u8(d_ptr.add(i * 16), veorq_u8(d, prod));
+        }
+        mul_acc_wide(&mut dst[lanes * 16..], &src[lanes * 16..], coeff);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure `dst.len() == src.len()` (NEON is baseline).
+    unsafe fn scale_assign_neon_impl(dst: &mut [u8], coeff: u8) {
+        let lo_tbl = vld1q_u8(TABLES.nib_lo[coeff as usize].as_ptr());
+        let hi_tbl = vld1q_u8(TABLES.nib_hi[coeff as usize].as_ptr());
+        let mask = vdupq_n_u8(0x0f);
+        let lanes = dst.len() / 16;
+        let d_ptr = dst.as_mut_ptr();
+        for i in 0..lanes {
+            let d = vld1q_u8(d_ptr.add(i * 16));
+            let lo = vandq_u8(d, mask);
+            let hi = vshrq_n_u8(d, 4);
+            let prod = veorq_u8(vqtbl1q_u8(lo_tbl, lo), vqtbl1q_u8(hi_tbl, hi));
+            vst1q_u8(d_ptr.add(i * 16), prod);
+        }
+        scale_assign_wide(&mut dst[lanes * 16..], coeff);
+    }
+
+    fn mul_acc_neon(dst: &mut [u8], src: &[u8], coeff: u8) {
+        // SAFETY: NEON is baseline on aarch64; lengths checked by the wrapper.
+        unsafe { mul_acc_neon_impl(dst, src, coeff) }
+    }
+
+    fn scale_assign_neon(dst: &mut [u8], coeff: u8) {
+        // SAFETY: as above.
+        unsafe { scale_assign_neon_impl(dst, coeff) }
+    }
+
+    pub(super) static NEON: Kernel = Kernel {
+        name: "neon",
+        xor_assign: xor_assign_wide,
+        scale_assign: scale_assign_neon,
+        mul_acc: mul_acc_neon,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// Every kernel the current host can execute, widest first.
+pub fn all() -> Vec<&'static Kernel> {
+    let mut kernels: Vec<&'static Kernel> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            kernels.push(&x86::AVX2);
+        }
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            kernels.push(&x86::SSSE3);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        kernels.push(&arm::NEON);
+    }
+    kernels.push(&WIDE);
+    kernels.push(&REFERENCE);
+    kernels
+}
+
+/// The portable scalar kernel (differential-testing baseline).
+pub fn reference() -> &'static Kernel {
+    &REFERENCE
+}
+
+fn select() -> &'static Kernel {
+    if let Ok(name) = std::env::var("DRC_GF_KERNEL") {
+        if let Some(k) = all().into_iter().find(|k| k.name() == name) {
+            return k;
+        }
+    }
+    all()[0]
+}
+
+/// The kernel used by [`crate::slice`]: the widest supported one, selected
+/// once and cached.
+pub fn active() -> &'static Kernel {
+    static ACTIVE: AtomicPtr<Kernel> = AtomicPtr::new(std::ptr::null_mut());
+    let cached = ACTIVE.load(Ordering::Relaxed);
+    if !cached.is_null() {
+        // SAFETY: the pointer was stored from a `&'static Kernel` below.
+        return unsafe { &*cached };
+    }
+    let chosen = select();
+    ACTIVE.store(chosen as *const Kernel as *mut Kernel, Ordering::Relaxed);
+    chosen
+}

@@ -6,9 +6,11 @@
 //! GF(2^8):
 //!
 //! * [`Gf256`] — a field element with full arithmetic (add/sub = XOR,
-//!   log/antilog-table multiplication, inversion, exponentiation),
+//!   branch-free table multiplication, inversion, exponentiation),
 //! * [`slice`] — bulk operations on byte slices (XOR-accumulate,
-//!   multiply-accumulate) used on whole storage blocks,
+//!   multiply-accumulate, fused matrix×block-vector products) used on whole
+//!   storage blocks,
+//! * [`kernel`] — the runtime-dispatched SIMD kernel layer behind [`slice`],
 //! * [`Matrix`] — dense matrices over GF(2^8) with Gauss–Jordan inversion,
 //!   Vandermonde and Cauchy constructors,
 //! * [`Polynomial`] — polynomials over GF(2^8) with evaluation and Lagrange
@@ -16,6 +18,32 @@
 //! * [`ReedSolomon`] — a systematic Reed–Solomon erasure codec built on the
 //!   matrix machinery; it backs both the stand-alone RS baseline and the
 //!   global-parity computation of the heptagon-local code.
+//!
+//! # Kernel dispatch and performance
+//!
+//! Bulk operations bottom out in split-nibble table-lookup kernels: for a
+//! coefficient `c`, the products of `c` with all 16 low nibbles and all 16
+//! high nibbles are precomputed (at compile time, for every `c`) into two
+//! 16-byte tables, so a single `pshufb`/`tbl` instruction multiplies 16–32
+//! bytes at once; see the `tables` internals and [`kernel`] for the
+//! exact variants (AVX2, SSSE3, NEON, portable wide-scalar, reference). The
+//! widest kernel the CPU supports is detected **once** per process via
+//! `is_x86_feature_detected!` and cached; everything in [`slice`] then
+//! dispatches through two function-pointer loads per *block-sized* call.
+//!
+//! Encode paths are allocation-free end to end: callers hand
+//! [`ReedSolomon::encode_into`] (and the `*_into` functions in [`slice`])
+//! caller-owned output buffers, and the fused [`slice::matrix_mul_into`]
+//! applies the whole parity sub-matrix one cache tile at a time rather than
+//! one full pass per parity row.
+//!
+//! # Safety
+//!
+//! The crate is `#![deny(unsafe_code)]` with a single, audited exception: the
+//! [`kernel`] module, whose module docs state the two invariants (CPU feature
+//! verified before a SIMD kernel becomes reachable; all pointer arithmetic
+//! in-bounds with unaligned-tolerant loads/stores) that every `unsafe` block
+//! there upholds.
 //!
 //! # Example
 //!
@@ -41,22 +69,29 @@
 //!     .collect();
 //! let recovered = rs.reconstruct(&present, 16)?;
 //! assert_eq!(recovered[1], vec![1u8; 16]);
+//!
+//! // Zero-allocation encoding into caller-owned parity buffers.
+//! let mut parity = vec![vec![0u8; 16]; 2];
+//! rs.encode_into(&data, &mut parity)?;
+//! assert_eq!(parity[0], recovered[4]);
 //! # Ok(())
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod gf256;
+pub mod kernel;
 mod matrix;
 mod poly;
 mod rs;
 pub mod slice;
+mod tables;
 
 pub use error::GfError;
-pub use gf256::Gf256;
+pub use gf256::{Gf256, FIELD_SIZE, GROUP_ORDER, PRIMITIVE_POLY};
 pub use matrix::Matrix;
 pub use poly::Polynomial;
 pub use rs::ReedSolomon;

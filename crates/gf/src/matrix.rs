@@ -163,6 +163,18 @@ impl Matrix {
         self.data.chunks_exact(self.cols)
     }
 
+    /// Returns rows `start..end` as one contiguous row-major coefficient
+    /// slab (the matrix is stored row-major), suitable for
+    /// [`crate::slice::matrix_mul_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.rows()`.
+    pub fn rows_flat(&self, start: usize, end: usize) -> &[Gf256] {
+        assert!(start <= end && end <= self.rows, "row range out of bounds");
+        &self.data[start * self.cols..end * self.cols]
+    }
+
     /// Returns a new matrix consisting of the selected rows, in order.
     ///
     /// # Panics
@@ -394,7 +406,10 @@ mod tests {
         assert_eq!(v.rows(), 3);
         assert_eq!(v.cols(), 4);
         // Row 0: 0^0, 0^1, ... = 1, 0, 0, 0
-        assert_eq!(v.row(0), &[Gf256::ONE, Gf256::ZERO, Gf256::ZERO, Gf256::ZERO]);
+        assert_eq!(
+            v.row(0),
+            &[Gf256::ONE, Gf256::ZERO, Gf256::ZERO, Gf256::ZERO]
+        );
         // Row 1: all ones.
         assert!(v.row(1).iter().all(|x| *x == Gf256::ONE));
     }
@@ -419,7 +434,10 @@ mod tests {
                     sub[(r, j)] = c[(r, col)];
                 }
             }
-            assert!(sub.is_invertible(), "cauchy submatrix {cols:?} not invertible");
+            assert!(
+                sub.is_invertible(),
+                "cauchy submatrix {cols:?} not invertible"
+            );
         }
     }
 
@@ -460,7 +478,10 @@ mod tests {
     #[test]
     fn non_square_inverse_rejected() {
         let m = Matrix::zero(2, 3);
-        assert!(matches!(m.inverse(), Err(GfError::DimensionMismatch { .. })));
+        assert!(matches!(
+            m.inverse(),
+            Err(GfError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -136,7 +136,9 @@ impl Polynomial {
                 basis = basis.mul(&Polynomial::new(vec![xj, Gf256::ONE]));
                 denom *= xi + xj;
             }
-            let denom_inv = denom.checked_inv().map_err(|_| GfError::DuplicateInterpolationPoint)?;
+            let denom_inv = denom
+                .checked_inv()
+                .map_err(|_| GfError::DuplicateInterpolationPoint)?;
             result = result.add(&basis.scale(yi * denom_inv));
         }
         Ok(result)
@@ -233,7 +235,12 @@ mod tests {
 
     #[test]
     fn interpolation_through_arbitrary_points() {
-        let points = vec![(gf(1), gf(9)), (gf(2), gf(200)), (gf(7), gf(0)), (gf(9), gf(77))];
+        let points = vec![
+            (gf(1), gf(9)),
+            (gf(2), gf(200)),
+            (gf(7), gf(0)),
+            (gf(9), gf(77)),
+        ];
         let q = Polynomial::interpolate(&points).unwrap();
         assert!(q.degree().unwrap_or(0) < points.len());
         for (x, y) in points {

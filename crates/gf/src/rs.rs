@@ -111,6 +111,62 @@ impl ReedSolomon {
     /// Returns an error if the number of shards is not `k` or shard lengths
     /// differ.
     pub fn encode<S: AsRef<[u8]>>(&self, shards: &[S]) -> Result<Vec<Vec<u8>>, GfError> {
+        let len = self.validate_data_shards(shards)?;
+        let mut out: Vec<Vec<u8>> = shards.iter().map(|s| s.as_ref().to_vec()).collect();
+        out.resize(self.total_shards(), vec![0u8; len]);
+        let (data, parity) = out.split_at_mut(self.data);
+        self.encode_into(&*data, parity)?;
+        Ok(out)
+    }
+
+    /// Computes the parity shards into caller-owned output buffers, without
+    /// allocating.
+    ///
+    /// `parity_out` must hold exactly `m` buffers, each of the common shard
+    /// length; they are fully overwritten (no zeroing needed beforehand).
+    /// This is the hot encode path: it applies the whole parity sub-matrix
+    /// through the fused, cache-blocked [`slice::matrix_mul_into`] and
+    /// performs **no heap allocation** — per block or otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number or lengths of the data shards are
+    /// wrong, or if `parity_out` does not match the parity count / shard
+    /// length.
+    pub fn encode_into<S, B>(&self, shards: &[S], parity_out: &mut [B]) -> Result<(), GfError>
+    where
+        S: AsRef<[u8]>,
+        B: AsMut<[u8]>,
+    {
+        let len = self.validate_data_shards(shards)?;
+        if parity_out.len() != self.parity {
+            return Err(GfError::WrongShardCount {
+                expected: self.parity,
+                found: parity_out.len(),
+            });
+        }
+        if parity_out.iter_mut().any(|b| b.as_mut().len() != len) {
+            return Err(GfError::UnequalShardLengths);
+        }
+        let coeffs = self.generator.rows_flat(self.data, self.total_shards());
+        slice::matrix_mul_into(coeffs, self.data, shards, parity_out);
+        Ok(())
+    }
+
+    /// Computes only the parity shards for the given data shards.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`ReedSolomon::encode`].
+    pub fn encode_parity<S: AsRef<[u8]>>(&self, shards: &[S]) -> Result<Vec<Vec<u8>>, GfError> {
+        let len = self.validate_data_shards(shards)?;
+        let mut parity = vec![vec![0u8; len]; self.parity];
+        self.encode_into(shards, &mut parity)?;
+        Ok(parity)
+    }
+
+    /// Checks shard count and length consistency, returning the shard length.
+    fn validate_data_shards<S: AsRef<[u8]>>(&self, shards: &[S]) -> Result<usize, GfError> {
         if shards.len() != self.data {
             return Err(GfError::WrongShardCount {
                 expected: self.data,
@@ -121,22 +177,7 @@ impl ReedSolomon {
         if shards.iter().any(|s| s.as_ref().len() != len) {
             return Err(GfError::UnequalShardLengths);
         }
-        let mut out: Vec<Vec<u8>> = shards.iter().map(|s| s.as_ref().to_vec()).collect();
-        for p in 0..self.parity {
-            let coeffs = self.parity_row(p);
-            out.push(slice::linear_combination(coeffs, shards, len));
-        }
-        Ok(out)
-    }
-
-    /// Computes only the parity shards for the given data shards.
-    ///
-    /// # Errors
-    ///
-    /// Same error conditions as [`ReedSolomon::encode`].
-    pub fn encode_parity<S: AsRef<[u8]>>(&self, shards: &[S]) -> Result<Vec<Vec<u8>>, GfError> {
-        let all = self.encode(shards)?;
-        Ok(all[self.data..].to_vec())
+        Ok(len)
     }
 
     /// Verifies that a complete set of shards is consistent with the code.
@@ -174,11 +215,48 @@ impl ReedSolomon {
         present: &[Option<&[u8]>],
         shard_len: usize,
     ) -> Result<Vec<Vec<u8>>, GfError> {
+        let mut out = vec![vec![0u8; shard_len]; self.total_shards()];
+        self.reconstruct_into(present, shard_len, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reconstructs all `k + m` shards into caller-owned output buffers.
+    ///
+    /// Semantics match [`ReedSolomon::reconstruct`]; `out` must hold
+    /// `k + m` buffers of length `shard_len`, which are fully overwritten.
+    /// No block-sized buffers are allocated: surviving data shards are
+    /// copied, missing ones decoded directly into their output buffer, and
+    /// parities re-encoded through the fused zero-allocation path (only the
+    /// small `k × k` decoding matrix is heap-allocated, and only when a data
+    /// shard is actually missing).
+    ///
+    /// # Errors
+    ///
+    /// As [`ReedSolomon::reconstruct`], plus an error if `out` has the wrong
+    /// shard count or lengths.
+    pub fn reconstruct_into<B>(
+        &self,
+        present: &[Option<&[u8]>],
+        shard_len: usize,
+        out: &mut [B],
+    ) -> Result<(), GfError>
+    where
+        B: AsRef<[u8]> + AsMut<[u8]>,
+    {
         if present.len() != self.total_shards() {
             return Err(GfError::WrongShardCount {
                 expected: self.total_shards(),
                 found: present.len(),
             });
+        }
+        if out.len() != self.total_shards() {
+            return Err(GfError::WrongShardCount {
+                expected: self.total_shards(),
+                found: out.len(),
+            });
+        }
+        if out.iter_mut().any(|b| b.as_mut().len() != shard_len) {
+            return Err(GfError::UnequalShardLengths);
         }
         let available: Vec<usize> = present
             .iter()
@@ -191,36 +269,44 @@ impl ReedSolomon {
                 present: available.len(),
             });
         }
-        if present
-            .iter()
-            .flatten()
-            .any(|s| s.len() != shard_len)
-        {
+        if present.iter().flatten().any(|s| s.len() != shard_len) {
             return Err(GfError::UnequalShardLengths);
         }
 
-        // Select k surviving rows of the generator and invert them to obtain
-        // the decoding matrix.
-        let chosen = &available[..self.data];
-        let sub = self.generator.select_rows(chosen);
-        let decode = sub.inverse()?;
+        let (data_out, parity_out) = out.split_at_mut(self.data);
 
-        // Recover the data shards: data_j = sum_i decode[j][i] * shard[chosen[i]].
-        let chosen_shards: Vec<&[u8]> = chosen
-            .iter()
-            .map(|&i| present[i].expect("chosen shard must be present"))
-            .collect();
-        let mut data_shards: Vec<Vec<u8>> = Vec::with_capacity(self.data);
-        for j in 0..self.data {
-            data_shards.push(slice::linear_combination(
-                decode.row(j),
-                &chosen_shards,
-                shard_len,
-            ));
+        if (0..self.data).all(|j| present[j].is_some()) {
+            // All data shards survive: plain copies, no matrix inversion.
+            for (j, buf) in data_out.iter_mut().enumerate() {
+                buf.as_mut()
+                    .copy_from_slice(present[j].expect("checked present"));
+            }
+        } else {
+            // Select k surviving rows of the generator and invert them to
+            // obtain the decoding matrix.
+            let chosen = &available[..self.data];
+            let sub = self.generator.select_rows(chosen);
+            let decode = sub.inverse()?;
+            let chosen_shards: Vec<&[u8]> = chosen
+                .iter()
+                .map(|&i| present[i].expect("chosen shard must be present"))
+                .collect();
+            // Recover each data shard directly into its output buffer:
+            // data_j = sum_i decode[j][i] * shard[chosen[i]]. Surviving data
+            // shards are cheaper to copy than to re-derive.
+            for (j, buf) in data_out.iter_mut().enumerate() {
+                match present[j] {
+                    Some(shard) => buf.as_mut().copy_from_slice(shard),
+                    None => {
+                        slice::linear_combination_into(decode.row(j), &chosen_shards, buf.as_mut())
+                    }
+                }
+            }
         }
-        // Re-encode to obtain every shard (cheaper than special-casing which
-        // parities were lost, and sizes here are tiny).
-        self.encode(&data_shards)
+        // Re-encode every parity from the recovered data (fused, no
+        // allocation); restoring surviving parities by copy would cost the
+        // same memory traffic.
+        self.encode_into(&*data_out, parity_out)
     }
 }
 

@@ -1,11 +1,29 @@
 //! Bulk GF(2^8) operations on byte slices.
 //!
 //! Storage blocks are megabytes of payload; encoding and repairing them means
-//! applying the same field operation to every byte of a block. These helpers
-//! are the building blocks used by the Reed–Solomon codec and by the XOR
-//! parities of the pentagon/heptagon codes.
+//! applying the same field operation to every byte of a block. Every function
+//! here dispatches to the widest SIMD [`kernel`](crate::kernel) the host CPU
+//! supports (AVX2 / SSSE3 / NEON / portable), selected once per process.
+//!
+//! Two API tiers:
+//!
+//! * the original allocating helpers ([`xor_all`], [`linear_combination`])
+//!   used by cold paths and tests, and
+//! * zero-allocation `*_into` variants ([`linear_combination_into`],
+//!   [`matrix_mul_into`]) where the caller owns every output buffer —
+//!   [`matrix_mul_into`] additionally applies a whole parity sub-matrix per
+//!   cache tile (all outputs advance together through one [`TILE`]-sized
+//!   window of the inputs) instead of making one full pass per output row,
+//!   which is what the Reed–Solomon encoder and the erasure-code stripe
+//!   encoders build on.
 
+use crate::kernel;
 use crate::Gf256;
+
+/// Tile width (bytes) for the fused matrix–vector product: small enough that
+/// one source tile plus a handful of output tiles stay resident in L1 while
+/// every parity row consumes the source tile.
+pub const TILE: usize = 4096;
 
 /// XOR-accumulates `src` into `dst` (`dst[i] += src[i]` over GF(2^8)).
 ///
@@ -18,9 +36,7 @@ pub fn xor_assign(dst: &mut [u8], src: &[u8]) {
         src.len(),
         "xor_assign requires equal-length slices"
     );
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= *s;
-    }
+    kernel::active().xor_assign(dst, src);
 }
 
 /// Returns the element-wise XOR of all input slices.
@@ -50,9 +66,7 @@ pub fn scale_assign(data: &mut [u8], coeff: Gf256) {
         data.fill(0);
         return;
     }
-    for b in data.iter_mut() {
-        *b = Gf256::mul_bytes(*b, coeff.value());
-    }
+    kernel::active().scale_assign(data, coeff.value());
 }
 
 /// Computes `dst[i] += coeff * src[i]` over GF(2^8).
@@ -70,13 +84,10 @@ pub fn mul_acc(dst: &mut [u8], src: &[u8], coeff: Gf256) {
         return;
     }
     if coeff == Gf256::ONE {
-        xor_assign(dst, src);
+        kernel::active().xor_assign(dst, src);
         return;
     }
-    let c = coeff.value();
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= Gf256::mul_bytes(*s, c);
-    }
+    kernel::active().mul_acc(dst, src, coeff.value());
 }
 
 /// Computes the linear combination `sum_j coeffs[j] * blocks[j]`.
@@ -88,16 +99,92 @@ pub fn mul_acc(dst: &mut [u8], src: &[u8], coeff: Gf256) {
 /// Panics if `coeffs` and `blocks` have different lengths, or if any block's
 /// length differs from `len`.
 pub fn linear_combination<S: AsRef<[u8]>>(coeffs: &[Gf256], blocks: &[S], len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    linear_combination_into(coeffs, blocks, &mut out);
+    out
+}
+
+/// Computes `out = sum_j coeffs[j] * blocks[j]` into a caller-owned buffer.
+///
+/// Allocation-free: `out` is fully overwritten (it does not need to be
+/// zeroed beforehand).
+///
+/// # Panics
+///
+/// Panics if `coeffs` and `blocks` have different lengths, or if any block's
+/// length differs from `out.len()`.
+pub fn linear_combination_into<S: AsRef<[u8]>>(coeffs: &[Gf256], blocks: &[S], out: &mut [u8]) {
     assert_eq!(
         coeffs.len(),
         blocks.len(),
         "one coefficient is required per block"
     );
-    let mut out = vec![0u8; len];
+    out.fill(0);
     for (c, b) in coeffs.iter().zip(blocks) {
-        mul_acc(&mut out, b.as_ref(), *c);
+        mul_acc(out, b.as_ref(), *c);
     }
-    out
+}
+
+/// Fused, cache-blocked matrix × block-vector product:
+/// `outs[p] = sum_j coeffs[p * k + j] * blocks[j]` for every output row `p`.
+///
+/// `coeffs` is a row-major `outs.len() × k` coefficient matrix (one row per
+/// output block). Instead of computing each output with a separate full pass
+/// over the inputs, the product walks the blocks one [`TILE`] at a time and
+/// applies the *whole* sub-matrix to that tile, so each source tile is read
+/// from L1 once per output row instead of once per output row per pass, and
+/// the output tiles stay cache-resident across all `k` accumulations.
+///
+/// Allocation-free: callers own every buffer; `outs` are fully overwritten.
+///
+/// # Panics
+///
+/// Panics if `blocks.len() != k`, `coeffs.len() != outs.len() * k`, or any
+/// block/output length differs from the common block length.
+pub fn matrix_mul_into<S, B>(coeffs: &[Gf256], k: usize, blocks: &[S], outs: &mut [B])
+where
+    S: AsRef<[u8]>,
+    B: AsMut<[u8]>,
+{
+    assert_eq!(blocks.len(), k, "one block per matrix column is required");
+    assert_eq!(
+        coeffs.len(),
+        outs.len() * k,
+        "coefficient matrix must be outs.len() x k"
+    );
+    let len = blocks
+        .first()
+        .map(|b| b.as_ref().len())
+        .unwrap_or_else(|| outs.first_mut().map(|o| o.as_mut().len()).unwrap_or(0));
+    for b in blocks {
+        assert_eq!(b.as_ref().len(), len, "blocks must have equal lengths");
+    }
+    for o in outs.iter_mut() {
+        let o = o.as_mut();
+        assert_eq!(o.len(), len, "outputs must match the block length");
+        o.fill(0);
+    }
+    let kern = kernel::active();
+    let mut start = 0;
+    while start < len {
+        let end = (start + TILE).min(len);
+        for (j, block) in blocks.iter().enumerate() {
+            let src = &block.as_ref()[start..end];
+            for (p, out) in outs.iter_mut().enumerate() {
+                let c = coeffs[p * k + j];
+                if c == Gf256::ZERO {
+                    continue;
+                }
+                let dst = &mut out.as_mut()[start..end];
+                if c == Gf256::ONE {
+                    kern.xor_assign(dst, src);
+                } else {
+                    kern.mul_acc(dst, src, c.value());
+                }
+            }
+        }
+        start = end;
+    }
 }
 
 #[cfg(test)]
@@ -190,5 +277,45 @@ mod tests {
         let blocks: Vec<Vec<u8>> = vec![];
         let coeffs: Vec<Gf256> = vec![];
         assert_eq!(linear_combination(&coeffs, &blocks, 4), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn linear_combination_into_overwrites_dirty_buffer() {
+        let blocks = vec![vec![3u8; 8], vec![5u8; 8]];
+        let coeffs = [Gf256::new(2), Gf256::new(7)];
+        let fresh = linear_combination(&coeffs, &blocks, 8);
+        let mut out = vec![0xffu8; 8];
+        linear_combination_into(&coeffs, &blocks, &mut out);
+        assert_eq!(out, fresh);
+    }
+
+    #[test]
+    fn matrix_mul_into_matches_row_by_row() {
+        // 3 outputs x 4 inputs, over lengths spanning several tiles.
+        let k = 4;
+        let len = 3 * TILE + 17;
+        let blocks: Vec<Vec<u8>> = (0..k)
+            .map(|j| (0..len).map(|i| (i * 31 + j * 7 + 1) as u8).collect())
+            .collect();
+        let coeffs: Vec<Gf256> = (0..3 * k)
+            .map(|i| Gf256::new([0, 1, 2, 0x1d, 0x80, 255][i % 6]))
+            .collect();
+        let mut outs = vec![vec![0xabu8; len], vec![0xcdu8; len], vec![0xefu8; len]];
+        matrix_mul_into(&coeffs, k, &blocks, &mut outs);
+        for p in 0..3 {
+            let row = &coeffs[p * k..(p + 1) * k];
+            assert_eq!(outs[p], linear_combination(row, &blocks, len), "row {p}");
+        }
+    }
+
+    #[test]
+    fn matrix_mul_into_zero_outputs_and_blocks() {
+        let blocks: Vec<Vec<u8>> = vec![];
+        let coeffs: Vec<Gf256> = vec![];
+        let mut outs: Vec<Vec<u8>> = vec![];
+        matrix_mul_into(&coeffs, 0, &blocks, &mut outs);
+        let mut outs = vec![vec![7u8; 5]];
+        matrix_mul_into(&[], 0, &blocks, &mut outs);
+        assert_eq!(outs[0], vec![0u8; 5], "no inputs yields the zero block");
     }
 }

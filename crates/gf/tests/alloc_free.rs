@@ -1,0 +1,92 @@
+//! Proves the zero-allocation claim of the `*_into` encode paths with a
+//! counting global allocator: once buffers exist and the kernel dispatch is
+//! warm, `ReedSolomon::encode_into`, `slice::linear_combination_into` and
+//! `slice::matrix_mul_into` perform no heap allocation at all.
+//!
+//! This lives in its own integration-test binary so no concurrently running
+//! test can pollute the allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use drc_gf::{slice, Gf256, ReedSolomon};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// The allocator forwards straight to the system allocator; `unsafe` is
+// required by the GlobalAlloc contract, not by anything this test does.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn encode_into_is_allocation_free() {
+    let rs = ReedSolomon::new(10, 4).expect("valid parameters");
+    let shard = 8 * 1024;
+    let data: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8 + 1; shard]).collect();
+    let mut parity = vec![vec![0u8; shard]; 4];
+
+    // Warm up the cached kernel selection (and any lazy statics).
+    rs.encode_into(&data, &mut parity).expect("encodes");
+
+    let before = allocations();
+    for _ in 0..32 {
+        rs.encode_into(&data, &mut parity).expect("encodes");
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "encode_into must not allocate with caller-owned buffers"
+    );
+
+    // The result is still correct, not just fast.
+    let coded = rs.encode(&data).expect("encodes");
+    assert_eq!(parity.as_slice(), &coded[10..]);
+}
+
+#[test]
+fn slice_into_helpers_are_allocation_free() {
+    let len = 4 * 1024;
+    let blocks: Vec<Vec<u8>> = (0..6).map(|i| vec![(i * 17 + 3) as u8; len]).collect();
+    let coeffs: Vec<Gf256> = (1..=6).map(Gf256::new).collect();
+    let mut out = vec![0u8; len];
+    let mut outs = vec![vec![0u8; len]; 2];
+    let matrix: Vec<Gf256> = (1..=12).map(Gf256::new).collect();
+
+    slice::linear_combination_into(&coeffs, &blocks, &mut out);
+    slice::matrix_mul_into(&matrix, 6, &blocks, &mut outs);
+
+    let before = allocations();
+    for _ in 0..32 {
+        slice::linear_combination_into(&coeffs, &blocks, &mut out);
+        slice::matrix_mul_into(&matrix, 6, &blocks, &mut outs);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "slice *_into helpers must not allocate"
+    );
+}

@@ -1,10 +1,44 @@
-//! Property-based tests for the GF(2^8) field, matrices and the RS codec.
+//! Property-based tests for the GF(2^8) field, matrices and the RS codec —
+//! including differential tests that every bulk kernel variant (SIMD,
+//! wide-scalar, reference) agrees byte-for-byte.
 
-use drc_gf::{slice, Gf256, Matrix, Polynomial, ReedSolomon};
+use drc_gf::{kernel, slice, Gf256, Matrix, Polynomial, ReedSolomon};
 use proptest::prelude::*;
 
 fn gf_elem() -> impl Strategy<Value = Gf256> {
     any::<u8>().prop_map(Gf256::new)
+}
+
+/// Deterministic pseudo-random buffer from a seed (keeps the strategies
+/// cheap: generating whole megabyte buffers through proptest would dominate
+/// the run time).
+fn fill(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+/// Lengths that exercise empty input, single bytes, lane remainders and
+/// multi-lane spans for every kernel width (8/16/32 bytes).
+fn awkward_len() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(1usize),
+        Just(7usize),
+        Just(8usize),
+        Just(15usize),
+        Just(16usize),
+        Just(31usize),
+        Just(32usize),
+        Just(33usize),
+        1usize..260,
+    ]
 }
 
 proptest! {
@@ -90,6 +124,138 @@ proptest! {
             .collect();
         let q = Polynomial::interpolate(&points).unwrap();
         prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn kernels_agree_on_mul_acc(
+        len in awkward_len(),
+        offset in 0usize..17,
+        coeff in prop_oneof![Just(0u8), Just(1u8), any::<u8>()],
+        seed in any::<u64>(),
+    ) {
+        // Operate on a sub-slice at `offset` so the SIMD paths see every
+        // possible misalignment of the 16/32-byte lanes.
+        let src = fill(seed, offset + len);
+        let dst0 = fill(seed ^ 0xabcd, offset + len);
+        let mut expected = dst0.clone();
+        kernel::reference().mul_acc(&mut expected[offset..], &src[offset..], coeff);
+        for kern in kernel::all() {
+            let mut dst = dst0.clone();
+            kern.mul_acc(&mut dst[offset..], &src[offset..], coeff);
+            prop_assert_eq!(&dst, &expected, "kernel {} disagrees (len={}, offset={}, coeff={:#04x})", kern.name(), len, offset, coeff);
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_xor_and_scale(
+        len in awkward_len(),
+        offset in 0usize..17,
+        coeff in prop_oneof![Just(0u8), Just(1u8), any::<u8>()],
+        seed in any::<u64>(),
+    ) {
+        let src = fill(seed, offset + len);
+        let dst0 = fill(seed ^ 0x1234, offset + len);
+        let mut expected_xor = dst0.clone();
+        kernel::reference().xor_assign(&mut expected_xor[offset..], &src[offset..]);
+        let mut expected_scale = dst0.clone();
+        kernel::reference().scale_assign(&mut expected_scale[offset..], coeff);
+        for kern in kernel::all() {
+            let mut dst = dst0.clone();
+            kern.xor_assign(&mut dst[offset..], &src[offset..]);
+            prop_assert_eq!(&dst, &expected_xor, "xor: kernel {} disagrees", kern.name());
+            let mut dst = dst0.clone();
+            kern.scale_assign(&mut dst[offset..], coeff);
+            prop_assert_eq!(&dst, &expected_scale, "scale: kernel {} disagrees (coeff={:#04x})", kern.name(), coeff);
+        }
+    }
+
+    #[test]
+    fn kernel_mul_acc_matches_field_arithmetic(
+        len in 1usize..80,
+        coeff in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        // The kernels must implement the same field the scalar Gf256 does.
+        let src = fill(seed, len);
+        let mut dst = fill(seed ^ 0x77, len);
+        let expected: Vec<u8> = dst
+            .iter()
+            .zip(&src)
+            .map(|(d, s)| d ^ (Gf256::new(*s) * Gf256::new(coeff)).value())
+            .collect();
+        slice::mul_acc(&mut dst, &src, Gf256::new(coeff));
+        prop_assert_eq!(dst, expected);
+    }
+
+    #[test]
+    fn linear_combination_into_matches_allocating(
+        k in 1usize..8,
+        len in awkward_len(),
+        seed in any::<u64>(),
+    ) {
+        let blocks: Vec<Vec<u8>> = (0..k).map(|j| fill(seed ^ j as u64, len)).collect();
+        let coeffs: Vec<Gf256> = (0..k).map(|j| Gf256::new(fill(seed ^ 0xfe, k)[j])).collect();
+        let expected = slice::linear_combination(&coeffs, &blocks, len);
+        let mut out = fill(!seed, len); // dirty buffer must be overwritten
+        slice::linear_combination_into(&coeffs, &blocks, &mut out);
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn matrix_mul_into_matches_row_by_row(
+        k in 1usize..6,
+        m in 1usize..5,
+        len in awkward_len(),
+        seed in any::<u64>(),
+    ) {
+        let blocks: Vec<Vec<u8>> = (0..k).map(|j| fill(seed ^ j as u64, len)).collect();
+        let coeff_bytes = fill(seed ^ 0xc0ffee, m * k);
+        let coeffs: Vec<Gf256> = coeff_bytes.iter().copied().map(Gf256::new).collect();
+        let mut outs = vec![vec![0xa5u8; len]; m];
+        slice::matrix_mul_into(&coeffs, k, &blocks, &mut outs);
+        for p in 0..m {
+            let expected = slice::linear_combination(&coeffs[p * k..(p + 1) * k], &blocks, len);
+            prop_assert_eq!(&outs[p], &expected, "row {}", p);
+        }
+    }
+
+    #[test]
+    fn encode_into_equals_encode(
+        k in 1usize..9,
+        m in 1usize..5,
+        len in awkward_len(),
+        seed in any::<u64>(),
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let data: Vec<Vec<u8>> = (0..k).map(|j| fill(seed ^ j as u64, len)).collect();
+        let coded = rs.encode(&data).unwrap();
+        prop_assert_eq!(&coded[..k], data.as_slice(), "systematic prefix");
+        let mut parity = vec![vec![0u8; len]; m];
+        rs.encode_into(&data, &mut parity).unwrap();
+        prop_assert_eq!(parity.as_slice(), &coded[k..]);
+    }
+
+    #[test]
+    fn reconstruct_into_equals_reconstruct(
+        k in 2usize..7,
+        m in 1usize..4,
+        len in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let data: Vec<Vec<u8>> = (0..k).map(|j| fill(seed ^ j as u64, len)).collect();
+        let coded = rs.encode(&data).unwrap();
+        // Drop the first m shards (worst case: data shards lost).
+        let present: Vec<Option<&[u8]>> = coded
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i >= m).then_some(s.as_slice()))
+            .collect();
+        let rec = rs.reconstruct(&present, len).unwrap();
+        let mut out = vec![vec![0xeeu8; len]; k + m];
+        rs.reconstruct_into(&present, len, &mut out).unwrap();
+        prop_assert_eq!(&out, &rec);
+        prop_assert_eq!(&rec, &coded);
     }
 
     #[test]

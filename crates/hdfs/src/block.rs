@@ -20,7 +20,11 @@ pub struct BlockKey {
 impl BlockKey {
     /// Creates a block key.
     pub fn new(file: FileId, stripe: usize, block: usize) -> Self {
-        BlockKey { file, stripe, block }
+        BlockKey {
+            file,
+            stripe,
+            block,
+        }
     }
 
     /// Returns `true` if this is a data block of a code with `k` data blocks

@@ -104,11 +104,17 @@ mod tests {
             HdfsError::file_not_found(FileId(3)),
             HdfsError::FileExists { name: "a".into() },
             HdfsError::BlockUnavailable {
-                block: BlockKey { file: FileId(1), stripe: 0, block: 2 },
+                block: BlockKey {
+                    file: FileId(1),
+                    stripe: 0,
+                    block: 2,
+                },
                 reason: "all replicas down".into(),
             },
             HdfsError::DataNodeUnavailable { node: 4 },
-            HdfsError::InvalidRequest { reason: "empty".into() },
+            HdfsError::InvalidRequest {
+                reason: "empty".into(),
+            },
             HdfsError::Code(CodeError::UnequalBlockLengths),
             HdfsError::Cluster(ClusterError::UnknownNode { node: 9 }),
         ];

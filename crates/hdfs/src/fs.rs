@@ -21,7 +21,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use drc_cluster::{Cluster, ClusterSpec, NodeId, PlacementMap, PlacementPolicy};
-use drc_codes::{CodeKind, ErasureCode};
+use drc_codes::{CodeKind, ErasureCode, StripeEncoder};
 
 use crate::block::BlockKey;
 use crate::datanode::DataNode;
@@ -64,6 +64,9 @@ pub struct DistributedFileSystem {
     namenode: NameNode,
     datanodes: BTreeMap<NodeId, DataNode>,
     code_cache: BTreeMap<CodeKind, Arc<dyn ErasureCode>>,
+    /// Reusable parity scratch: stripe encodes allocate nothing in steady
+    /// state (the write path and the RaidNode encode stripe after stripe).
+    encoder: StripeEncoder,
     rng: ChaCha8Rng,
     write_network_bytes: u64,
     read_network_bytes: u64,
@@ -89,6 +92,7 @@ impl DistributedFileSystem {
             namenode: NameNode::new(),
             datanodes,
             code_cache: BTreeMap::new(),
+            encoder: StripeEncoder::new(),
             rng: ChaCha8Rng::seed_from_u64(seed),
             write_network_bytes: 0,
             read_network_bytes: 0,
@@ -173,10 +177,16 @@ impl DistributedFileSystem {
                 }
                 stripe_data.push(block);
             }
-            let coded = code.encode(&stripe_data)?;
-            for (block_index, content) in coded.into_iter().enumerate() {
+            // Zero-allocation encode: the parity scratch buffers are reused
+            // across stripes (and across files).
+            let parities = self.encoder.encode(code.as_ref(), &stripe_data)?;
+            for block_index in 0..code.distinct_blocks() {
                 let key = BlockKey::new(id, stripe, block_index);
-                let content = Bytes::from(content);
+                let content = if block_index < k {
+                    Bytes::from(stripe_data[block_index].clone())
+                } else {
+                    Bytes::from(parities[block_index - k].clone())
+                };
                 for &node in meta.block_locations(stripe, block_index) {
                     self.write_network_bytes += content.len() as u64;
                     self.datanodes
@@ -241,18 +251,19 @@ impl DistributedFileSystem {
             .enumerate()
             .filter(|(local, n)| {
                 !self.cluster.is_up(**n)
-                    || code.node_blocks(*local).iter().all(|&b| {
-                        !self.datanodes[*n].contains(&BlockKey::new(meta.id, stripe, b))
-                    })
+                    || code
+                        .node_blocks(*local)
+                        .iter()
+                        .all(|&b| !self.datanodes[*n].contains(&BlockKey::new(meta.id, stripe, b)))
             })
             .map(|(i, _)| i)
             .collect();
-        let plan = code
-            .degraded_read_plan(block, &down_local)
-            .map_err(|e| HdfsError::BlockUnavailable {
+        let plan = code.degraded_read_plan(block, &down_local).map_err(|e| {
+            HdfsError::BlockUnavailable {
                 block: key,
                 reason: e.to_string(),
-            })?;
+            }
+        })?;
         self.read_network_bytes += plan.network_blocks as u64 * meta.block_size;
         let decoded = self.decode_stripe(meta, stripe, code.as_ref())?;
         Ok(decoded[block].clone())
@@ -336,8 +347,7 @@ impl DistributedFileSystem {
                     .enumerate()
                     .filter(|(local, node)| {
                         replaced.contains(node)
-                            && self
-                                .missing_any_block(&meta, stripe, *local, **node, code.as_ref())
+                            && self.missing_any_block(&meta, stripe, *local, **node, code.as_ref())
                     })
                     .map(|(local, _)| local)
                     .collect();
@@ -361,7 +371,10 @@ impl DistributedFileSystem {
                     }
                 };
                 let data_refs: Vec<Vec<u8>> = decoded.iter().map(|b| b.to_vec()).collect();
-                let coded = code.encode(&data_refs)?;
+                // Re-materialise missing blocks through the buffer-reusing
+                // encoder rather than re-allocating the whole coded stripe.
+                let k = code.data_blocks();
+                let parities = self.encoder.encode(code.as_ref(), &data_refs)?;
                 let mut restored_any = false;
                 for &local in &failed_local {
                     let node = stripe_nodes[local];
@@ -372,7 +385,12 @@ impl DistributedFileSystem {
                             .get(&node)
                             .ok_or(HdfsError::DataNodeUnavailable { node: node.0 })?;
                         if !dn.contains(&key) {
-                            dn.store(key, Bytes::from(coded[block].clone()));
+                            let content = if block < k {
+                                data_refs[block].clone()
+                            } else {
+                                parities[block - k].clone()
+                            };
+                            dn.store(key, Bytes::from(content));
                             report.blocks_restored += 1;
                             restored_any = true;
                         }

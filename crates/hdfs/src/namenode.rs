@@ -117,7 +117,9 @@ impl NameNode {
     ///
     /// Returns [`HdfsError::FileNotFound`] if the id is unknown.
     pub fn file(&self, id: FileId) -> Result<&FileMetadata, HdfsError> {
-        self.files.get(&id).ok_or_else(|| HdfsError::file_not_found(id))
+        self.files
+            .get(&id)
+            .ok_or_else(|| HdfsError::file_not_found(id))
     }
 
     /// Looks up a file by name.
@@ -140,7 +142,10 @@ impl NameNode {
     ///
     /// Returns [`HdfsError::FileNotFound`] if the id is unknown.
     pub fn unregister(&mut self, id: FileId) -> Result<FileMetadata, HdfsError> {
-        let meta = self.files.remove(&id).ok_or_else(|| HdfsError::file_not_found(id))?;
+        let meta = self
+            .files
+            .remove(&id)
+            .ok_or_else(|| HdfsError::file_not_found(id))?;
         self.by_name.remove(&meta.name);
         Ok(meta)
     }
@@ -189,8 +194,14 @@ mod tests {
         let cluster = Cluster::new(ClusterSpec::simulation_25(2));
         let code = CodeKind::Pentagon.build().unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        PlacementMap::place(code.as_ref(), &cluster, stripes, PlacementPolicy::Random, &mut rng)
-            .unwrap()
+        PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            stripes,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -233,7 +244,8 @@ mod tests {
         let mut nn = NameNode::new();
         let p = placement(3);
         let node = p.stripes()[0].nodes[0];
-        nn.register("/x", 100, 10, CodeKind::Pentagon, 9, p).unwrap();
+        nn.register("/x", 100, 10, CodeKind::Pentagon, 9, p)
+            .unwrap();
         let blocks = nn.blocks_on_node(node);
         // The node hosts one pentagon stripe-node => 4 blocks of stripe 0
         // (possibly more from other stripes of the same file).

@@ -125,7 +125,12 @@ mod tests {
 
     #[test]
     fn locality_math() {
-        let a = Assignment::new(vec![ta(0, 0, true), ta(1, 1, false), ta(2, 0, true), ta(3, 2, true)]);
+        let a = Assignment::new(vec![
+            ta(0, 0, true),
+            ta(1, 1, false),
+            ta(2, 0, true),
+            ta(3, 2, true),
+        ]);
         assert_eq!(a.len(), 4);
         assert!(!a.is_empty());
         assert_eq!(a.local_tasks(), 3);

@@ -97,7 +97,10 @@ pub fn run_job(
     for task in job.map_tasks() {
         if placement.block_locations(task.block).is_empty() {
             return Err(MapReduceError::InvalidConfig {
-                reason: format!("task block {:?} is not present in the placement", task.block),
+                reason: format!(
+                    "task block {:?} is not present in the placement",
+                    task.block
+                ),
             });
         }
     }
@@ -299,7 +302,13 @@ mod tests {
 
     #[test]
     fn healthy_cluster_metrics_are_consistent() {
-        let m = run(CodeKind::Pentagon, ClusterSpec::simulation_25(2), 50, &[], 3);
+        let m = run(
+            CodeKind::Pentagon,
+            ClusterSpec::simulation_25(2),
+            50,
+            &[],
+            3,
+        );
         assert_eq!(m.map_tasks, 50);
         assert_eq!(m.degraded_reads, 0);
         assert!(m.job_time_s > 0.0);
@@ -307,8 +316,7 @@ mod tests {
         assert!((m.job_time_s - (m.map_phase_s + m.reduce_phase_s)).abs() < 1e-9);
         assert!(m.data_locality_percent() > 0.0 && m.data_locality_percent() <= 100.0);
         // Remote input bytes match the number of non-local tasks.
-        let expected_remote =
-            (m.map_tasks - m.local_map_tasks) as u64 * 128 * 1024 * 1024;
+        let expected_remote = (m.map_tasks - m.local_map_tasks) as u64 * 128 * 1024 * 1024;
         assert_eq!(m.remote_input_bytes, expected_remote);
         assert_eq!(
             m.network_traffic_bytes,
@@ -329,8 +337,20 @@ mod tests {
         let mut pent_local = 0.0;
         let mut rep_local = 0.0;
         for seed in 0..5 {
-            let pent = run(CodeKind::Pentagon, ClusterSpec::simulation_25(2), 50, &[], seed);
-            let rep = run(CodeKind::TWO_REP, ClusterSpec::simulation_25(2), 50, &[], seed);
+            let pent = run(
+                CodeKind::Pentagon,
+                ClusterSpec::simulation_25(2),
+                50,
+                &[],
+                seed,
+            );
+            let rep = run(
+                CodeKind::TWO_REP,
+                ClusterSpec::simulation_25(2),
+                50,
+                &[],
+                seed,
+            );
             pent_traffic += pent.network_traffic_gb();
             rep_traffic += rep.network_traffic_gb();
             pent_time += pent.job_time_s;
@@ -359,7 +379,10 @@ mod tests {
         )
         .unwrap();
         // Take both hosts of data block 0 of stripe 0 down.
-        let block = drc_cluster::GlobalBlockId { stripe: 0, block: 0 };
+        let block = drc_cluster::GlobalBlockId {
+            stripe: 0,
+            block: 0,
+        };
         for &n in placement.block_locations(block) {
             cluster.set_down(n);
         }
@@ -383,10 +406,18 @@ mod tests {
         let code = CodeKind::TWO_REP.build().unwrap();
         let mut cluster = Cluster::new(ClusterSpec::simulation_25(4));
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        let placement =
-            PlacementMap::place(code.as_ref(), &cluster, 1, PlacementPolicy::Random, &mut rng)
-                .unwrap();
-        let block = drc_cluster::GlobalBlockId { stripe: 0, block: 0 };
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            1,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
+        let block = drc_cluster::GlobalBlockId {
+            stripe: 0,
+            block: 0,
+        };
         for &n in placement.block_locations(block) {
             cluster.set_down(n);
         }
@@ -407,12 +438,20 @@ mod tests {
         let code = CodeKind::TWO_REP.build().unwrap();
         let cluster = Cluster::new(ClusterSpec::simulation_25(4));
         let mut rng = ChaCha8Rng::seed_from_u64(8);
-        let placement =
-            PlacementMap::place(code.as_ref(), &cluster, 1, PlacementPolicy::Random, &mut rng)
-                .unwrap();
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            1,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
         let job = JobSpec::new(
             "bogus",
-            vec![drc_cluster::GlobalBlockId { stripe: 7, block: 0 }],
+            vec![drc_cluster::GlobalBlockId {
+                stripe: 7,
+                block: 0,
+            }],
         );
         assert!(matches!(
             run_job(
@@ -442,14 +481,35 @@ mod tests {
         let code = CodeKind::TWO_REP.build().unwrap();
         let cluster = Cluster::new(ClusterSpec::setup2());
         let mut rng = ChaCha8Rng::seed_from_u64(13);
-        let placement =
-            PlacementMap::place(code.as_ref(), &cluster, 18, PlacementPolicy::Random, &mut rng)
-                .unwrap();
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            18,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
         let blocks = placement.data_blocks();
         let narrow = JobSpec::new("sort", blocks.clone()).with_reduce_tasks(1);
         let wide = JobSpec::new("sort", blocks).with_reduce_tasks(18);
-        let m_narrow = run_job(&narrow, code.as_ref(), &placement, &cluster, &DelayScheduler::default(), &mut rng).unwrap();
-        let m_wide = run_job(&wide, code.as_ref(), &placement, &cluster, &DelayScheduler::default(), &mut rng).unwrap();
+        let m_narrow = run_job(
+            &narrow,
+            code.as_ref(),
+            &placement,
+            &cluster,
+            &DelayScheduler::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let m_wide = run_job(
+            &wide,
+            code.as_ref(),
+            &placement,
+            &cluster,
+            &DelayScheduler::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(m_wide.reduce_phase_s < m_narrow.reduce_phase_s);
     }
 
@@ -459,14 +519,26 @@ mod tests {
         let code = CodeKind::Heptagon.build().unwrap();
         let cluster = Cluster::new(ClusterSpec::simulation_25(4));
         let mut rng = ChaCha8Rng::seed_from_u64(21);
-        let placement =
-            PlacementMap::place(code.as_ref(), &cluster, 5, PlacementPolicy::Random, &mut rng)
-                .unwrap();
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            5,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
         let job = JobSpec::new("sweep", placement.data_blocks());
         for kind in SchedulerKind::all() {
             let scheduler = kind.build();
-            let m = run_job(&job, code.as_ref(), &placement, &cluster, scheduler.as_ref(), &mut rng)
-                .unwrap();
+            let m = run_job(
+                &job,
+                code.as_ref(),
+                &placement,
+                &cluster,
+                scheduler.as_ref(),
+                &mut rng,
+            )
+            .unwrap();
             assert_eq!(m.map_tasks, 100);
             assert!(m.job_time_s.is_finite());
         }

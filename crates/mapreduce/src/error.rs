@@ -28,7 +28,9 @@ pub enum MapReduceError {
 impl fmt::Display for MapReduceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MapReduceError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            MapReduceError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
             MapReduceError::Cluster(e) => write!(f, "cluster error: {e}"),
             MapReduceError::Code(e) => write!(f, "code error: {e}"),
             MapReduceError::UnreadableBlock { block, source } => write!(
@@ -70,7 +72,9 @@ mod tests {
     #[test]
     fn display_and_sources() {
         use std::error::Error;
-        let e = MapReduceError::InvalidConfig { reason: "zero trials".into() };
+        let e = MapReduceError::InvalidConfig {
+            reason: "zero trials".into(),
+        };
         assert!(!e.to_string().is_empty());
         assert!(e.source().is_none());
         let e: MapReduceError = ClusterError::UnknownNode { node: 1 }.into();
@@ -78,7 +82,10 @@ mod tests {
         let e: MapReduceError = CodeError::UnequalBlockLengths.into();
         assert!(e.source().is_some());
         let e = MapReduceError::UnreadableBlock {
-            block: GlobalBlockId { stripe: 0, block: 1 },
+            block: GlobalBlockId {
+                stripe: 0,
+                block: 1,
+            },
             source: CodeError::UnequalBlockLengths,
         };
         assert!(e.to_string().contains("stripe 0"));

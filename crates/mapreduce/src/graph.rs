@@ -55,10 +55,7 @@ impl TaskNodeGraph {
                 .filter(|n| cluster.is_up(*n))
                 .collect();
             for &n in &local_nodes {
-                node_tasks
-                    .entry(n)
-                    .or_default()
-                    .push(task.id);
+                node_tasks.entry(n).or_default().push(task.id);
             }
             vertices.push(TaskVertex {
                 task: task.id,
@@ -117,7 +114,10 @@ impl TaskNodeGraph {
         if self.tasks.is_empty() {
             return 0.0;
         }
-        self.tasks.iter().map(|t| t.local_nodes.len()).sum::<usize>() as f64
+        self.tasks
+            .iter()
+            .map(|t| t.local_nodes.len())
+            .sum::<usize>() as f64
             / self.tasks.len() as f64
     }
 }
@@ -146,7 +146,10 @@ mod tests {
             .data_blocks()
             .into_iter()
             .enumerate()
-            .map(|(i, block)| MapTask { id: TaskId(i), block })
+            .map(|(i, block)| MapTask {
+                id: TaskId(i),
+                block,
+            })
             .collect();
         (cluster, placement, tasks)
     }

@@ -59,7 +59,10 @@ impl JobSpec {
         let map_tasks = blocks
             .into_iter()
             .enumerate()
-            .map(|(i, block)| MapTask { id: TaskId(i), block })
+            .map(|(i, block)| MapTask {
+                id: TaskId(i),
+                block,
+            })
             .collect();
         JobSpec {
             name: name.into(),
@@ -144,7 +147,12 @@ mod tests {
     use super::*;
 
     fn blocks(n: usize) -> Vec<GlobalBlockId> {
-        (0..n).map(|i| GlobalBlockId { stripe: i / 3, block: i % 3 }).collect()
+        (0..n)
+            .map(|i| GlobalBlockId {
+                stripe: i / 3,
+                block: i % 3,
+            })
+            .collect()
     }
 
     #[test]

@@ -44,7 +44,12 @@ pub struct LocalityConfig {
 impl LocalityConfig {
     /// A convenient starting point: the paper's 25-node simulation cluster
     /// with the given map slots per node, 200 trials.
-    pub fn new(code: CodeKind, scheduler: SchedulerKind, map_slots: usize, load_percent: f64) -> Self {
+    pub fn new(
+        code: CodeKind,
+        scheduler: SchedulerKind,
+        map_slots: usize,
+        load_percent: f64,
+    ) -> Self {
         LocalityConfig {
             code,
             scheduler,
@@ -178,7 +183,8 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let bad = LocalityConfig::new(CodeKind::TWO_REP, SchedulerKind::Delay, 2, 50.0).with_trials(0);
+        let bad =
+            LocalityConfig::new(CodeKind::TWO_REP, SchedulerKind::Delay, 2, 50.0).with_trials(0);
         assert!(simulate_locality(&bad).is_err());
         let bad = LocalityConfig::new(CodeKind::TWO_REP, SchedulerKind::Delay, 2, 0.0);
         assert!(simulate_locality(&bad).is_err());

@@ -158,9 +158,14 @@ mod tests {
         let cluster = Cluster::new(ClusterSpec::simulation_25(4));
         let code = kind.build().unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let placement =
-            PlacementMap::place(code.as_ref(), &cluster, stripes, PlacementPolicy::Random, &mut rng)
-                .unwrap();
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            stripes,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
         let blocks = placement.data_blocks();
         let map_tasks: Vec<MapTask> = blocks
             .into_iter()

@@ -71,7 +71,13 @@ impl TaskScheduler for MaxMatchingScheduler {
         order.shuffle(rng);
         for &task in &order {
             let mut visited = vec![false; slot_owner.len()];
-            try_augment(task, &adjacency, &mut slot_match, &mut task_match, &mut visited);
+            try_augment(
+                task,
+                &adjacency,
+                &mut slot_match,
+                &mut task_match,
+                &mut visited,
+            );
         }
 
         // Emit local assignments from the matching.
@@ -134,14 +140,24 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn graph_for(kind: CodeKind, tasks: usize, seed: u64, slots: usize) -> (TaskNodeGraph, BTreeMap<NodeId, usize>) {
+    fn graph_for(
+        kind: CodeKind,
+        tasks: usize,
+        seed: u64,
+        slots: usize,
+    ) -> (TaskNodeGraph, BTreeMap<NodeId, usize>) {
         let cluster = Cluster::new(ClusterSpec::simulation_25(slots));
         let code = kind.build().unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let stripes = tasks.div_ceil(code.data_blocks());
-        let placement =
-            PlacementMap::place(code.as_ref(), &cluster, stripes, PlacementPolicy::Random, &mut rng)
-                .unwrap();
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            stripes,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
         let map_tasks: Vec<MapTask> = placement
             .data_blocks()
             .into_iter()
@@ -220,10 +236,19 @@ mod tests {
         .unwrap();
         // Both stripes land on node 0 and node 1 respectively under round-robin;
         // craft tasks referencing stripe 0's block twice to force contention.
-        let block = GlobalBlockId { stripe: 0, block: 0 };
+        let block = GlobalBlockId {
+            stripe: 0,
+            block: 0,
+        };
         let tasks = vec![
-            MapTask { id: TaskId(0), block },
-            MapTask { id: TaskId(1), block },
+            MapTask {
+                id: TaskId(0),
+                block,
+            },
+            MapTask {
+                id: TaskId(1),
+                block,
+            },
         ];
         let graph = TaskNodeGraph::build(&tasks, &placement, &cluster);
         let caps: BTreeMap<NodeId, usize> = cluster.nodes().map(|n| (n, 1)).collect();

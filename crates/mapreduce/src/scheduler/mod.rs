@@ -69,8 +69,8 @@ impl SchedulerKind {
     pub fn build(&self) -> Box<dyn TaskScheduler> {
         match self {
             SchedulerKind::Delay => Box::new(DelayScheduler::default()),
-            SchedulerKind::MaxMatching => Box::new(MaxMatchingScheduler::default()),
-            SchedulerKind::Peeling => Box::new(PeelingScheduler::default()),
+            SchedulerKind::MaxMatching => Box::new(MaxMatchingScheduler),
+            SchedulerKind::Peeling => Box::new(PeelingScheduler),
         }
     }
 

@@ -72,7 +72,7 @@ impl TaskScheduler for PeelingScheduler {
                         continue;
                     }
                     let d = c.len();
-                    if best.map_or(true, |(bd, _)| d < bd) {
+                    if best.is_none_or(|(bd, _)| d < bd) {
                         best = Some((d, idx));
                         if d == 1 {
                             break; // cannot do better than a forced task
@@ -154,9 +154,14 @@ mod tests {
         let code = kind.build().unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let stripes = tasks.div_ceil(code.data_blocks());
-        let placement =
-            PlacementMap::place(code.as_ref(), &cluster, stripes, PlacementPolicy::Random, &mut rng)
-                .unwrap();
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            stripes,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
         let map_tasks: Vec<MapTask> = placement
             .data_blocks()
             .into_iter()
@@ -196,9 +201,15 @@ mod tests {
             let mut r1 = ChaCha8Rng::seed_from_u64(seed);
             let mut r2 = ChaCha8Rng::seed_from_u64(seed);
             let mut r3 = ChaCha8Rng::seed_from_u64(seed);
-            delay_total += DelayScheduler::default().assign(&graph, &caps, &mut r1).local_tasks();
-            peel_total += PeelingScheduler.assign(&graph, &caps, &mut r2).local_tasks();
-            match_total += MaxMatchingScheduler.assign(&graph, &caps, &mut r3).local_tasks();
+            delay_total += DelayScheduler::default()
+                .assign(&graph, &caps, &mut r1)
+                .local_tasks();
+            peel_total += PeelingScheduler
+                .assign(&graph, &caps, &mut r2)
+                .local_tasks();
+            match_total += MaxMatchingScheduler
+                .assign(&graph, &caps, &mut r3)
+                .local_tasks();
         }
         assert!(
             peel_total >= delay_total,

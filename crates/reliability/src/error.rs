@@ -50,8 +50,15 @@ mod tests {
     fn display_nonempty() {
         for e in [
             ReliabilityError::SingularSystem,
-            ReliabilityError::DimensionMismatch { rows: 1, cols: 2, rhs: 3 },
-            ReliabilityError::DegenerateModel { code: "1-rep".into(), reason: "no tolerance".into() },
+            ReliabilityError::DimensionMismatch {
+                rows: 1,
+                cols: 2,
+                rhs: 3,
+            },
+            ReliabilityError::DegenerateModel {
+                code: "1-rep".into(),
+                reason: "no tolerance".into(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

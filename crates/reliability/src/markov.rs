@@ -272,16 +272,25 @@ mod tests {
 
     #[test]
     fn repair_traffic_scaling_penalises_reed_solomon() {
-        let rs = CodeKind::ReedSolomon { data: 10, parity: 4 }.build().unwrap();
+        let rs = CodeKind::ReedSolomon {
+            data: 10,
+            parity: 4,
+        }
+        .build()
+        .unwrap();
         let plain = group_mttdl(rs.as_ref(), &params()).unwrap().mttdl_years;
         let mut scaled_params = params();
         scaled_params.scale_repair_with_traffic = true;
-        let scaled = group_mttdl(rs.as_ref(), &scaled_params).unwrap().mttdl_years;
+        let scaled = group_mttdl(rs.as_ref(), &scaled_params)
+            .unwrap()
+            .mttdl_years;
         assert!(scaled < plain);
         // Replication is unaffected (repair factor 1).
         let rep = CodeKind::THREE_REP.build().unwrap();
         let a = group_mttdl(rep.as_ref(), &params()).unwrap().mttdl_years;
-        let b = group_mttdl(rep.as_ref(), &scaled_params).unwrap().mttdl_years;
+        let b = group_mttdl(rep.as_ref(), &scaled_params)
+            .unwrap()
+            .mttdl_years;
         assert!((a - b).abs() / a < 1e-9);
     }
 

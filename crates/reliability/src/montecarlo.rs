@@ -12,8 +12,8 @@
 use std::collections::BTreeSet;
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use drc_codes::ErasureCode;
@@ -53,11 +53,8 @@ pub fn monte_carlo_mttdl(
         .map(|_| simulate_one_group(code, params, &mut rng))
         .collect();
     let mean = samples.iter().sum::<f64>() / runs as f64;
-    let variance = samples
-        .iter()
-        .map(|x| (x - mean).powi(2))
-        .sum::<f64>()
-        / (runs.max(2) - 1) as f64;
+    let variance =
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (runs.max(2) - 1) as f64;
     let std_error = (variance / runs as f64).sqrt();
     MonteCarloResult {
         code: code.name().to_string(),

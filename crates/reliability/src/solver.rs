@@ -50,14 +50,15 @@ pub fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, ReliabilityEr
         }
         m.swap(col, pivot);
         let diag = m[col][col];
-        for c in col..=n {
-            m[col][c] /= diag;
+        for entry in m[col][col..=n].iter_mut() {
+            *entry /= diag;
         }
-        for r in 0..n {
-            if r != col && m[r][col] != 0.0 {
-                let factor = m[r][col];
-                for c in col..=n {
-                    m[r][c] -= factor * m[col][c];
+        let pivot_row: Vec<f64> = m[col][col..=n].to_vec();
+        for (r, row) in m.iter_mut().enumerate().take(n) {
+            if r != col && row[col] != 0.0 {
+                let factor = row[col];
+                for (entry, &pivot_val) in row[col..=n].iter_mut().zip(&pivot_row) {
+                    *entry -= factor * pivot_val;
                 }
             }
         }
@@ -81,7 +82,11 @@ mod tests {
     #[test]
     fn solves_with_pivoting() {
         // Leading zero forces a row swap.
-        let a = vec![vec![0.0, 2.0, 1.0], vec![1.0, 1.0, 1.0], vec![2.0, 0.0, 3.0]];
+        let a = vec![
+            vec![0.0, 2.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+            vec![2.0, 0.0, 3.0],
+        ];
         let b = [5.0, 6.0, 13.0];
         let x = solve_linear(&a, &b).unwrap();
         for (row, &rhs) in a.iter().zip(&b) {

@@ -24,17 +24,26 @@ impl std::fmt::Display for LoadPoint {
 
 /// The load sweep of the Fig. 3 locality simulations: 25% to 100%.
 pub fn fig3_loads() -> Vec<LoadPoint> {
-    [25.0, 50.0, 75.0, 100.0].into_iter().map(LoadPoint::new).collect()
+    [25.0, 50.0, 75.0, 100.0]
+        .into_iter()
+        .map(LoadPoint::new)
+        .collect()
 }
 
 /// The load points reported for set-up 1 in Fig. 4 (50%, 75%, 100%).
 pub fn setup1_loads() -> Vec<LoadPoint> {
-    [50.0, 75.0, 100.0].into_iter().map(LoadPoint::new).collect()
+    [50.0, 75.0, 100.0]
+        .into_iter()
+        .map(LoadPoint::new)
+        .collect()
 }
 
 /// The load points reported for set-up 2 in Fig. 5 (25% to 100%).
 pub fn setup2_loads() -> Vec<LoadPoint> {
-    [25.0, 50.0, 75.0, 100.0].into_iter().map(LoadPoint::new).collect()
+    [25.0, 50.0, 75.0, 100.0]
+        .into_iter()
+        .map(LoadPoint::new)
+        .collect()
 }
 
 #[cfg(test)]

@@ -203,8 +203,14 @@ mod tests {
     fn grep_jobs_barely_shuffle() {
         let cluster = Cluster::new(ClusterSpec::setup2());
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let w = provision_workload(WorkloadKind::Grep, CodeKind::TWO_REP, &cluster, 100.0, &mut rng)
-            .unwrap();
+        let w = provision_workload(
+            WorkloadKind::Grep,
+            CodeKind::TWO_REP,
+            &cluster,
+            100.0,
+            &mut rng,
+        )
+        .unwrap();
         assert!(w.job.shuffle_ratio() < 0.05);
         assert_eq!(w.job.map_tasks().len(), 36);
     }

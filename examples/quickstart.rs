@@ -28,7 +28,10 @@ fn main() -> Result<(), DrcError> {
     // 2. Encode a stripe of real data.
     let data: Vec<Vec<u8>> = (0..9).map(|i| vec![i as u8 + 1; 64 * 1024]).collect();
     let coded = pentagon.encode(&data)?;
-    println!("encoded {} distinct blocks (the last one is the XOR parity)", coded.len());
+    println!(
+        "encoded {} distinct blocks (the last one is the XOR parity)",
+        coded.len()
+    );
 
     // 3. Lose two nodes and decode from the survivors.
     let failed: BTreeSet<usize> = [0, 1].into_iter().collect();

@@ -41,7 +41,11 @@ fn main() -> Result<(), DrcError> {
         "Worst-case vs pattern-aware fatality model (years)",
         &["Code", "Worst-case", "Pattern-aware"],
     );
-    for kind in [CodeKind::RAID_M_10_9, CodeKind::HeptagonLocal, CodeKind::Pentagon] {
+    for kind in [
+        CodeKind::RAID_M_10_9,
+        CodeKind::HeptagonLocal,
+        CodeKind::Pentagon,
+    ] {
         let code = kind.build()?;
         let worst = group_mttdl(code.as_ref(), &ReliabilityParams::default())?;
         let aware = group_mttdl(

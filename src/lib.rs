@@ -1,0 +1,14 @@
+//! Workspace facade for the HotStorage'14 double-replication-codes
+//! reproduction.
+//!
+//! All functionality lives in the `drc_*` crates; this crate re-exports
+//! [`drc_core`] so the repository-level integration tests and examples have a
+//! single dependency root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use drc_core::*;
+
+/// Re-export of the whole core crate for `drc_repro::core::...` paths.
+pub use drc_core as core;

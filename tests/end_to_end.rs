@@ -16,7 +16,9 @@ fn small_cluster() -> ClusterSpec {
 }
 
 fn payload(len: usize) -> Vec<u8> {
-    (0..len).map(|i| (i.wrapping_mul(2654435761) >> 8) as u8).collect()
+    (0..len)
+        .map(|i| (i.wrapping_mul(2654435761) >> 8) as u8)
+        .collect()
 }
 
 #[test]
@@ -36,8 +38,7 @@ fn hdfs_full_lifecycle_for_every_paper_code() {
         let code = kind.build().unwrap();
         let meta = fs.namenode().file(id).unwrap().clone();
         let stats = fs.stats();
-        let expected_stored =
-            meta.stripes as u64 * code.stored_blocks() as u64 * meta.block_size;
+        let expected_stored = meta.stripes as u64 * code.stored_blocks() as u64 * meta.block_size;
         assert_eq!(stats.stored_bytes, expected_stored, "{kind}");
 
         // Tolerate `fault_tolerance` permanent failures of stripe nodes.
@@ -55,7 +56,11 @@ fn hdfs_full_lifecycle_for_every_paper_code() {
         assert_eq!(fs.read_file(id).unwrap(), data, "{kind} post-repair read");
 
         // After repair the stored volume is back to the full redundancy level.
-        assert_eq!(fs.stats().stored_bytes, expected_stored, "{kind} after repair");
+        assert_eq!(
+            fs.stats().stored_bytes,
+            expected_stored,
+            "{kind} after repair"
+        );
     }
 }
 

@@ -24,7 +24,10 @@ fn table1_serialises_and_renders() {
     assert_eq!(table, back);
     let text = table.to_string();
     for code in CodeKind::table1_set() {
-        assert!(text.contains(&code.to_string()), "missing {code} in rendering");
+        assert!(
+            text.contains(&code.to_string()),
+            "missing {code} in rendering"
+        );
     }
 }
 
@@ -109,7 +112,10 @@ fn encoding_report_scales_with_parity_work() {
     let row = |kind: CodeKind| report.rows.iter().find(|r| r.code == kind).unwrap();
     // Replication does no parity work; coded schemes do.
     assert_eq!(row(CodeKind::THREE_REP).stripe_parity_bytes, 0);
-    assert!(row(CodeKind::HeptagonLocal).stripe_parity_bytes > row(CodeKind::Pentagon).stripe_parity_bytes);
+    assert!(
+        row(CodeKind::HeptagonLocal).stripe_parity_bytes
+            > row(CodeKind::Pentagon).stripe_parity_bytes
+    );
     // Throughput numbers are positive and the report renders.
     assert!(report.rows.iter().all(|r| r.throughput_mb_per_s > 0.0));
     assert!(report.to_string().contains("Encoding throughput"));

@@ -141,7 +141,14 @@ fn table1_mttdl_reproduction() {
         CodeKind::Heptagon,
     ]
     .iter()
-    .map(|k| table.rows.iter().find(|r| r.code == *k).unwrap().mttdl_years)
+    .map(|k| {
+        table
+            .rows
+            .iter()
+            .find(|r| r.code == *k)
+            .unwrap()
+            .mttdl_years
+    })
     .collect();
     for pair in years.windows(2) {
         assert!(pair[0] > pair[1]);
@@ -163,8 +170,22 @@ fn code_length_feasibility_argument() {
     use rand::SeedableRng;
     let cluster = Cluster::new(ClusterSpec::setup2());
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
-    assert!(PlacementMap::place(raid_m.as_ref(), &cluster, 1, PlacementPolicy::Random, &mut rng).is_err());
-    assert!(PlacementMap::place(pentagon.as_ref(), &cluster, 1, PlacementPolicy::Random, &mut rng).is_ok());
+    assert!(PlacementMap::place(
+        raid_m.as_ref(),
+        &cluster,
+        1,
+        PlacementPolicy::Random,
+        &mut rng
+    )
+    .is_err());
+    assert!(PlacementMap::place(
+        pentagon.as_ref(),
+        &cluster,
+        1,
+        PlacementPolicy::Random,
+        &mut rng
+    )
+    .is_ok());
 }
 
 /// §3.1: "While the (10,9) RAID+m solution needs a repair bandwidth of 9
@@ -177,11 +198,17 @@ fn on_the_fly_repair_bandwidth_three_vs_nine() {
     let pent_hosts: BTreeSet<usize> = pentagon.block_locations(0).iter().copied().collect();
     let raid_hosts: BTreeSet<usize> = raid_m.block_locations(0).iter().copied().collect();
     assert_eq!(
-        pentagon.degraded_read_plan(0, &pent_hosts).unwrap().network_blocks,
+        pentagon
+            .degraded_read_plan(0, &pent_hosts)
+            .unwrap()
+            .network_blocks,
         3
     );
     assert_eq!(
-        raid_m.degraded_read_plan(0, &raid_hosts).unwrap().network_blocks,
+        raid_m
+            .degraded_read_plan(0, &raid_hosts)
+            .unwrap()
+            .network_blocks,
         9
     );
 }
@@ -202,7 +229,10 @@ fn locality_claims_from_fig3() {
     let two_rep = point(CodeKind::TWO_REP, 2, 100.0);
     let pentagon2 = point(CodeKind::Pentagon, 2, 100.0);
     let heptagon2 = point(CodeKind::Heptagon, 2, 100.0);
-    assert!(two_rep - pentagon2 > 10.0, "two_rep {two_rep} pentagon {pentagon2}");
+    assert!(
+        two_rep - pentagon2 > 10.0,
+        "two_rep {two_rep} pentagon {pentagon2}"
+    );
     assert!(pentagon2 > heptagon2);
     let pentagon8 = point(CodeKind::Pentagon, 8, 100.0);
     let heptagon8 = point(CodeKind::Heptagon, 8, 100.0);

@@ -1,0 +1,290 @@
+//! Offline micro-benchmark harness exposing the subset of the `criterion`
+//! API this workspace uses.
+//!
+//! Measurement model: a short warm-up, then timed batches until the
+//! measurement budget (default 200 ms, `CRITERION_MEASURE_MS` overrides) is
+//! spent; the mean ns/iteration over the best batch is reported together
+//! with throughput when one was declared. No statistics files are written.
+
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier made of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark id string (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoId {
+    /// Converts `self` into the id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// One measured result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/name`).
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Bytes per second implied by the measurement, when byte throughput was
+    /// declared.
+    pub fn bytes_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Bytes(b)) => Some(b as f64 / (self.ns_per_iter / 1e9)),
+            _ => None,
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    measure_ms: u64,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure_ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(200);
+        Criterion {
+            measure_ms,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self, None, id, f);
+        self
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function(&mut self, id: impl IntoId, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let throughput = self.throughput;
+        run_one(self.criterion, throughput, id, f);
+        self
+    }
+
+    /// Benchmarks a closure with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let throughput = self.throughput;
+        run_one(self.criterion, throughput, id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is done per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured body.
+pub struct Bencher {
+    measure: Duration,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, running it repeatedly for the configured budget.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: a few iterations, also used to size batches.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        loop {
+            hint::black_box(f());
+            warmup_iters += 1;
+            if warmup_start.elapsed() > self.measure / 10 || warmup_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        let batch = ((self.measure.as_nanos() as f64 / 10.0 / per_iter.max(1.0)) as u64).max(1);
+
+        let mut best = f64::INFINITY;
+        let deadline = Instant::now() + self.measure;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.ns_per_iter = best;
+    }
+}
+
+fn run_one(
+    criterion: &mut Criterion,
+    throughput: Option<Throughput>,
+    id: String,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        measure: Duration::from_millis(criterion.measure_ms),
+        ns_per_iter: f64::NAN,
+    };
+    f(&mut bencher);
+    let m = Measurement {
+        id,
+        ns_per_iter: bencher.ns_per_iter,
+        throughput,
+    };
+    print_measurement(&m);
+    criterion.measurements.push(m);
+}
+
+fn print_measurement(m: &Measurement) {
+    let time = if m.ns_per_iter.is_nan() {
+        "no iter() call".to_string()
+    } else if m.ns_per_iter >= 1e6 {
+        format!("{:10.3} ms/iter", m.ns_per_iter / 1e6)
+    } else if m.ns_per_iter >= 1e3 {
+        format!("{:10.3} µs/iter", m.ns_per_iter / 1e3)
+    } else {
+        format!("{:10.1} ns/iter", m.ns_per_iter)
+    };
+    match m.bytes_per_sec() {
+        Some(bps) => println!(
+            "{:<60} {}   {:10.1} MiB/s",
+            m.id,
+            time,
+            bps / (1024.0 * 1024.0)
+        ),
+        None => println!("{:<60} {}", m.id, time),
+    }
+}
+
+/// Builds a function running the given benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Builds a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}

@@ -1,0 +1,162 @@
+//! Offline ChaCha8-based generator for the workspace's rand subset.
+//!
+//! Implements the genuine ChaCha8 stream cipher keystream (IETF variant,
+//! 32-bit counter starting at zero, zero nonce), so output quality matches
+//! the real `rand_chacha`. Exact output streams are NOT guaranteed to match
+//! the upstream crate; the workspace only relies on determinism per seed.
+
+#![allow(clippy::all)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A deterministic ChaCha8 random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + constant state (words 0..12 of the ChaCha state).
+    state: [u32; 16],
+    /// Buffered keystream block.
+    buffer: [u8; 64],
+    /// Next unread byte in `buffer`; 64 means exhausted.
+    index: usize,
+    /// Block counter.
+    counter: u64,
+}
+
+const ROUNDS: usize = 8;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        working[12] = self.counter as u32;
+        working[13] = (self.counter >> 32) as u32;
+        let initial = working;
+        for _ in 0..ROUNDS / 2 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (i, word) in working.iter_mut().enumerate() {
+            *word = word.wrapping_add(initial[i]);
+            self.buffer[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    #[inline]
+    fn take(&mut self, n: usize) -> &[u8] {
+        if self.index + n > 64 {
+            self.refill();
+        }
+        let slice = &self.buffer[self.index..self.index + n];
+        self.index += n;
+        slice
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        // Words 12..13 are the counter (set per block); 14..15 the zero nonce.
+        ChaCha8Rng {
+            state,
+            buffer: [0u8; 64],
+            index: 64,
+            counter: 0,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut written = 0;
+        while written < dest.len() {
+            if self.index == 64 {
+                self.refill();
+            }
+            let n = (dest.len() - written).min(64 - self.index);
+            dest[written..written + n].copy_from_slice(&self.buffer[self.index..self.index + n]);
+            self.index += n;
+            written += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        let mut buf = [0u8; 24];
+        a.fill_bytes(&mut buf);
+        let words: Vec<u8> = (0..3).flat_map(|_| b.next_u64().to_le_bytes()).collect();
+        assert_eq!(buf.to_vec(), words);
+    }
+
+    #[test]
+    fn chacha20_rfc7539_block_function_sanity() {
+        // The quarter-round test vector from RFC 7539 §2.1.1.
+        let mut state = [0u32; 16];
+        state[0] = 0x11111111;
+        state[1] = 0x01020304;
+        state[2] = 0x9b8d6f43;
+        state[3] = 0x01234567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a92f4);
+        assert_eq!(state[1], 0xcb1cf8ce);
+        assert_eq!(state[2], 0x4581472e);
+        assert_eq!(state[3], 0x5881c4bb);
+    }
+}

@@ -1,0 +1,33 @@
+//! Deserialisation errors for the offline serde subset.
+
+use std::fmt;
+
+/// An error produced while rebuilding a value from the data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error with the given message (serde-compatible spelling).
+    pub fn custom(message: impl fmt::Display) -> Self {
+        DeError {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

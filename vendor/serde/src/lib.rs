@@ -1,0 +1,380 @@
+//! Offline, API-surface-compatible subset of `serde` for this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the small part of serde the workspace actually uses: the `Serialize` /
+//! `Deserialize` traits plus derive macros, backed by a simple JSON-like
+//! [`value::Value`] data model that `serde_json` (the sibling stub) renders
+//! and parses. The wire format is self-consistent (everything this workspace
+//! serialises, it can deserialise) but makes no compatibility promises to the
+//! real serde ecosystem.
+
+#![allow(clippy::all)]
+
+pub mod de;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use de::DeError;
+use value::Value;
+
+/// Types that can be converted into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::UInt(n as u64)
+                } else {
+                    Value::Int(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(DeError::new("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(DeError::new("expected sequence")),
+        }
+    }
+}
+
+/// Serialises map entries: an object when every key renders as a scalar
+/// (string / integer / bool), a sequence of `[key, value]` pairs otherwise
+/// (JSON objects only admit string keys).
+fn serialize_map<'a, K, V, I>(iter: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let entries: Vec<(Value, Value)> = iter.map(|(k, v)| (k.serialize(), v.serialize())).collect();
+    let scalar_keys = entries.iter().all(|(k, _)| {
+        matches!(
+            k,
+            Value::Str(_) | Value::UInt(_) | Value::Int(_) | Value::Bool(_)
+        )
+    });
+    if scalar_keys {
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = match k {
+                        Value::Str(s) => s,
+                        Value::UInt(n) => n.to_string(),
+                        Value::Int(n) => n.to_string(),
+                        Value::Bool(b) => b.to_string(),
+                        _ => unreachable!("checked scalar above"),
+                    };
+                    (key, v)
+                })
+                .collect(),
+        )
+    } else {
+        Value::Seq(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Seq(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::deserialize(&Value::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::deserialize(&Value::UInt(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize(&Value::Int(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = s.parse::<bool>() {
+        if let Ok(k) = K::deserialize(&Value::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::new("unparseable map key"))
+}
+
+fn deserialize_map<K, V, C>(v: &Value) -> Result<C, DeError>
+where
+    K: Deserialize,
+    V: Deserialize,
+    C: FromIterator<(K, V)>,
+{
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .map(|(k, val)| Ok((key_from_string(k)?, V::deserialize(val)?)))
+            .collect(),
+        Value::Seq(items) => items
+            .iter()
+            .map(|item| match item.as_seq() {
+                Some([k, val]) => Ok((K::deserialize(k)?, V::deserialize(val)?)),
+                _ => Err(DeError::new("expected [key, value] pair")),
+            })
+            .collect(),
+        _ => Err(DeError::new("expected map")),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        deserialize_map::<K, V, Self>(v)
+    }
+}
+
+impl<K: Serialize + Eq + std::hash::Hash, V: Serialize> Serialize
+    for std::collections::HashMap<K, V>
+{
+    fn serialize(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        deserialize_map::<K, V, Self>(v)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) => {
+                        let mut it = items.iter();
+                        Ok(($({
+                            let _ = $n;
+                            $t::deserialize(it.next().ok_or_else(|| DeError::new("tuple too short"))?)?
+                        },)+))
+                    }
+                    _ => Err(DeError::new("expected sequence for tuple")),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,110 @@
+//! The JSON-like data model backing the offline serde subset.
+
+use crate::de::DeError;
+use crate::{Deserialize, Serialize};
+
+/// A JSON-like value tree.
+///
+/// Maps preserve insertion order (they are association lists, not sorted
+/// maps), which keeps serialised struct fields in declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A negative integer (non-negative integers use [`Value::UInt`]).
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object, as an ordered association list.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::UInt(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers are widened.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(n) => Some(*n as f64),
+            Value::UInt(n) => Some(*n as f64),
+            Value::Str(s) => match s.as_str() {
+                // Non-finite floats are serialised as tagged strings because
+                // JSON has no literal for them.
+                "__f64::inf" => Some(f64::INFINITY),
+                "__f64::-inf" => Some(f64::NEG_INFINITY),
+                "__f64::nan" => Some(f64::NAN),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an object association list, if it is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| map_get(m, key))
+    }
+}
+
+/// Looks up a key in an object association list.
+pub fn map_get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Converts any serialisable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, DeError> {
+    T::deserialize(value)
+}

@@ -1,0 +1,422 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde subset.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are not
+//! available; this macro parses the derive input token stream directly. It
+//! supports the shapes this workspace actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (a single field — including `#[serde(transparent)]` — is
+//!   serialised as the inner value; longer tuples as a sequence),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generics, lifetimes and serde attributes other than `transparent` are not
+//! supported and produce a compile error.
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+/// Derives the offline `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated code parses")
+}
+
+/// Derives the offline `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated code parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    let transparent = skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("offline serde derive does not support generic types (on `{name}`)");
+    }
+    let shape = match keyword.as_str() {
+        "struct" => parse_struct_body(&tokens, &mut i, &name),
+        "enum" => parse_enum_body(&tokens, &mut i, &name),
+        other => panic!("offline serde derive expected struct or enum, found `{other}`"),
+    };
+    Input {
+        name,
+        transparent,
+        shape,
+    }
+}
+
+/// Skips leading attributes, returning whether `#[serde(transparent)]` was
+/// among them.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut transparent = false;
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            let args = args.stream().to_string();
+                            if args.contains("transparent") {
+                                transparent = true;
+                            } else {
+                                panic!(
+                                    "offline serde derive supports only #[serde(transparent)], found #[serde({args})]"
+                                );
+                            }
+                        }
+                    }
+                }
+                *i += 2;
+            }
+            _ => return transparent,
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("offline serde derive expected identifier, found {other:?}"),
+    }
+}
+
+fn parse_struct_body(tokens: &[TokenTree], i: &mut usize, name: &str) -> Shape {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream(), name))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("offline serde derive: malformed struct `{name}` body: {other:?}"),
+    }
+}
+
+fn parse_enum_body(tokens: &[TokenTree], i: &mut usize, name: &str) -> Shape {
+    let group = match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("offline serde derive: malformed enum `{name}` body: {other:?}"),
+    };
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0usize;
+    while j < toks.len() {
+        skip_attributes(&toks, &mut j);
+        if j >= toks.len() {
+            break;
+        }
+        let vname = expect_ident(&toks, &mut j);
+        let kind = match toks.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                j += 1;
+                VariantKind::Named(parse_named_fields(g.stream(), name))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                j += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= <discriminant>` and the trailing comma.
+        while j < toks.len() && !matches!(&toks[j], TokenTree::Punct(p) if p.as_char() == ',') {
+            j += 1;
+        }
+        j += 1; // past the comma (or end)
+        variants.push(Variant { name: vname, kind });
+    }
+    Shape::Enum(variants)
+}
+
+/// Parses `vis name: Type, ...` from a brace group, returning the field names.
+fn parse_named_fields(stream: TokenStream, owner: &str) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut j = 0usize;
+    while j < toks.len() {
+        skip_attributes(&toks, &mut j);
+        if j >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut j);
+        let fname = expect_ident(&toks, &mut j);
+        match toks.get(j) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => j += 1,
+            other => panic!("offline serde derive: expected `:` after field `{fname}` of `{owner}`, found {other:?}"),
+        }
+        skip_type(&toks, &mut j);
+        j += 1; // past the comma (or end)
+        fields.push(fname);
+    }
+    fields
+}
+
+/// Counts top-level comma-separated fields of a tuple struct/variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut depth = 0i32;
+    let mut saw_token_since_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+/// Advances past a type, stopping at a top-level `,` (or the end).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Unit => "::serde::value::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Seq(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::value::Value::Map(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::value::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::value::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::serialize(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::value::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::value::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::value::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::value::Value::Map(::std::vec![{}]))]),",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n            fn serialize(&self) -> ::serde::value::Value {{ {body} }}\n        }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let _ = input.transparent; // single-field tuples always delegate
+    let body = match &input.shape {
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!(
+                    "::serde::Deserialize::deserialize(__s.get({k}).ok_or_else(|| ::serde::de::DeError::new(\"{name}: tuple too short\"))?)?"
+                ))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::de::DeError::new(\"{name}: expected sequence\"))?;\n                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields.iter().map(|f| field_from_map(name, f)).collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::de::DeError::new(\"{name}: expected map\"))?;\n                 ::std::result::Result::Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::deserialize(__inner)?)),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!(
+                                    "::serde::Deserialize::deserialize(__s.get({k}).ok_or_else(|| ::serde::de::DeError::new(\"{name}::{vname}: tuple too short\"))?)?"
+                                ))
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{ let __s = __inner.as_seq().ok_or_else(|| ::serde::de::DeError::new(\"{name}::{vname}: expected sequence\"))?; ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| field_from_map(&format!("{name}::{vname}"), f))
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{ let __m = __inner.as_map().ok_or_else(|| ::serde::de::DeError::new(\"{name}::{vname}: expected map\"))?; ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n                    ::serde::value::Value::Str(__s) => match __s.as_str() {{\n                        {unit}\n                        __other => ::std::result::Result::Err(::serde::de::DeError::new(::std::format!(\"{name}: unknown variant {{__other}}\"))),\n                    }},\n                    ::serde::value::Value::Map(__m) if __m.len() == 1 => {{\n                        let (__tag, __inner) = &__m[0];\n                        match __tag.as_str() {{\n                            {data}\n                            __other => ::std::result::Result::Err(::serde::de::DeError::new(::std::format!(\"{name}: unknown variant {{__other}}\"))),\n                        }}\n                    }}\n                    _ => ::std::result::Result::Err(::serde::de::DeError::new(\"{name}: expected externally tagged enum\")),\n                }}",
+                unit = unit_arms.join("\n                        "),
+                data = data_arms.join("\n                            "),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n            fn deserialize(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::de::DeError> {{ {body} }}\n        }}"
+    )
+}
+
+fn field_from_map(owner: &str, field: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::deserialize(::serde::value::map_get(__m, \"{field}\").ok_or_else(|| ::serde::de::DeError::new(\"{owner}: missing field {field}\"))?)?"
+    )
+}
