@@ -1,0 +1,229 @@
+//! Event-driven substrate and shard-parallel encode benchmarks.
+//!
+//! Three groups:
+//!
+//! * `sim_stripe_encode` — production stripe-encode throughput (the
+//!   HDFS-RAID write path: `StripeEncoder` over `encode_into`) at one worker
+//!   thread versus the full pool, for an RS(10,4) stripe and the GF-heavy
+//!   heptagon-local stripe,
+//! * `sim_reconstruct` — worst-case Reed–Solomon reconstruction, single vs
+//!   multi-thread,
+//! * `sim_substrate` — the discrete-event machinery itself (event queue
+//!   churn, timed cluster transfers), in operations per second.
+//!
+//! Run with a `repro` argument (`cargo bench -p drc_bench --bench
+//! sim_throughput -- repro`) to emit `BENCH_sim.json`: provenance (git SHA,
+//! GF kernel, thread count), bytes/sec per configuration and the measured
+//! multi-thread speedup, so the parallel-encode trajectory is tracked across
+//! PRs. On a single-core host the pool degenerates to one worker and the
+//! recorded speedup is honestly ~1.0; multi-core hosts (CI) show the real
+//! scaling.
+
+use criterion::{criterion_group, Criterion, Throughput};
+
+use drc_cluster::{ClusterSpec, NodeId};
+use drc_codes::{CodeKind, StripeEncoder};
+use drc_gf::kernel;
+use drc_sim::{ClusterNet, EventQueue, SimTime};
+
+/// Shard/block size for the encode benches: large enough that the parallel
+/// split engages (several `PAR_MIN_LEN`s per worker).
+const BLOCK: usize = 1024 * 1024;
+
+fn make_block(len: usize, salt: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 + salt * 7 + 3) as u8).collect()
+}
+
+/// The worker counts to benchmark: always 1, plus the configured pool width
+/// when it exceeds 1.
+fn thread_points() -> Vec<usize> {
+    let n = rayon::current_num_threads();
+    if n > 1 {
+        vec![1, n]
+    } else {
+        vec![1, 2]
+    }
+}
+
+fn bench_stripe_encode(c: &mut Criterion) {
+    for kind in [
+        CodeKind::ReedSolomon {
+            data: 10,
+            parity: 4,
+        },
+        CodeKind::HeptagonLocal,
+    ] {
+        let code = kind.build().expect("code builds");
+        let k = code.data_blocks();
+        let data: Vec<Vec<u8>> = (0..k).map(|i| make_block(BLOCK, i)).collect();
+        let mut group = c.benchmark_group(format!("sim_stripe_encode/{kind}"));
+        group.throughput(Throughput::Bytes((k * BLOCK) as u64));
+        for threads in thread_points() {
+            let mut encoder = StripeEncoder::new();
+            group.bench_function(format!("threads={threads}"), |b| {
+                rayon::with_num_threads(threads, || {
+                    b.iter(|| encoder.encode(code.as_ref(), &data).expect("encodes").len())
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let rs = drc_gf::ReedSolomon::new(10, 4).expect("valid parameters");
+    let data: Vec<Vec<u8>> = (0..10).map(|i| make_block(BLOCK, i)).collect();
+    let coded = rs.encode(&data).expect("encodes");
+    // Worst case: the first 4 (data) shards are lost.
+    let present: Vec<Option<&[u8]>> = coded
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i >= 4).then_some(s.as_slice()))
+        .collect();
+    let mut group = c.benchmark_group("sim_reconstruct/rs(10,4)");
+    group.throughput(Throughput::Bytes((10 * BLOCK) as u64));
+    for threads in thread_points() {
+        let mut out = vec![vec![0u8; BLOCK]; 14];
+        group.bench_function(format!("threads={threads}"), |b| {
+            rayon::with_num_threads(threads, || {
+                b.iter(|| {
+                    rs.reconstruct_into(&present, BLOCK, &mut out)
+                        .expect("reconstructs")
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_substrate");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("event_queue_1024", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1024u64 {
+                // Reversed times exercise the heap, equal times the FIFO path.
+                q.schedule_at(SimTime(1024 - (i % 512)), i);
+            }
+            let mut popped = 0u64;
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            popped
+        })
+    });
+    group.bench_function("cluster_transfers_1024", |b| {
+        let spec = ClusterSpec::simulation_25(4);
+        b.iter(|| {
+            let net = ClusterNet::new(&spec);
+            let mut end = SimTime::ZERO;
+            for i in 0..1024usize {
+                let r = net.transfer(
+                    SimTime::ZERO,
+                    NodeId(i % 25),
+                    NodeId((i + 7) % 25),
+                    128 << 20,
+                );
+                end = end.max(r.end);
+            }
+            end
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stripe_encode,
+    bench_reconstruct,
+    bench_substrate
+);
+
+// ---------------------------------------------------------------------------
+// `repro` mode: machine-readable substrate + parallel-encode numbers.
+// ---------------------------------------------------------------------------
+
+/// `BENCH_sim.json` lives at the workspace root regardless of the cwd cargo
+/// gives bench binaries (the package directory).
+const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+
+fn bps(criterion: &Criterion, id: &str) -> Option<f64> {
+    criterion
+        .measurements()
+        .iter()
+        .find(|m| m.id == id)
+        .and_then(|m| m.bytes_per_sec())
+}
+
+fn bps_value(v: Option<f64>) -> serde_json::Value {
+    match v {
+        Some(x) => serde_json::Value::Float(x),
+        None => serde_json::Value::Null,
+    }
+}
+
+fn repro() {
+    let mut criterion = Criterion::default();
+    bench_stripe_encode(&mut criterion);
+    bench_reconstruct(&mut criterion);
+
+    let points = thread_points();
+    let multi = *points.last().expect("at least one thread point");
+    let mut groups: Vec<(String, serde_json::Value)> = Vec::new();
+    let mut speedups: Vec<(String, serde_json::Value)> = Vec::new();
+    for (label, group) in [
+        ("rs_10_4", "sim_stripe_encode/RS(10,4)"),
+        ("heptagon_local", "sim_stripe_encode/heptagon-local"),
+        ("reconstruct_rs_10_4", "sim_reconstruct/rs(10,4)"),
+    ] {
+        let single = bps(&criterion, &format!("{group}/threads=1"));
+        let wide = bps(&criterion, &format!("{group}/threads={multi}"));
+        groups.push((
+            label.to_string(),
+            serde_json::Value::Map(vec![
+                ("threads_1_bps".to_string(), bps_value(single)),
+                (format!("threads_{multi}_bps"), bps_value(wide)),
+            ]),
+        ));
+        let speedup = match (single, wide) {
+            (Some(s), Some(w)) if s > 0.0 => serde_json::Value::Float(w / s),
+            _ => serde_json::Value::Null,
+        };
+        speedups.push((label.to_string(), speedup));
+    }
+
+    let doc = serde_json::Value::Map(vec![
+        ("provenance".to_string(), drc_bench::provenance()),
+        (
+            "active_kernel".to_string(),
+            serde_json::Value::Str(kernel::active().name().to_string()),
+        ),
+        (
+            "block_bytes".to_string(),
+            serde_json::Value::UInt(BLOCK as u64),
+        ),
+        (
+            "multi_threads".to_string(),
+            serde_json::Value::UInt(multi as u64),
+        ),
+        ("stripe_encode".to_string(), serde_json::Value::Map(groups)),
+        (
+            "parallel_speedup".to_string(),
+            serde_json::Value::Map(speedups),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("serializable");
+    std::fs::write(BENCH_JSON_PATH, &json).expect("writable BENCH_sim.json");
+    println!("{json}");
+    println!("wrote {BENCH_JSON_PATH}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "repro") {
+        repro();
+        return;
+    }
+    let mut criterion = Criterion::default();
+    benches(&mut criterion);
+}

@@ -13,10 +13,11 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use drc_bench::{parse_effort, EXPERIMENTS};
+use drc_bench::{parse_effort, provenance, EXPERIMENTS};
 use drc_core::experiments::{
     degraded_mr::run_degraded_mr, encoding::run_encoding, fig3::run_fig3, fig4::run_fig4,
-    fig5::run_fig5, repair_bandwidth::run_repair_bandwidth, table1::run_table1, Effort,
+    fig5::run_fig5, overlap::run_overlap, repair_bandwidth::run_repair_bandwidth,
+    table1::run_table1, Effort,
 };
 use drc_core::reliability::ReliabilityParams;
 use drc_core::DrcError;
@@ -120,6 +121,20 @@ fn run(options: &Options) -> Result<BTreeMap<String, serde_json::Value>, DrcErro
             serde_json::to_value(&report).expect("serializable"),
         );
     }
+    if wanted("overlap") {
+        let (block_bytes, stripes) = match options.effort {
+            Effort::Quick => (1024 * 1024, 2),
+            Effort::Full => (4 * 1024 * 1024, 4),
+        };
+        let report = run_overlap(block_bytes, stripes)?;
+        println!("{report}\n");
+        results.insert(
+            "overlap".to_string(),
+            serde_json::to_value(&report).expect("serializable"),
+        );
+    }
+    // Stamp the run so JSON dumps are comparable across PRs and hosts.
+    results.insert("provenance".to_string(), provenance());
     Ok(results)
 }
 

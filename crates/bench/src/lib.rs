@@ -2,15 +2,21 @@
 //!
 //! The Criterion benches in `benches/` measure the computational kernels
 //! behind each table and figure (MTTDL solves, repair planning, locality
-//! simulation, Terasort execution, encoding), while the `repro` binary
-//! regenerates the tables and figure series themselves in a paper-comparable
-//! textual form. Both are thin wrappers around
-//! [`drc_core::experiments`].
+//! simulation, Terasort execution, encoding, the event-driven substrate),
+//! while the `repro` binary regenerates the tables and figure series
+//! themselves in a paper-comparable textual form. Both are thin wrappers
+//! around [`drc_core::experiments`].
+//!
+//! Every machine-readable artifact (`repro --json`, `BENCH_gf.json`,
+//! `BENCH_sim.json`) is stamped with [`provenance`] — git SHA, active GF
+//! kernel and worker-thread count — so numbers are comparable across PRs
+//! and across hosts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use drc_core::experiments::Effort;
+use drc_core::gf::kernel;
 
 /// Parses an effort level from a command-line string.
 ///
@@ -32,7 +38,39 @@ pub const EXPERIMENTS: &[&str] = &[
     "fig5",
     "encoding",
     "degraded_mr",
+    "overlap",
 ];
+
+/// The commit the benchmarked tree was built from, best-effort
+/// (`"unknown"` outside a git checkout or without a `git` binary).
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The provenance stamp every benchmark JSON carries: git SHA, active GF
+/// kernel and worker-pool thread count. Cross-PR (and cross-host) numbers
+/// are only comparable with this context attached.
+pub fn provenance() -> serde_json::Value {
+    serde_json::Value::Map(vec![
+        ("git_sha".to_string(), serde_json::Value::Str(git_sha())),
+        (
+            "gf_kernel".to_string(),
+            serde_json::Value::Str(kernel::active().name().to_string()),
+        ),
+        (
+            "threads".to_string(),
+            serde_json::Value::UInt(rayon::current_num_threads() as u64),
+        ),
+    ])
+}
 
 #[cfg(test)]
 mod tests {
@@ -48,8 +86,19 @@ mod tests {
 
     #[test]
     fn experiment_list_is_complete() {
-        assert_eq!(EXPERIMENTS.len(), 7);
+        assert_eq!(EXPERIMENTS.len(), 8);
         assert!(EXPERIMENTS.contains(&"table1"));
         assert!(EXPERIMENTS.contains(&"fig5"));
+        assert!(EXPERIMENTS.contains(&"overlap"));
+    }
+
+    #[test]
+    fn provenance_has_the_three_stamps() {
+        let serde_json::Value::Map(entries) = provenance() else {
+            panic!("provenance must be a map");
+        };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["git_sha", "gf_kernel", "threads"]);
+        assert!(matches!(&entries[2].1, serde_json::Value::UInt(n) if *n >= 1));
     }
 }

@@ -88,7 +88,7 @@ impl RepairPlan {
 }
 
 /// Computes the payload of a [`TransferPayload::PartialParity`] transfer
-/// into a caller-owned buffer, without allocating.
+/// into a caller-owned buffer.
 ///
 /// A helper node rebuilding distinct block `t` sends the GF-weighted partial
 /// sum of the data blocks it holds: `out = sum_j target_row[combines[j]] *
@@ -96,6 +96,12 @@ impl RepairPlan {
 /// matrix. For the pentagon/heptagon XOR parities every weight is 1 and this
 /// degenerates to the plain XOR of §2.1; for the heptagon-local global
 /// parities the weights are the RAID-6-style coefficients of §2.2.
+///
+/// The combination bottoms out in [`slice::linear_combination_into`], so
+/// block-sized payloads are split across the workspace worker pool with
+/// results byte-identical to a single-threaded run; the coefficient lookup
+/// stays on the stack for every realistic stripe width, keeping the serial
+/// path free of heap allocation.
 ///
 /// # Panics
 ///
@@ -113,9 +119,17 @@ pub fn combine_partial_parity_into(
         payloads.len(),
         "one payload per combined block is required"
     );
-    out.fill(0);
-    for (&block, payload) in combines.iter().zip(payloads) {
-        slice::mul_acc(out, payload, target_row[block]);
+    // Widest real stripe: heptagon-local with 44 distinct blocks.
+    const STACK_COEFFS: usize = 64;
+    if combines.len() <= STACK_COEFFS {
+        let mut coeffs = [Gf256::ZERO; STACK_COEFFS];
+        for (c, &block) in coeffs.iter_mut().zip(combines) {
+            *c = target_row[block];
+        }
+        slice::linear_combination_into(&coeffs[..combines.len()], payloads, out);
+    } else {
+        let coeffs: Vec<Gf256> = combines.iter().map(|&b| target_row[b]).collect();
+        slice::linear_combination_into(&coeffs, payloads, out);
     }
 }
 

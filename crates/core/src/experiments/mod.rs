@@ -8,6 +8,7 @@
 //! | Fig. 4 | [`fig4`] | Terasort job time / network traffic / locality on set-up 1 |
 //! | Fig. 5 | [`fig5`] | Terasort network traffic / locality on set-up 2 |
 //! | §5 extensions | [`encoding`], [`degraded_mr`] | encoding throughput; MapReduce under node failures |
+//! | substrate extension | [`overlap`] | repair / degraded-read overlap in virtual time on the event-driven HDFS |
 //!
 //! Every driver returns a serialisable result type with a `Display`
 //! implementation that prints a paper-style table, so the `repro` binary in
@@ -19,6 +20,7 @@ pub mod encoding;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod overlap;
 pub mod repair_bandwidth;
 pub mod table1;
 

@@ -9,8 +9,9 @@
 //! | [`gf`] (`drc-gf`) | GF(2^8) arithmetic, matrices, Reed–Solomon codec |
 //! | [`codes`] (`drc-codes`) | pentagon / heptagon / heptagon-local codes plus replication, RAID+m and RS baselines |
 //! | [`cluster`] (`drc-cluster`) | cluster topology, block placement, failure injection |
-//! | [`hdfs`] (`drc-hdfs`) | simulated HDFS + RaidNode operating on real block payloads |
-//! | [`mapreduce`] (`drc-mapreduce`) | task schedulers (delay / max-matching / peeling), locality simulation, discrete-event MR engine |
+//! | [`sim`] (`drc-sim`) | discrete-event substrate: virtual clock, event queue, modeled disk/NIC/link bandwidth, timelines |
+//! | [`hdfs`] (`drc-hdfs`) | simulated HDFS + RaidNode on the event-driven substrate, operating on real block payloads |
+//! | [`mapreduce`] (`drc-mapreduce`) | task schedulers (delay / max-matching / peeling), locality simulation, virtual-time MR engine |
 //! | [`reliability`] (`drc-reliability`) | Markov-chain MTTDL models and Monte-Carlo validation |
 //! | [`workloads`] (`drc-workloads`) | Terasort-style workload generation and load sweeps |
 //!
@@ -57,6 +58,9 @@ pub use drc_codes as codes;
 
 /// Re-export of the cluster/placement crate.
 pub use drc_cluster as cluster;
+
+/// Re-export of the discrete-event simulation substrate.
+pub use drc_sim as sim;
 
 /// Re-export of the simulated HDFS crate.
 pub use drc_hdfs as hdfs;

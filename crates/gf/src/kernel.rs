@@ -23,6 +23,12 @@
 //! host can run, which the proptests use to verify byte-for-byte agreement
 //! and the benches use for per-variant throughput curves.
 //!
+//! The sibling knob `DRC_SIM_THREADS` controls the *worker-pool width* the
+//! bulk [`crate::slice`] operations split block-sized work across (default:
+//! all cores; `1` forces the serial, allocation-free path). The two are
+//! orthogonal: every `(kernel, thread-count)` combination produces
+//! byte-identical results.
+//!
 //! # Safety
 //!
 //! This is the only module in the crate allowed to use `unsafe`, and every

@@ -7,10 +7,10 @@
 //!
 //! * [`Gf256`] — a field element with full arithmetic (add/sub = XOR,
 //!   branch-free table multiplication, inversion, exponentiation),
-//! * [`slice`] — bulk operations on byte slices (XOR-accumulate,
+//! * [`mod@slice`] — bulk operations on byte slices (XOR-accumulate,
 //!   multiply-accumulate, fused matrix×block-vector products) used on whole
 //!   storage blocks,
-//! * [`kernel`] — the runtime-dispatched SIMD kernel layer behind [`slice`],
+//! * [`kernel`] — the runtime-dispatched SIMD kernel layer behind [`mod@slice`],
 //! * [`Matrix`] — dense matrices over GF(2^8) with Gauss–Jordan inversion,
 //!   Vandermonde and Cauchy constructors,
 //! * [`Polynomial`] — polynomials over GF(2^8) with evaluation and Lagrange
@@ -28,14 +28,22 @@
 //! bytes at once; see the `tables` internals and [`kernel`] for the
 //! exact variants (AVX2, SSSE3, NEON, portable wide-scalar, reference). The
 //! widest kernel the CPU supports is detected **once** per process via
-//! `is_x86_feature_detected!` and cached; everything in [`slice`] then
+//! `is_x86_feature_detected!` and cached; everything in [`mod@slice`] then
 //! dispatches through two function-pointer loads per *block-sized* call.
 //!
 //! Encode paths are allocation-free end to end: callers hand
-//! [`ReedSolomon::encode_into`] (and the `*_into` functions in [`slice`])
+//! [`ReedSolomon::encode_into`] (and the `*_into` functions in [`mod@slice`])
 //! caller-owned output buffers, and the fused [`slice::matrix_mul_into`]
 //! applies the whole parity sub-matrix one cache tile at a time rather than
 //! one full pass per parity row.
+//!
+//! On top of the SIMD kernels, block-sized operations are *shard-parallel*:
+//! buffers large enough to give each worker at least
+//! [`slice::PAR_MIN_LEN`] bytes are split into tile-aligned byte ranges
+//! across the workspace worker pool. The pool width comes from
+//! `DRC_SIM_THREADS` (the sibling knob of `DRC_GF_KERNEL`);
+//! `DRC_SIM_THREADS=1` keeps every path serial and allocation-free, and all
+//! thread counts produce byte-identical output.
 //!
 //! # Safety
 //!

@@ -2,7 +2,7 @@
 //!
 //! Storage blocks are megabytes of payload; encoding and repairing them means
 //! applying the same field operation to every byte of a block. Every function
-//! here dispatches to the widest SIMD [`kernel`](crate::kernel) the host CPU
+//! here dispatches to the widest SIMD [`crate::kernel`] the host CPU
 //! supports (AVX2 / SSSE3 / NEON / portable), selected once per process.
 //!
 //! Two API tiers:
@@ -16,6 +16,18 @@
 //!   window of the inputs) instead of making one full pass per output row,
 //!   which is what the Reed–Solomon encoder and the erasure-code stripe
 //!   encoders build on.
+//!
+//! # Shard parallelism
+//!
+//! Blocks large enough to give every worker at least [`PAR_MIN_LEN`] bytes
+//! (see [`workers_for`]) are split into [`TILE`]-aligned byte ranges and
+//! spread over the workspace worker pool (the vendored `rayon` stub; worker
+//! count from `DRC_SIM_THREADS`, the sibling knob of `DRC_GF_KERNEL`).
+//! Every output byte is computed by the same sequence of field operations
+//! regardless of the split, so parallel and single-threaded runs are
+//! **byte-identical** — `DRC_SIM_THREADS=1` (or short blocks) takes the
+//! serial path, which remains allocation-free; the parallel path allocates
+//! only per-range bookkeeping, never block-sized buffers.
 
 use crate::kernel;
 use crate::Gf256;
@@ -24,6 +36,32 @@ use crate::Gf256;
 /// one source tile plus a handful of output tiles stay resident in L1 while
 /// every parity row consumes the source tile.
 pub const TILE: usize = 4096;
+
+/// Minimum bytes of work *per worker* for splitting across the pool: with
+/// less than this per thread, spawn/handoff costs (the vendored pool has no
+/// persistent workers) rival the GF arithmetic itself, and the serial
+/// allocation-free path wins. Parallel execution therefore engages only for
+/// blocks of at least `2 * PAR_MIN_LEN` bytes.
+pub const PAR_MIN_LEN: usize = 16 * TILE;
+
+/// How many pool workers a `len`-byte operation should actually use: capped
+/// so every worker gets at least [`PAR_MIN_LEN`] bytes. A result below 2
+/// means "stay serial".
+pub fn workers_for(len: usize) -> usize {
+    rayon::current_num_threads().min(len / PAR_MIN_LEN)
+}
+
+/// Splits `len` bytes into at most `workers` contiguous `(start, end)`
+/// ranges with [`TILE`]-aligned interior boundaries (the last range takes
+/// the slack). This is the splitting the parallel paths here use; it is
+/// public so sibling crates can spread their own per-byte-range work over
+/// the same worker pool with identical chunking.
+pub fn par_ranges(len: usize, workers: usize) -> impl Iterator<Item = (usize, usize)> {
+    // A zero worker count (e.g. `workers_for` on a short buffer) means "one
+    // serial range", not a division by zero.
+    let chunk = len.div_ceil(workers.max(1)).div_ceil(TILE).max(1) * TILE;
+    (0..len.div_ceil(chunk)).map(move |i| (i * chunk, ((i + 1) * chunk).min(len)))
+}
 
 /// XOR-accumulates `src` into `dst` (`dst[i] += src[i]` over GF(2^8)).
 ///
@@ -119,6 +157,29 @@ pub fn linear_combination_into<S: AsRef<[u8]>>(coeffs: &[Gf256], blocks: &[S], o
         blocks.len(),
         "one coefficient is required per block"
     );
+    let workers = workers_for(out.len());
+    if workers > 1 && !blocks.is_empty() {
+        let len = out.len();
+        let views: Vec<&[u8]> = blocks.iter().map(|b| b.as_ref()).collect();
+        for b in &views {
+            assert_eq!(b.len(), len, "blocks must match the output length");
+        }
+        let views = &views;
+        rayon::scope(|s| {
+            let mut rest = &mut *out;
+            for (start, end) in par_ranges(len, workers) {
+                let (head, tail) = rest.split_at_mut(end - start);
+                rest = tail;
+                s.spawn(move |_| {
+                    head.fill(0);
+                    for (c, b) in coeffs.iter().zip(views) {
+                        mul_acc(head, &b[start..end], *c);
+                    }
+                });
+            }
+        });
+        return;
+    }
     out.fill(0);
     for (c, b) in coeffs.iter().zip(blocks) {
         mul_acc(out, b.as_ref(), *c);
@@ -135,7 +196,10 @@ pub fn linear_combination_into<S: AsRef<[u8]>>(coeffs: &[Gf256], blocks: &[S], o
 /// from L1 once per output row instead of once per output row per pass, and
 /// the output tiles stay cache-resident across all `k` accumulations.
 ///
-/// Allocation-free: callers own every buffer; `outs` are fully overwritten.
+/// Callers own every buffer; `outs` are fully overwritten. Blocks large
+/// enough to feed several workers (see [`workers_for`]) are additionally
+/// split into TILE-aligned ranges across the worker pool (byte-identical to
+/// the serial path); the serial path performs no heap allocation.
 ///
 /// # Panics
 ///
@@ -160,9 +224,15 @@ where
         assert_eq!(b.as_ref().len(), len, "blocks must have equal lengths");
     }
     for o in outs.iter_mut() {
-        let o = o.as_mut();
-        assert_eq!(o.len(), len, "outputs must match the block length");
-        o.fill(0);
+        assert_eq!(o.as_mut().len(), len, "outputs must match the block length");
+    }
+    let workers = workers_for(len);
+    if workers > 1 && !outs.is_empty() && k > 0 {
+        matrix_mul_into_parallel(coeffs, k, blocks, outs, len, workers);
+        return;
+    }
+    for o in outs.iter_mut() {
+        o.as_mut().fill(0);
     }
     let kern = kernel::active();
     let mut start = 0;
@@ -176,6 +246,83 @@ where
                     continue;
                 }
                 let dst = &mut out.as_mut()[start..end];
+                if c == Gf256::ONE {
+                    kern.xor_assign(dst, src);
+                } else {
+                    kern.mul_acc(dst, src, c.value());
+                }
+            }
+        }
+        start = end;
+    }
+}
+
+/// The parallel arm of [`matrix_mul_into`]: every output buffer is split at
+/// the same TILE-aligned boundaries, and each byte range (with its window of
+/// every output) becomes one worker-pool task running the same fused tile
+/// loop. Ranges are disjoint, so the result is byte-identical to the serial
+/// path; only per-range bookkeeping is allocated.
+fn matrix_mul_into_parallel<S, B>(
+    coeffs: &[Gf256],
+    k: usize,
+    blocks: &[S],
+    outs: &mut [B],
+    len: usize,
+    workers: usize,
+) where
+    S: AsRef<[u8]>,
+    B: AsMut<[u8]>,
+{
+    let views: Vec<&[u8]> = blocks.iter().map(|b| b.as_ref()).collect();
+    let ranges: Vec<(usize, usize)> = par_ranges(len, workers).collect();
+    let mut chunked: Vec<Vec<&mut [u8]>> = ranges
+        .iter()
+        .map(|_| Vec::with_capacity(outs.len()))
+        .collect();
+    for o in outs.iter_mut() {
+        let mut rest = o.as_mut();
+        for (ci, (start, end)) in ranges.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(end - start);
+            chunked[ci].push(head);
+            rest = tail;
+        }
+    }
+    let views = &views;
+    let ranges = &ranges;
+    rayon::scope(|s| {
+        for (ci, mut window) in chunked.into_iter().enumerate() {
+            let (start, end) = ranges[ci];
+            s.spawn(move |_| matrix_mul_window(coeffs, k, views, start, end, &mut window));
+        }
+    });
+}
+
+/// Applies the whole coefficient sub-matrix to the byte range
+/// `offset..limit` of the source blocks, writing the matching windows of the
+/// outputs (`window[p]` is `outs[p][offset..limit]`).
+fn matrix_mul_window(
+    coeffs: &[Gf256],
+    k: usize,
+    blocks: &[&[u8]],
+    offset: usize,
+    limit: usize,
+    window: &mut [&mut [u8]],
+) {
+    let kern = kernel::active();
+    for o in window.iter_mut() {
+        o.fill(0);
+    }
+    let mut start = offset;
+    while start < limit {
+        let end = (start + TILE).min(limit);
+        for (j, block) in blocks.iter().enumerate() {
+            let src = &block[start..end];
+            for (p, out) in window.iter_mut().enumerate() {
+                let c = coeffs[p * k + j];
+                if c == Gf256::ZERO {
+                    continue;
+                }
+                let dst = &mut out[start - offset..end - offset];
                 if c == Gf256::ONE {
                     kern.xor_assign(dst, src);
                 } else {
@@ -305,6 +452,49 @@ mod tests {
         for p in 0..3 {
             let row = &coeffs[p * k..(p + 1) * k];
             assert_eq!(outs[p], linear_combination(row, &blocks, len), "row {p}");
+        }
+    }
+
+    #[test]
+    fn parallel_split_matches_serial_byte_for_byte() {
+        let k = 5;
+        let len = 3 * PAR_MIN_LEN + 123; // spans several parallel ranges + slack
+        let blocks: Vec<Vec<u8>> = (0..k)
+            .map(|j| (0..len).map(|i| (i * 13 + j * 29 + 5) as u8).collect())
+            .collect();
+        let coeffs: Vec<Gf256> = (0..3 * k).map(|i| Gf256::new((i * 7 + 1) as u8)).collect();
+
+        let mut serial = vec![vec![0u8; len]; 3];
+        rayon::with_num_threads(1, || matrix_mul_into(&coeffs, k, &blocks, &mut serial));
+        let mut parallel = vec![vec![0u8; len]; 3];
+        rayon::with_num_threads(4, || matrix_mul_into(&coeffs, k, &blocks, &mut parallel));
+        assert_eq!(serial, parallel);
+
+        let mut lin_serial = vec![0u8; len];
+        rayon::with_num_threads(1, || {
+            linear_combination_into(&coeffs[..k], &blocks, &mut lin_serial)
+        });
+        let mut lin_parallel = vec![0xffu8; len];
+        rayon::with_num_threads(4, || {
+            linear_combination_into(&coeffs[..k], &blocks, &mut lin_parallel)
+        });
+        assert_eq!(lin_serial, lin_parallel);
+    }
+
+    #[test]
+    fn par_ranges_are_tile_aligned_and_cover() {
+        // workers == 0 (what workers_for returns for short buffers) must
+        // degrade to one serial range, not panic.
+        assert_eq!(par_ranges(5 * TILE, 0).collect::<Vec<_>>(), [(0, 5 * TILE)]);
+        for (len, workers) in [(PAR_MIN_LEN, 4), (3 * PAR_MIN_LEN + 17, 3), (TILE + 1, 8)] {
+            let ranges: Vec<_> = par_ranges(len, workers).collect();
+            assert!(ranges.len() <= workers);
+            assert_eq!(ranges.first().map(|r| r.0), Some(0));
+            assert_eq!(ranges.last().map(|r| r.1), Some(len));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+                assert_eq!(w[0].1 % TILE, 0, "interior boundaries are TILE-aligned");
+            }
         }
     }
 

@@ -1,34 +1,44 @@
-//! A simulated DataNode: stores block replicas and serves reads.
+//! A simulated DataNode: stores block replicas and serves reads as timed
+//! events on its modeled disk and NIC.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 
-use drc_cluster::NodeId;
+use drc_cluster::{ClusterSpec, NodeId};
+use drc_sim::{NodeIo, Reservation, Resource, SimTime};
 
 use crate::block::BlockKey;
 
 /// A DataNode holding block replicas in memory.
 ///
-/// The node tracks how many bytes it has served and received, which the
-/// RaidNode and the file-system facade use to account network traffic.
+/// The node tracks how many bytes it has served and received (lock-free
+/// atomics — reads are concurrent once the event-driven substrate overlaps
+/// them), which the RaidNode and the file-system facade use to account
+/// network traffic. It also owns its [`NodeIo`] resources (disk + NIC), so
+/// every store/read can be issued as a *timed event*: the returned
+/// [`Reservation`] says when the operation starts and finishes in virtual
+/// time, with contending operations queueing on the disk.
 #[derive(Debug)]
 pub struct DataNode {
     id: NodeId,
+    io: NodeIo,
     blocks: RwLock<BTreeMap<BlockKey, Bytes>>,
-    bytes_served: RwLock<u64>,
-    bytes_received: RwLock<u64>,
+    bytes_served: AtomicU64,
+    bytes_received: AtomicU64,
 }
 
 impl DataNode {
-    /// Creates an empty DataNode.
-    pub fn new(id: NodeId) -> Self {
+    /// Creates an empty DataNode with I/O resources from the cluster spec.
+    pub fn new(id: NodeId, spec: &ClusterSpec) -> Self {
         DataNode {
             id,
+            io: NodeIo::new(spec),
             blocks: RwLock::new(BTreeMap::new()),
-            bytes_served: RwLock::new(0),
-            bytes_received: RwLock::new(0),
+            bytes_served: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
         }
     }
 
@@ -37,19 +47,59 @@ impl DataNode {
         self.id
     }
 
+    /// The node's modeled I/O resources (disk and NIC).
+    pub fn io(&self) -> &NodeIo {
+        &self.io
+    }
+
     /// Stores (or overwrites) a block replica.
     pub fn store(&self, key: BlockKey, data: Bytes) {
-        *self.bytes_received.write() += data.len() as u64;
+        self.bytes_received
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.blocks.write().insert(key, data);
+    }
+
+    /// Stores a block replica as a timed event issued at `now`: the incoming
+    /// bytes traverse the shared `fabric` and the node's NIC, then land on
+    /// its disk — the write finishes at the reservation's end. This is the
+    /// store path the file system's write and repair passes use.
+    pub fn store_timed(
+        &self,
+        key: BlockKey,
+        data: Bytes,
+        now: SimTime,
+        fabric: &Resource,
+    ) -> Reservation {
+        let res = drc_sim::push_to(now, &self.io, fabric, data.len() as u64);
+        self.store(key, data);
+        res
     }
 
     /// Reads a block replica, if present, counting the bytes as served.
     pub fn read(&self, key: &BlockKey) -> Option<Bytes> {
         let data = self.blocks.read().get(key).cloned();
         if let Some(d) = &data {
-            *self.bytes_served.write() += d.len() as u64;
+            self.bytes_served
+                .fetch_add(d.len() as u64, Ordering::Relaxed);
         }
         data
+    }
+
+    /// Reads a block replica as a timed event issued at `now`: the read
+    /// occupies the node's disk and streams out through its NIC and the
+    /// shared `fabric`, queueing behind earlier I/O. This is the read path
+    /// the file system's replica reads and decode fetches use.
+    ///
+    /// Misses cost nothing (the node answers from metadata).
+    pub fn read_timed(
+        &self,
+        key: &BlockKey,
+        now: SimTime,
+        fabric: &Resource,
+    ) -> Option<(Bytes, Reservation)> {
+        let data = self.read(key)?;
+        let res = drc_sim::pull_from(now, &self.io, fabric, data.len() as u64);
+        Some((data, res))
     }
 
     /// Returns `true` if the node holds a replica of the block.
@@ -79,12 +129,12 @@ impl DataNode {
 
     /// Bytes served to readers so far.
     pub fn bytes_served(&self) -> u64 {
-        *self.bytes_served.read()
+        self.bytes_served.load(Ordering::Relaxed)
     }
 
     /// Bytes received from writers and repairs so far.
     pub fn bytes_received(&self) -> u64 {
-        *self.bytes_received.read()
+        self.bytes_received.load(Ordering::Relaxed)
     }
 
     /// The keys of every block stored on this node.
@@ -102,9 +152,13 @@ mod tests {
         BlockKey::new(FileId(1), stripe, block)
     }
 
+    fn node(id: usize) -> DataNode {
+        DataNode::new(NodeId(id), &ClusterSpec::simulation_25(4))
+    }
+
     #[test]
     fn store_read_delete_cycle() {
-        let dn = DataNode::new(NodeId(3));
+        let dn = node(3);
         assert_eq!(dn.id(), NodeId(3));
         assert_eq!(dn.block_count(), 0);
         dn.store(key(0, 0), Bytes::from(vec![1u8, 2, 3]));
@@ -124,7 +178,7 @@ mod tests {
 
     #[test]
     fn traffic_counters() {
-        let dn = DataNode::new(NodeId(0));
+        let dn = node(0);
         dn.store(key(0, 0), Bytes::from(vec![0u8; 100]));
         assert_eq!(dn.bytes_received(), 100);
         assert_eq!(dn.bytes_served(), 0);
@@ -134,5 +188,41 @@ mod tests {
         // Misses don't count.
         let _ = dn.read(&key(1, 1));
         assert_eq!(dn.bytes_served(), 200);
+    }
+
+    #[test]
+    fn timed_io_queues_on_the_node_resources() {
+        let dn = node(1);
+        let fabric = Resource::new(0.0); // infinitely fast LAN for this test
+        let mib = 1024 * 1024;
+        // simulation_25: 100 MiB/s disks, 60 MiB/s NICs — a 100 MiB store is
+        // NIC-bound at 100/60 s.
+        let w = dn.store_timed(
+            key(0, 0),
+            Bytes::from(vec![7u8; 100 * mib]),
+            SimTime::ZERO,
+            &fabric,
+        );
+        assert!((w.duration().as_secs_f64() - 100.0 / 60.0).abs() < 1e-6);
+        let (data, r) = dn.read_timed(&key(0, 0), SimTime::ZERO, &fabric).unwrap();
+        assert_eq!(data.len(), 100 * mib);
+        assert_eq!(r.start, w.end, "the read queues behind the write");
+        assert!(dn.read_timed(&key(5, 5), SimTime::ZERO, &fabric).is_none());
+    }
+
+    #[test]
+    fn counters_are_safe_under_concurrent_reads() {
+        let dn = node(2);
+        dn.store(key(0, 0), Bytes::from(vec![1u8; 1000]));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        let _ = dn.read(&key(0, 0));
+                    }
+                });
+            }
+        });
+        assert_eq!(dn.bytes_served(), 4 * 100 * 1000);
     }
 }

@@ -1,4 +1,5 @@
-//! The file-system facade and the RaidNode.
+//! The file-system facade and the RaidNode, rebuilt on the event-driven
+//! substrate.
 //!
 //! [`DistributedFileSystem`] plays the role of the whole HDFS + HDFS-RAID
 //! deployment of §4: a NameNode for metadata, one DataNode per cluster node
@@ -11,6 +12,24 @@
 //! by decoding from surviving replicas, so every repaired byte is verified
 //! against real data. The distinction matters for the heptagon-local global
 //! parities, whose partial sums are GF-weighted rather than plain XORs.
+//!
+//! # Virtual time and overlap
+//!
+//! Every operation is issued at the file system's [`VirtualClock`] and
+//! executed as timed events against the modeled resources: each DataNode's
+//! disk, each node's NIC and the shared LAN fabric. Operations issued
+//! without advancing the clock **overlap in virtual time** — a RaidNode
+//! repair pass and a batch of degraded reads issued back-to-back contend for
+//! the same disks and links instead of executing serially, which is exactly
+//! the contention the paper's experiments measure. Call
+//! [`DistributedFileSystem::sync`] to advance the clock past everything in
+//! flight; inspect [`DistributedFileSystem::timeline`] for the per-phase
+//! record (and [`Timeline::overlap`] for how long two kinds of work ran
+//! concurrently).
+//!
+//! Byte accounting is independent of the virtual clock and of the worker
+//! pool's thread count: `DRC_SIM_THREADS=1` and a 32-thread run report
+//! identical network-byte numbers.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -22,6 +41,7 @@ use serde::{Deserialize, Serialize};
 
 use drc_cluster::{Cluster, ClusterSpec, NodeId, PlacementMap, PlacementPolicy};
 use drc_codes::{CodeKind, ErasureCode, StripeEncoder};
+use drc_sim::{EventQueue, Resource, SimTime, Timeline, VirtualClock};
 
 use crate::block::BlockKey;
 use crate::datanode::DataNode;
@@ -56,6 +76,11 @@ pub struct RepairReport {
     pub network_bytes: u64,
     /// Stripes that could not be repaired (failures beyond code tolerance).
     pub unrecoverable_stripes: usize,
+    /// The virtual instant the pass was issued.
+    pub issued_at: SimTime,
+    /// The virtual instant the last stripe finished repairing (equals
+    /// `issued_at` when there was nothing to do).
+    pub completed_at: SimTime,
 }
 
 /// The simulated HDFS deployment.
@@ -67,6 +92,10 @@ pub struct DistributedFileSystem {
     /// Reusable parity scratch: stripe encodes allocate nothing in steady
     /// state (the write path and the RaidNode encode stripe after stripe).
     encoder: StripeEncoder,
+    /// The shared LAN fabric every transfer's bytes queue through.
+    fabric: Resource,
+    clock: VirtualClock,
+    timeline: Timeline,
     rng: ChaCha8Rng,
     write_network_bytes: u64,
     read_network_bytes: u64,
@@ -78,6 +107,7 @@ impl std::fmt::Debug for DistributedFileSystem {
         f.debug_struct("DistributedFileSystem")
             .field("nodes", &self.cluster.len())
             .field("files", &self.namenode.len())
+            .field("now", &self.clock.now())
             .finish()
     }
 }
@@ -85,14 +115,21 @@ impl std::fmt::Debug for DistributedFileSystem {
 impl DistributedFileSystem {
     /// Creates a file system over a fresh cluster with the given spec.
     pub fn new(spec: ClusterSpec, seed: u64) -> Self {
+        let fabric = drc_sim::fabric(&spec);
         let cluster = Cluster::new(spec);
-        let datanodes = cluster.nodes().map(|n| (n, DataNode::new(n))).collect();
+        let datanodes = cluster
+            .nodes()
+            .map(|n| (n, DataNode::new(n, cluster.spec())))
+            .collect();
         DistributedFileSystem {
             cluster,
             namenode: NameNode::new(),
             datanodes,
             code_cache: BTreeMap::new(),
             encoder: StripeEncoder::new(),
+            fabric,
+            clock: VirtualClock::new(),
+            timeline: Timeline::new(),
             rng: ChaCha8Rng::seed_from_u64(seed),
             write_network_bytes: 0,
             read_network_bytes: 0,
@@ -115,6 +152,25 @@ impl DistributedFileSystem {
         self.datanodes.get(&node)
     }
 
+    /// The current virtual instant operations are issued at.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The per-phase virtual-time record of everything executed so far.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Advances the clock past every operation in flight and returns the new
+    /// instant. Operations issued *before* a `sync` overlap in virtual time;
+    /// operations issued *after* start once the earlier ones are done.
+    pub fn sync(&mut self) -> SimTime {
+        let end = self.timeline.end();
+        self.clock.advance_to(end);
+        self.clock.now()
+    }
+
     fn code(&mut self, kind: CodeKind) -> Result<Arc<dyn ErasureCode>, HdfsError> {
         if let Some(c) = self.code_cache.get(&kind) {
             return Ok(Arc::clone(c));
@@ -126,6 +182,9 @@ impl DistributedFileSystem {
 
     /// Writes `data` as a new file protected by `code`, striping it into
     /// blocks of the cluster's configured block size.
+    ///
+    /// Every replica store is a timed event (client → node NIC → disk over
+    /// the shared fabric); stores to different nodes overlap.
     ///
     /// # Errors
     ///
@@ -154,17 +213,21 @@ impl DistributedFileSystem {
             PlacementPolicy::Random,
             &mut self.rng,
         )?;
+        let issued = self.clock.now();
         let id = self.namenode.register(
             name,
             data.len() as u64,
             block_size as u64,
             code_kind,
             k,
+            issued,
             placement,
         )?;
         let meta = self.namenode.file(id)?.clone();
 
         // Stripe, encode and distribute.
+        let mut bytes_moved = 0u64;
+        let mut write_end = issued;
         for stripe in 0..stripes {
             let mut stripe_data: Vec<Vec<u8>> = Vec::with_capacity(k);
             for b in 0..k {
@@ -177,8 +240,8 @@ impl DistributedFileSystem {
                 }
                 stripe_data.push(block);
             }
-            // Zero-allocation encode: the parity scratch buffers are reused
-            // across stripes (and across files).
+            // Zero-allocation, shard-parallel encode: the parity scratch
+            // buffers are reused across stripes (and across files).
             let parities = self.encoder.encode(code.as_ref(), &stripe_data)?;
             for block_index in 0..code.distinct_blocks() {
                 let key = BlockKey::new(id, stripe, block_index);
@@ -189,18 +252,27 @@ impl DistributedFileSystem {
                 };
                 for &node in meta.block_locations(stripe, block_index) {
                     self.write_network_bytes += content.len() as u64;
-                    self.datanodes
+                    bytes_moved += content.len() as u64;
+                    let dn = self
+                        .datanodes
                         .get(&node)
-                        .ok_or(HdfsError::DataNodeUnavailable { node: node.0 })?
-                        .store(key, content.clone());
+                        .ok_or(HdfsError::DataNodeUnavailable { node: node.0 })?;
+                    let res = dn.store_timed(key, content.clone(), issued, &self.fabric);
+                    write_end = write_end.max(res.end);
                 }
             }
         }
+        self.timeline
+            .record(format!("write:{name}"), issued, write_end, bytes_moved);
         Ok(id)
     }
 
     /// Reads back a whole file, transparently performing degraded reads for
     /// blocks whose replicas are all unreachable.
+    ///
+    /// All block reads are issued at the same virtual instant (HDFS clients
+    /// fetch stripes in parallel); reads hitting the same disk queue behind
+    /// each other.
     ///
     /// # Errors
     ///
@@ -208,12 +280,28 @@ impl DistributedFileSystem {
     /// with reconstruction.
     pub fn read_file(&mut self, id: FileId) -> Result<Vec<u8>, HdfsError> {
         let meta = self.namenode.file(id)?.clone();
+        let issued = self.clock.now();
+        let bytes_before = self.read_network_bytes;
+        let degraded_before = self.timeline.bytes_with_prefix("degraded-read:");
         let mut out = Vec::with_capacity(meta.size as usize);
+        let mut read_end = issued;
         for key in meta.content_block_keys() {
-            let block = self.read_block(&meta, key.stripe, key.block)?;
+            let (block, done) = self.read_block_at(&meta, key.stripe, key.block, issued)?;
+            read_end = read_end.max(done);
             out.extend_from_slice(&block);
         }
         out.truncate(meta.size as usize);
+        // Phase bytes are disjoint: reconstruction traffic is already on the
+        // `degraded-read:` phases this read spawned, so the aggregate phase
+        // carries only the replica-read bytes (summing both prefixes equals
+        // the stats counter delta).
+        let degraded_bytes = self.timeline.bytes_with_prefix("degraded-read:") - degraded_before;
+        self.timeline.record(
+            format!("read:f{}", id.0),
+            issued,
+            read_end,
+            self.read_network_bytes - bytes_before - degraded_bytes,
+        );
         Ok(out)
     }
 
@@ -230,15 +318,41 @@ impl DistributedFileSystem {
         stripe: usize,
         block: usize,
     ) -> Result<Bytes, HdfsError> {
+        let issued = self.clock.now();
+        let bytes_before = self.read_network_bytes;
+        let degraded_before = self.timeline.bytes_with_prefix("degraded-read:");
+        let (data, done) = self.read_block_at(meta, stripe, block, issued)?;
+        // As in `read_file`: reconstruction bytes live on the degraded-read
+        // phase; this phase carries only replica-read traffic.
+        let degraded_bytes = self.timeline.bytes_with_prefix("degraded-read:") - degraded_before;
+        self.timeline.record(
+            format!("read:f{}:s{stripe}:b{block}", meta.id.0),
+            issued,
+            done,
+            self.read_network_bytes - bytes_before - degraded_bytes,
+        );
+        Ok(data)
+    }
+
+    /// The timed read path: returns the block plus its virtual completion.
+    fn read_block_at(
+        &mut self,
+        meta: &FileMetadata,
+        stripe: usize,
+        block: usize,
+        issued: SimTime,
+    ) -> Result<(Bytes, SimTime), HdfsError> {
         let key = BlockKey::new(meta.id, stripe, block);
         // Fast path: any up replica.
         for &node in meta.block_locations(stripe, block) {
             if !self.cluster.is_up(node) {
                 continue;
             }
-            if let Some(data) = self.datanodes.get(&node).and_then(|dn| dn.read(&key)) {
-                self.read_network_bytes += data.len() as u64;
-                return Ok(data);
+            if let Some(dn) = self.datanodes.get(&node) {
+                if let Some((data, res)) = dn.read_timed(&key, issued, &self.fabric) {
+                    self.read_network_bytes += data.len() as u64;
+                    return Ok((data, res.end));
+                }
             }
         }
         // Degraded read: plan with the code, then execute by decoding.
@@ -264,20 +378,30 @@ impl DistributedFileSystem {
                 reason: e.to_string(),
             }
         })?;
-        self.read_network_bytes += plan.network_blocks as u64 * meta.block_size;
-        let decoded = self.decode_stripe(meta, stripe, code.as_ref())?;
-        Ok(decoded[block].clone())
+        let bytes = plan.network_blocks as u64 * meta.block_size;
+        self.read_network_bytes += bytes;
+        let (decoded, done) = self.decode_stripe(meta, stripe, code.as_ref(), issued)?;
+        self.timeline.record(
+            format!("degraded-read:f{}:s{stripe}:b{block}", meta.id.0),
+            issued,
+            done,
+            bytes,
+        );
+        Ok((decoded[block].clone(), done))
     }
 
     /// Collects the surviving blocks of a stripe and decodes all its data
-    /// blocks.
+    /// blocks; helper fetches are issued concurrently at `issued` and the
+    /// decode completes once the slowest fetch lands.
     fn decode_stripe(
         &mut self,
         meta: &FileMetadata,
         stripe: usize,
         code: &dyn ErasureCode,
-    ) -> Result<Vec<Bytes>, HdfsError> {
+        issued: SimTime,
+    ) -> Result<(Vec<Bytes>, SimTime), HdfsError> {
         let mut available: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+        let mut fetches_done = issued;
         for block in 0..code.distinct_blocks() {
             if available.len() >= code.data_blocks() + 2 {
                 break;
@@ -287,9 +411,12 @@ impl DistributedFileSystem {
                 if !self.cluster.is_up(node) {
                     continue;
                 }
-                if let Some(data) = self.datanodes.get(&node).and_then(|dn| dn.read(&key)) {
-                    available.insert(block, data.to_vec());
-                    break;
+                if let Some(dn) = self.datanodes.get(&node) {
+                    if let Some((data, res)) = dn.read_timed(&key, issued, &self.fabric) {
+                        fetches_done = fetches_done.max(res.end);
+                        available.insert(block, data.to_vec());
+                        break;
+                    }
                 }
             }
         }
@@ -299,7 +426,7 @@ impl DistributedFileSystem {
                 block: BlockKey::new(meta.id, stripe, 0),
                 reason: e.to_string(),
             })?;
-        Ok(decoded.into_iter().map(Bytes::from).collect())
+        Ok((decoded.into_iter().map(Bytes::from).collect(), fetches_done))
     }
 
     /// Marks a node as down (transient failure: its data stays on disk).
@@ -326,6 +453,13 @@ impl DistributedFileSystem {
     /// write them to the replacement nodes (the same node ids, assumed to be
     /// re-provisioned and now up).
     ///
+    /// Every stripe's repair is issued at the same virtual instant: helper
+    /// reads and replacement writes become timed events that overlap across
+    /// stripes (and with any degraded reads issued before the next
+    /// [`DistributedFileSystem::sync`]), queueing only where they share a
+    /// disk, a NIC or the fabric. Per-stripe completions are drained through
+    /// an [`EventQueue`] in virtual-time order onto the timeline.
+    ///
     /// Every repaired node in `replacements` is marked up again.
     ///
     /// # Errors
@@ -333,8 +467,15 @@ impl DistributedFileSystem {
     /// Returns an error only for internal inconsistencies; unrecoverable
     /// stripes are *counted* in the report rather than failing the pass.
     pub fn repair_nodes(&mut self, replacements: &[NodeId]) -> Result<RepairReport, HdfsError> {
-        let mut report = RepairReport::default();
+        let issued = self.clock.now();
+        let mut report = RepairReport {
+            issued_at: issued,
+            completed_at: issued,
+            ..RepairReport::default()
+        };
         let replaced: BTreeSet<NodeId> = replacements.iter().copied().collect();
+        // Per-stripe completion events, drained in virtual-time order below.
+        let mut completions: EventQueue<(FileId, usize, u64)> = EventQueue::new();
         // Collect the work per file first to avoid borrowing conflicts.
         let files: Vec<FileMetadata> = self.namenode.iter().cloned().collect();
         for meta in files {
@@ -361,21 +502,26 @@ impl DistributedFileSystem {
                         continue;
                     }
                 };
-                report.network_bytes += plan.network_blocks() as u64 * meta.block_size;
-                // Rebuild the stripe's data and re-materialise every missing block.
-                let decoded = match self.decode_stripe(&meta, stripe, code.as_ref()) {
-                    Ok(d) => d,
-                    Err(_) => {
-                        report.unrecoverable_stripes += 1;
-                        continue;
-                    }
-                };
+                let plan_bytes = plan.network_blocks() as u64 * meta.block_size;
+                report.network_bytes += plan_bytes;
+                // Rebuild the stripe's data and re-materialise every missing
+                // block. Helper fetches are issued now; the rebuilt blocks
+                // are pushed to the replacements once the decode completes.
+                let (decoded, decode_done) =
+                    match self.decode_stripe(&meta, stripe, code.as_ref(), issued) {
+                        Ok(d) => d,
+                        Err(_) => {
+                            report.unrecoverable_stripes += 1;
+                            continue;
+                        }
+                    };
                 let data_refs: Vec<Vec<u8>> = decoded.iter().map(|b| b.to_vec()).collect();
                 // Re-materialise missing blocks through the buffer-reusing
                 // encoder rather than re-allocating the whole coded stripe.
                 let k = code.data_blocks();
                 let parities = self.encoder.encode(code.as_ref(), &data_refs)?;
                 let mut restored_any = false;
+                let mut stripe_done = decode_done;
                 for &local in &failed_local {
                     let node = stripe_nodes[local];
                     for &block in code.node_blocks(local) {
@@ -390,7 +536,13 @@ impl DistributedFileSystem {
                             } else {
                                 parities[block - k].clone()
                             };
-                            dn.store(key, Bytes::from(content));
+                            let res = dn.store_timed(
+                                key,
+                                Bytes::from(content),
+                                decode_done,
+                                &self.fabric,
+                            );
+                            stripe_done = stripe_done.max(res.end);
                             report.blocks_restored += 1;
                             restored_any = true;
                         }
@@ -398,8 +550,16 @@ impl DistributedFileSystem {
                 }
                 if restored_any {
                     report.stripes_repaired += 1;
+                    completions.schedule_at(stripe_done, (meta.id, stripe, plan_bytes));
                 }
             }
+        }
+        // Drain per-stripe completions in virtual-time order onto the
+        // timeline; the pass completes when the last stripe does.
+        while let Some((done, (file, stripe, bytes))) = completions.pop() {
+            self.timeline
+                .record(format!("repair:f{}:s{stripe}", file.0), issued, done, bytes);
+            report.completed_at = report.completed_at.max(done);
         }
         self.repair_network_bytes += report.network_bytes;
         for &node in replacements {
@@ -447,7 +607,7 @@ mod tests {
     }
 
     fn tiny_spec() -> ClusterSpec {
-        // 64 KiB blocks are enough to exercise multi-stripe files cheaply.
+        // 1 MiB blocks are enough to exercise multi-stripe files cheaply.
         let mut s = ClusterSpec::simulation_25(4);
         s.block_size_mb = 1;
         s
@@ -552,6 +712,7 @@ mod tests {
         assert!(report.stripes_repaired >= 1);
         // Repair bandwidth per the pentagon plan: 4 blocks per stripe-node.
         assert_eq!(report.network_bytes, 4 * 1024 * 1024);
+        assert!(report.completed_at > report.issued_at);
         // The node is up again and the file reads back correctly from it.
         assert!(fs.cluster().is_up(victim));
         assert_eq!(fs.read_file(id).unwrap(), data);
@@ -591,6 +752,7 @@ mod tests {
         let report = fs.repair_nodes(&victims).unwrap();
         assert_eq!(report.unrecoverable_stripes, 1);
         assert_eq!(report.blocks_restored, 0);
+        assert_eq!(report.completed_at, report.issued_at);
         let _ = id;
     }
 
@@ -605,5 +767,99 @@ mod tests {
         let _ = fs.read_file(id).unwrap();
         assert!(fs.stats().read_network_bytes > 0);
         assert_eq!(fs.stats().repair_network_bytes, 0);
+    }
+
+    #[test]
+    fn operations_advance_virtual_time_and_record_phases() {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 10);
+        assert_eq!(fs.now(), SimTime::ZERO);
+        let data = sample_data(9 * 1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
+        let after_write = fs.sync();
+        assert!(after_write > SimTime::ZERO, "writes take virtual time");
+        assert_eq!(fs.timeline().phases.len(), 1);
+        assert_eq!(fs.timeline().phases[0].label, "write:/f");
+        let created = fs.namenode().file(id).unwrap().created_at;
+        assert_eq!(created, SimTime::ZERO);
+
+        let _ = fs.read_file(id).unwrap();
+        let after_read = fs.sync();
+        assert!(
+            after_read > after_write,
+            "reads issued after sync start later"
+        );
+        assert!(fs
+            .timeline()
+            .with_prefix("read:")
+            .all(|p| p.start >= after_write));
+    }
+
+    #[test]
+    fn read_block_records_a_phase_with_disjoint_byte_accounting() {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 12);
+        let data = sample_data(9 * 1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
+        fs.sync();
+        let meta = fs.namenode().file(id).unwrap().clone();
+
+        // Healthy single-block read: one phase, replica bytes only.
+        let block = fs.read_block(&meta, 0, 1).unwrap();
+        assert_eq!(block.len(), 1024 * 1024);
+        let phase = fs.timeline().phases.last().unwrap().clone();
+        assert_eq!(phase.label, "read:f0:s0:b1");
+        assert_eq!(phase.bytes, 1024 * 1024);
+
+        // Degraded single-block read: the reconstruction bytes live on the
+        // degraded-read phase; the read phase itself carries none, and the
+        // two prefixes together equal the stats counter delta.
+        for &node in meta.block_locations(0, 0) {
+            fs.fail_node(node);
+        }
+        let stats_before = fs.stats().read_network_bytes;
+        let degraded_before = fs.timeline().bytes_with_prefix("degraded-read:");
+        let block = fs.read_block(&meta, 0, 0).unwrap();
+        assert_eq!(&block[..], &data[..1024 * 1024]);
+        let read_phase = fs.timeline().phases.last().unwrap().clone();
+        assert_eq!(read_phase.label, "read:f0:s0:b0");
+        assert_eq!(
+            read_phase.bytes, 0,
+            "plan bytes belong to the degraded phase"
+        );
+        let degraded_bytes = fs.timeline().bytes_with_prefix("degraded-read:") - degraded_before;
+        assert_eq!(
+            degraded_bytes,
+            fs.stats().read_network_bytes - stats_before,
+            "phase byte accounting must partition the stats counter"
+        );
+    }
+
+    #[test]
+    fn repair_and_degraded_reads_overlap_in_virtual_time() {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 11);
+        let data = sample_data(18 * 1024 * 1024); // two pentagon stripes
+        let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
+        fs.sync();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        // Lose both replicas of data block 0 of stripe 0: reads of that
+        // block must go degraded until the RaidNode repairs the nodes.
+        let victims: Vec<NodeId> = meta.block_locations(0, 0).to_vec();
+        for &v in &victims {
+            fs.fail_node_permanently(v);
+        }
+
+        // Issue the degraded read and the repair pass back-to-back without
+        // syncing: both start at the same virtual instant and compete for
+        // the surviving nodes' disks.
+        let back = fs.read_file(id).unwrap();
+        assert_eq!(back, data);
+        let report = fs.repair_nodes(&victims).unwrap();
+        assert!(report.stripes_repaired >= 1);
+
+        let overlap = fs.timeline().overlap("repair:", "degraded-read:");
+        assert!(
+            overlap.as_secs_f64() > 0.0,
+            "repair and degraded reads must overlap in virtual time:\n{}",
+            fs.timeline()
+        );
     }
 }

@@ -5,13 +5,22 @@
 //! codes. This crate is the reproduction's stand-in for that storage layer:
 //!
 //! * [`NameNode`] — file namespace and block→location metadata,
-//! * [`DataNode`] — in-memory block replica storage with traffic counters,
+//! * [`DataNode`] — in-memory block replica storage with lock-free traffic
+//!   counters and timed, resource-modeled disk I/O,
 //! * [`DistributedFileSystem`] — the client write/read path (striping,
 //!   encoding, degraded reads) and the RaidNode repair pass, all of which
 //!   operate on real block payloads so every reconstruction is verified
 //!   byte-for-byte,
 //! * network-byte accounting that follows the codes' repair and degraded-read
 //!   plans (including the partial-parity savings of §2.1/§3.1).
+//!
+//! Since PR 2 the layer runs on the event-driven substrate of `drc_sim`:
+//! reads, writes and repair transfers are issued as timed events against
+//! modeled disk/NIC/fabric bandwidth, so repair passes and degraded reads
+//! *overlap* in virtual time and contend for the same resources (see the
+//! timeline machinery on [`DistributedFileSystem`]). Byte accounting is
+//! unchanged and independent of both the virtual clock and the worker-pool
+//! thread count (`DRC_SIM_THREADS`).
 //!
 //! # Example
 //!

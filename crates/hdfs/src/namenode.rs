@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use drc_cluster::{NodeId, PlacementMap};
 use drc_codes::CodeKind;
+use drc_sim::SimTime;
 
 use crate::block::BlockKey;
 use crate::HdfsError;
@@ -32,6 +33,9 @@ pub struct FileMetadata {
     pub stripes: usize,
     /// Number of data blocks per stripe.
     pub data_blocks_per_stripe: usize,
+    /// The virtual instant the file's write was issued (the event-driven
+    /// substrate's clock; writes before the substrate existed read as zero).
+    pub created_at: SimTime,
     /// The stripe→cluster-node placement.
     pub placement: PlacementMap,
 }
@@ -80,6 +84,9 @@ impl NameNode {
     /// # Errors
     ///
     /// Returns [`HdfsError::FileExists`] if the name is already taken.
+    // One parameter per FileMetadata field the caller decides; a builder
+    // would only restate this signature.
+    #[allow(clippy::too_many_arguments)]
     pub fn register(
         &mut self,
         name: &str,
@@ -87,6 +94,7 @@ impl NameNode {
         block_size: u64,
         code: CodeKind,
         data_blocks_per_stripe: usize,
+        created_at: SimTime,
         placement: PlacementMap,
     ) -> Result<FileId, HdfsError> {
         if self.by_name.contains_key(name) {
@@ -104,6 +112,7 @@ impl NameNode {
             code,
             stripes: placement.stripe_count(),
             data_blocks_per_stripe,
+            created_at,
             placement,
         };
         self.files.insert(id, meta);
@@ -209,14 +218,30 @@ mod tests {
         let mut nn = NameNode::new();
         assert!(nn.is_empty());
         let id = nn
-            .register("/data/a", 1000, 128, CodeKind::Pentagon, 9, placement(2))
+            .register(
+                "/data/a",
+                1000,
+                128,
+                CodeKind::Pentagon,
+                9,
+                SimTime::ZERO,
+                placement(2),
+            )
             .unwrap();
         assert_eq!(nn.len(), 1);
         assert_eq!(nn.file(id).unwrap().name, "/data/a");
         assert_eq!(nn.file_by_name("/data/a").unwrap().id, id);
         assert!(nn.file_by_name("/nope").is_err());
         assert!(nn
-            .register("/data/a", 10, 128, CodeKind::TWO_REP, 1, placement(1))
+            .register(
+                "/data/a",
+                10,
+                128,
+                CodeKind::TWO_REP,
+                1,
+                SimTime::ZERO,
+                placement(1)
+            )
             .is_err());
         let meta = nn.unregister(id).unwrap();
         assert_eq!(meta.id, id);
@@ -228,7 +253,15 @@ mod tests {
     fn metadata_block_math() {
         let mut nn = NameNode::new();
         let id = nn
-            .register("/f", 1000, 128, CodeKind::Pentagon, 9, placement(2))
+            .register(
+                "/f",
+                1000,
+                128,
+                CodeKind::Pentagon,
+                9,
+                SimTime::ZERO,
+                placement(2),
+            )
             .unwrap();
         let meta = nn.file(id).unwrap();
         assert_eq!(meta.content_blocks(), 8); // ceil(1000 / 128)
@@ -244,7 +277,7 @@ mod tests {
         let mut nn = NameNode::new();
         let p = placement(3);
         let node = p.stripes()[0].nodes[0];
-        nn.register("/x", 100, 10, CodeKind::Pentagon, 9, p)
+        nn.register("/x", 100, 10, CodeKind::Pentagon, 9, SimTime::ZERO, p)
             .unwrap();
         let blocks = nn.blocks_on_node(node);
         // The node hosts one pentagon stripe-node => 4 blocks of stripe 0

@@ -14,6 +14,13 @@
 //! write their output. Absolute times depend on the bandwidth constants in
 //! [`ClusterSpec`], but the *differences between codes* come only from
 //! locality and degraded reads — exactly the mechanism the paper identifies.
+//!
+//! Since PR 2 the engine runs on the `drc_sim` substrate: map slots are
+//! unit-capacity [`Resource`]s, the shared LAN is a bandwidth server, and
+//! every task duration the schedulers' placements induce is consumed as a
+//! virtual-time reservation. [`JobMetrics::timeline`] records the per-wave
+//! phases (including degraded-read spans), so contention between waves and
+//! reconstruction traffic is visible instead of being summed serially.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -22,6 +29,7 @@ use serde::{Deserialize, Serialize};
 
 use drc_cluster::{Cluster, NodeId, PlacementMap};
 use drc_codes::ErasureCode;
+use drc_sim::{Resource, SimDuration, SimTime, Timeline};
 
 use crate::assignment::Assignment;
 use crate::graph::TaskNodeGraph;
@@ -56,6 +64,10 @@ pub struct JobMetrics {
     pub local_map_tasks: usize,
     /// Number of map tasks that needed a degraded read (no live replica).
     pub degraded_reads: usize,
+    /// Per-phase virtual-time record: one `map:wave<i>` phase per scheduling
+    /// wave (plus a `degraded-read:wave<i>` span when reconstruction traffic
+    /// was in flight) and a final `shuffle+reduce` phase.
+    pub timeline: Timeline,
 }
 
 impl JobMetrics {
@@ -108,14 +120,23 @@ pub fn run_job(
     // ---- Map phase -------------------------------------------------------
     let mut pending: Vec<MapTask> = job.map_tasks().to_vec();
     let slots = spec.map_slots_per_node;
-    // Per-node slot availability times; one entry per slot.
-    let mut node_slots: BTreeMap<NodeId, Vec<f64>> = cluster
+    // Map slots as unit-capacity virtual-time resources, one per slot: a
+    // task's duration is *consumed* as a reservation, so slot contention and
+    // wave pipelining fall out of the substrate instead of hand-rolled
+    // availability arrays.
+    let node_slots: BTreeMap<NodeId, Vec<Resource>> = cluster
         .up_nodes()
         .into_iter()
-        .map(|n| (n, vec![0.0; slots]))
+        .map(|n| (n, (0..slots).map(|_| Resource::new(0.0)).collect()))
         .collect();
-    let mut wave_start = 0.0f64;
-    let mut map_phase_end = 0.0f64;
+    // The shared LAN fabric: aggregate remote traffic queues through it at
+    // cluster-wide bandwidth.
+    let aggregate_bw = spec.network_bandwidth_mbps * cluster.up_nodes().len().max(1) as f64;
+    let lan = Resource::new(aggregate_bw);
+    let mut timeline = Timeline::new();
+    let mut wave_start = SimTime::ZERO;
+    let mut map_phase_end = SimTime::ZERO;
+    let mut wave_index = 0usize;
 
     let mut remote_input_bytes = 0u64;
     let mut degraded_read_bytes = 0u64;
@@ -133,7 +154,9 @@ pub fn run_job(
             });
         }
         let assigned_ids: BTreeSet<usize> = assignment.iter().map(|a| a.task.0).collect();
-        let mut wave_network_mb = 0.0f64;
+        let mut wave_network_bytes = 0u64;
+        let mut wave_degraded_bytes = 0u64;
+        let mut wave_end = wave_start;
 
         for a in assignment.iter() {
             let task = pending[a.task.0];
@@ -178,30 +201,45 @@ pub fn run_job(
             }
             remote_input_bytes += remote_bytes;
             degraded_read_bytes += degraded_bytes;
-            wave_network_mb += (remote_bytes + degraded_bytes) as f64 / (1024.0 * 1024.0);
+            wave_network_bytes += remote_bytes + degraded_bytes;
+            wave_degraded_bytes += degraded_bytes;
 
             let run_s = job.task_overhead_s() + read_s + block_mb * job.map_cpu_s_per_mb();
-            // Occupy the earliest-free slot of the assigned node.
+            // Consume the task's duration on the earliest-free slot of the
+            // assigned node.
             let slot_times = node_slots
-                .get_mut(&a.node)
+                .get(&a.node)
                 .expect("assignment only uses up nodes");
             let slot = slot_times
-                .iter_mut()
-                .min_by(|a, b| a.partial_cmp(b).expect("finite times"))
+                .iter()
+                .min_by_key(|s| s.next_free())
                 .expect("at least one slot per node");
-            let start = slot.max(wave_start);
-            let end = start + run_s;
-            *slot = end;
-            map_phase_end = map_phase_end.max(end);
+            let res = slot.reserve_for(wave_start, SimDuration::from_secs_f64(run_s));
+            wave_end = wave_end.max(res.end);
         }
         // The cluster's LAN is shared: if the wave's remote reads exceed what
         // the aggregate network can move while the slots are busy, the map
         // phase is network-bound and stretches accordingly. This is the
         // mechanism behind the paper's observation that lost locality costs
         // job time, not just traffic.
-        let aggregate_bw = spec.network_bandwidth_mbps * cluster.up_nodes().len().max(1) as f64;
-        let network_floor = wave_start + wave_network_mb / aggregate_bw;
-        map_phase_end = map_phase_end.max(network_floor);
+        let lan_res = lan.reserve_bytes(wave_start, wave_network_bytes);
+        wave_end = wave_end.max(lan_res.end);
+        timeline.record(
+            format!("map:wave{wave_index}"),
+            wave_start,
+            wave_end,
+            wave_network_bytes,
+        );
+        if wave_degraded_bytes > 0 {
+            timeline.record(
+                format!("degraded-read:wave{wave_index}"),
+                wave_start,
+                wave_end,
+                wave_degraded_bytes,
+            );
+        }
+        map_phase_end = map_phase_end.max(wave_end);
+        wave_index += 1;
 
         // Remove assigned tasks; renumber the remainder for the next wave.
         pending = pending
@@ -238,12 +276,21 @@ pub fn run_job(
         job.task_overhead_s() + reducers_per_node * (fetch_s + cpu_s + write_s)
     };
 
+    if reduce_phase_s > 0.0 {
+        timeline.record(
+            "shuffle+reduce",
+            map_phase_end,
+            map_phase_end + SimDuration::from_secs_f64(reduce_phase_s),
+            shuffle_bytes,
+        );
+    }
+
     let network_traffic_bytes = remote_input_bytes + degraded_read_bytes + shuffle_bytes;
     Ok(JobMetrics {
         job: job.name().to_string(),
         code: placement.code_name().to_string(),
-        job_time_s: map_phase_end + reduce_phase_s,
-        map_phase_s: map_phase_end,
+        job_time_s: map_phase_end.as_secs_f64() + reduce_phase_s,
+        map_phase_s: map_phase_end.as_secs_f64(),
         reduce_phase_s,
         network_traffic_bytes,
         remote_input_bytes,
@@ -252,6 +299,7 @@ pub fn run_job(
         map_tasks: job.map_tasks().len(),
         local_map_tasks,
         degraded_reads,
+        timeline,
     })
 }
 
@@ -511,6 +559,66 @@ mod tests {
         )
         .unwrap();
         assert!(m_wide.reduce_phase_s < m_narrow.reduce_phase_s);
+    }
+
+    #[test]
+    fn timeline_records_waves_and_reduce_phase() {
+        // 150% load on setup 1 needs at least two scheduling waves.
+        let m = run(CodeKind::TWO_REP, ClusterSpec::setup1(), 75, &[], 11);
+        let waves = m
+            .timeline
+            .phases
+            .iter()
+            .filter(|p| p.label.starts_with("map:wave"))
+            .count();
+        assert!(waves >= 2, "overload must produce multiple wave phases");
+        assert!(m
+            .timeline
+            .phases
+            .iter()
+            .any(|p| p.label == "shuffle+reduce"));
+        // The timeline's end is the job's virtual completion.
+        assert!((m.timeline.end().as_secs_f64() - m.job_time_s).abs() < 1e-6);
+        // Wave network bytes sum to the job's input traffic.
+        let wave_bytes: u64 = m.timeline.with_prefix("map:wave").map(|p| p.bytes).sum();
+        assert_eq!(wave_bytes, m.remote_input_bytes + m.degraded_read_bytes);
+    }
+
+    #[test]
+    fn degraded_read_spans_appear_on_the_timeline() {
+        let code = CodeKind::Pentagon.build().unwrap();
+        let mut cluster = Cluster::new(ClusterSpec::simulation_25(4));
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            1,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
+        let block = drc_cluster::GlobalBlockId {
+            stripe: 0,
+            block: 0,
+        };
+        for &n in placement.block_locations(block) {
+            cluster.set_down(n);
+        }
+        let job = JobSpec::new("degraded", vec![block]);
+        let metrics = run_job(
+            &job,
+            code.as_ref(),
+            &placement,
+            &cluster,
+            &DelayScheduler::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(
+            metrics.timeline.bytes_with_prefix("degraded-read:"),
+            metrics.degraded_read_bytes
+        );
+        assert!(metrics.timeline.overlap("map:", "degraded-read:").0 > 0);
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //! All schedulers consume the same [`TaskNodeGraph`] and produce an
 //! [`Assignment`]; tasks that cannot be placed locally are spread over the
 //! remaining slot capacity as remote tasks.
+//!
+//! Assignments are executed on the virtual-time substrate: every placement a
+//! scheduler makes turns into a timed slot reservation in the engine (local
+//! tasks consume disk-bound durations, remote and degraded tasks
+//! network-bound ones), so scheduler quality shows up directly as
+//! virtual-time wave length and LAN queueing, not just as a locality
+//! percentage.
 
 mod delay;
 mod matching;

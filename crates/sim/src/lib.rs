@@ -1,0 +1,68 @@
+//! Discrete-event simulation substrate for the cluster experiments.
+//!
+//! The paper's headline results hinge on *overlap*: degraded reads,
+//! reconstruction traffic and task execution compete for the same disks and
+//! links. This crate supplies the event-driven core that lets the simulated
+//! HDFS and MapReduce layers model that contention in **virtual time**:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time, so
+//!   ordering and accumulation are exactly deterministic,
+//! * [`VirtualClock`] — the per-simulation clock operations advance,
+//! * [`EventQueue`] — a time-ordered queue with deterministic FIFO
+//!   tie-breaking, the execution core every timed subsystem drains,
+//! * [`Resource`] — a bandwidth server (disk, NIC, shared LAN fabric) whose
+//!   reservations serialise contending transfers; lock-free so shared
+//!   components (DataNodes) can reserve through `&self`,
+//! * [`ClusterNet`] — per-node disk + NIC resources and the shared fabric,
+//!   built from [`drc_cluster::ClusterSpec`] bandwidth figures,
+//! * [`Phase`] / [`Timeline`] — serialisable per-phase timelines (start,
+//!   end, bytes) that experiments emit so overlap is visible in reports.
+//!
+//! # Threading
+//!
+//! Virtual time is orthogonal to real parallelism: the encode/repair hot
+//! paths run on the workspace-wide worker pool (the vendored `rayon` stub).
+//! The pool's worker count comes from the `DRC_SIM_THREADS` environment
+//! variable (default: all cores; `DRC_SIM_THREADS=1` is the deterministic
+//! single-thread fallback), the sibling knob of `DRC_GF_KERNEL` which pins
+//! the SIMD kernel. Parallel and single-threaded runs produce byte-identical
+//! results; only wall-clock throughput differs.
+//!
+//! # Example
+//!
+//! ```
+//! use drc_sim::{ClusterNet, EventQueue, SimTime};
+//! use drc_cluster::{ClusterSpec, NodeId};
+//!
+//! let net = ClusterNet::new(&ClusterSpec::setup1());
+//! // Two transfers from different sources overlap; two from the same
+//! // source serialise on its NIC.
+//! let a = net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 64 << 20);
+//! let b = net.transfer(SimTime::ZERO, NodeId(2), NodeId(3), 64 << 20);
+//! let c = net.transfer(SimTime::ZERO, NodeId(0), NodeId(4), 64 << 20);
+//! assert_eq!(a.start, b.start);
+//! assert!(c.start >= a.end);
+//!
+//! let mut queue: EventQueue<&'static str> = EventQueue::new();
+//! queue.schedule_at(a.end, "transfer a done");
+//! queue.schedule_at(b.end, "transfer b done");
+//! while let Some((when, event)) = queue.pop() {
+//!     assert_eq!(when, queue.now());
+//!     let _ = event;
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod net;
+mod resource;
+mod time;
+mod timeline;
+
+pub use event::EventQueue;
+pub use net::{fabric, pull_from, push_to, transfer_between, ClusterNet, NodeIo};
+pub use resource::{Reservation, Resource};
+pub use time::{SimDuration, SimTime, VirtualClock};
+pub use timeline::{Phase, Timeline};

@@ -1,0 +1,212 @@
+//! The modeled cluster I/O fabric: per-node disks and NICs plus the shared
+//! LAN, with bandwidths drawn from [`ClusterSpec`].
+
+use drc_cluster::{ClusterSpec, NodeId};
+
+use crate::resource::{Reservation, Resource};
+use crate::time::SimTime;
+
+/// The I/O resources of one data node.
+#[derive(Debug)]
+pub struct NodeIo {
+    /// The node's disk (sequential bandwidth; reads and writes share it).
+    pub disk: Resource,
+    /// The node's network interface (ingress and egress share it, as on the
+    /// single shared LAN of the paper's set-ups).
+    pub nic: Resource,
+}
+
+impl NodeIo {
+    /// Builds one node's resources from a cluster spec's per-node bandwidths.
+    pub fn new(spec: &ClusterSpec) -> Self {
+        NodeIo {
+            disk: Resource::new(spec.disk_bandwidth_mbps),
+            nic: Resource::new(spec.network_bandwidth_mbps),
+        }
+    }
+}
+
+/// The shared LAN fabric of a cluster: aggregate traffic queues through it
+/// at `network_bandwidth_mbps × data_nodes`. [`ClusterNet`] and the HDFS
+/// layer both build their fabric here (the MapReduce engine intentionally
+/// scales its LAN to *live* nodes instead, matching its wave model).
+pub fn fabric(spec: &ClusterSpec) -> Resource {
+    Resource::new(spec.network_bandwidth_mbps * spec.data_nodes as f64)
+}
+
+/// Reserves a set of pipes plus the shared fabric for one `bytes`-sized
+/// operation issued at `now`: the operation starts once every pipe is free,
+/// lasts the bottleneck pipe's service time (or longer if the fabric is
+/// saturated), and holds every pipe for its whole duration.
+///
+/// Multi-pipe reservation is read-then-occupy, not atomic: it assumes a
+/// single thread issues the virtual-time operations of one simulation (the
+/// `&self` atomics exist so shared components can be held behind `&`
+/// references, not for concurrent issuance). Two threads reserving
+/// overlapping pipe sets concurrently could double-book a window.
+fn reserve_pipes(now: SimTime, pipes: &[&Resource], fabric: &Resource, bytes: u64) -> Reservation {
+    let mut start = now;
+    for pipe in pipes {
+        start = start.max(pipe.next_free());
+    }
+    let fabric_res = fabric.reserve_bytes(start, bytes);
+    let slowest = pipes
+        .iter()
+        .map(|pipe| pipe.service_time(bytes))
+        .max()
+        .unwrap_or_default();
+    let end = (start + slowest).max(fabric_res.end);
+    for pipe in pipes {
+        pipe.occupy_until(end);
+    }
+    Reservation { start, end }
+}
+
+/// A node-to-node transfer: source disk + NIC, destination NIC + disk, and
+/// the shared fabric (the stages stream concurrently).
+pub fn transfer_between(
+    now: SimTime,
+    src: &NodeIo,
+    dst: &NodeIo,
+    fabric: &Resource,
+    bytes: u64,
+) -> Reservation {
+    reserve_pipes(
+        now,
+        &[&src.disk, &src.nic, &dst.nic, &dst.disk],
+        fabric,
+        bytes,
+    )
+}
+
+/// An inbound transfer from outside the modeled cluster (a client write, a
+/// decoded block landing on a replacement): destination NIC + disk + fabric.
+pub fn push_to(now: SimTime, dst: &NodeIo, fabric: &Resource, bytes: u64) -> Reservation {
+    reserve_pipes(now, &[&dst.nic, &dst.disk], fabric, bytes)
+}
+
+/// An outbound transfer to a consumer outside the modeled cluster (a client
+/// read, a helper block streaming to a reconstruction): source disk + NIC +
+/// fabric.
+pub fn pull_from(now: SimTime, src: &NodeIo, fabric: &Resource, bytes: u64) -> Reservation {
+    reserve_pipes(now, &[&src.disk, &src.nic], fabric, bytes)
+}
+
+/// Disk, NIC and shared-fabric resources for a whole cluster.
+///
+/// Built from the bandwidth figures of a [`ClusterSpec`]: each node gets a
+/// disk and a NIC at the spec's per-node rates, and the LAN fabric moves
+/// aggregate traffic at `network_bandwidth_mbps × data_nodes`. A transfer
+/// holds its endpoints' resources for the bottleneck service time and queues
+/// its bytes through the fabric, so transfers between disjoint node pairs
+/// overlap while anything sharing a disk, a NIC or an oversubscribed fabric
+/// serialises — exactly the contention the paper's degraded-read and repair
+/// experiments measure.
+#[derive(Debug)]
+pub struct ClusterNet {
+    nodes: Vec<NodeIo>,
+    fabric: Resource,
+}
+
+impl ClusterNet {
+    /// Builds the resource model for a cluster spec.
+    pub fn new(spec: &ClusterSpec) -> Self {
+        let nodes = (0..spec.data_nodes).map(|_| NodeIo::new(spec)).collect();
+        ClusterNet {
+            nodes,
+            fabric: fabric(spec),
+        }
+    }
+
+    /// Number of modeled nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the model has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The I/O resources of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not part of the modeled cluster.
+    pub fn node(&self, node: NodeId) -> &NodeIo {
+        &self.nodes[node.0]
+    }
+
+    /// The shared LAN fabric.
+    pub fn fabric(&self) -> &Resource {
+        &self.fabric
+    }
+
+    /// A local disk read (or write) of `bytes` on `node`, issued at `now`.
+    pub fn disk_io(&self, now: SimTime, node: NodeId, bytes: u64) -> Reservation {
+        self.node(node).disk.reserve_bytes(now, bytes)
+    }
+
+    /// A network transfer of `bytes` from `from`'s disk to `to`'s disk,
+    /// issued at `now`.
+    ///
+    /// The transfer starts once every involved resource is free, lasts the
+    /// bottleneck pipe's service time (or longer if the shared fabric is
+    /// saturated by other traffic), and holds source disk + NIC, destination
+    /// NIC + disk for its whole duration (the stages stream concurrently).
+    pub fn transfer(&self, now: SimTime, from: NodeId, to: NodeId, bytes: u64) -> Reservation {
+        transfer_between(now, self.node(from), self.node(to), &self.fabric, bytes)
+    }
+
+    /// Forgets every reservation (all resources idle at the epoch).
+    pub fn reset(&self) {
+        for n in &self.nodes {
+            n.disk.reset();
+            n.nic.reset();
+        }
+        self.fabric.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> ClusterNet {
+        ClusterNet::new(&ClusterSpec::simulation_25(4))
+    }
+
+    #[test]
+    fn disjoint_transfers_overlap_shared_endpoints_serialise() {
+        let net = net();
+        let block = 128 << 20;
+        let a = net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), block);
+        let b = net.transfer(SimTime::ZERO, NodeId(2), NodeId(3), block);
+        let c = net.transfer(SimTime::ZERO, NodeId(0), NodeId(4), block);
+        assert_eq!(a.start, b.start, "independent node pairs start together");
+        assert!(c.start >= a.end, "same source NIC/disk must queue");
+        // Bottleneck is the 60 MiB/s NIC: 128 MiB take ~2.13 s.
+        let expect = 128.0 / 60.0;
+        assert!((a.duration().as_secs_f64() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn local_reads_only_use_the_disk() {
+        let net = net();
+        let r = net.disk_io(SimTime::ZERO, NodeId(5), 100 << 20);
+        assert!((r.duration().as_secs_f64() - 1.0).abs() < 1e-6);
+        // The NIC stayed free.
+        assert_eq!(net.node(NodeId(5)).nic.next_free(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_reservations() {
+        let net = net();
+        net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 1 << 30);
+        net.reset();
+        assert_eq!(net.node(NodeId(0)).disk.next_free(), SimTime::ZERO);
+        assert_eq!(net.fabric().next_free(), SimTime::ZERO);
+        assert_eq!(net.len(), 25);
+        assert!(!net.is_empty());
+    }
+}

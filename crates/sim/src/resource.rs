@@ -1,0 +1,155 @@
+//! Bandwidth servers: the contention model for disks, NICs and links.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// The virtual-time window a resource granted to one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Reservation {
+    /// When the operation starts occupying the resource.
+    pub start: SimTime,
+    /// When the resource becomes free again.
+    pub end: SimTime,
+}
+
+impl Reservation {
+    /// The reserved span.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// A unit-capacity bandwidth server in virtual time.
+///
+/// A resource (a disk, a NIC, the shared LAN fabric, a map slot) serves one
+/// operation at a time; an operation issued at `now` starts at
+/// `max(now, next_free)` and occupies the resource for its duration. That
+/// single rule is what makes contention visible: transfers on *different*
+/// resources overlap, transfers on the *same* resource queue behind each
+/// other.
+///
+/// The free-time cursor is an `AtomicU64`, so components shared behind
+/// `&self` (DataNodes, the fabric) can reserve without locks.
+///
+/// # Example
+///
+/// ```
+/// use drc_sim::{Resource, SimTime};
+///
+/// let disk = Resource::new(100.0); // 100 MiB/s
+/// let a = disk.reserve_bytes(SimTime::ZERO, 100 << 20);
+/// let b = disk.reserve_bytes(SimTime::ZERO, 100 << 20);
+/// assert_eq!(a.end.as_secs_f64(), 1.0);
+/// assert_eq!(b.start, a.end); // queued behind the first read
+/// ```
+#[derive(Debug, Default)]
+pub struct Resource {
+    bandwidth_mib_s: f64,
+    next_free: AtomicU64,
+}
+
+impl Resource {
+    /// Creates a free resource with the given bandwidth in MiB/s.
+    ///
+    /// A non-positive bandwidth models an infinitely fast resource.
+    pub fn new(bandwidth_mib_s: f64) -> Self {
+        Resource {
+            bandwidth_mib_s,
+            next_free: AtomicU64::new(0),
+        }
+    }
+
+    /// The modeled bandwidth in MiB/s.
+    pub fn bandwidth_mib_s(&self) -> f64 {
+        self.bandwidth_mib_s
+    }
+
+    /// The service time for `bytes` at this resource's bandwidth.
+    pub fn service_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_bytes(bytes, self.bandwidth_mib_s)
+    }
+
+    /// When the resource is next idle.
+    pub fn next_free(&self) -> SimTime {
+        SimTime(self.next_free.load(Ordering::Acquire))
+    }
+
+    /// Reserves the resource for `duration`, starting no earlier than `now`.
+    pub fn reserve_for(&self, now: SimTime, duration: SimDuration) -> Reservation {
+        loop {
+            let free = self.next_free.load(Ordering::Acquire);
+            let start = now.max(SimTime(free));
+            let end = start + duration;
+            if self
+                .next_free
+                .compare_exchange(free, end.0, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Reservation { start, end };
+            }
+        }
+    }
+
+    /// Reserves the time to move `bytes` through the resource, starting no
+    /// earlier than `now`.
+    pub fn reserve_bytes(&self, now: SimTime, bytes: u64) -> Reservation {
+        self.reserve_for(now, self.service_time(bytes))
+    }
+
+    /// Marks the resource busy through `end` without changing when earlier
+    /// reservations finish (used when one operation must hold several
+    /// resources over the same window).
+    pub fn occupy_until(&self, end: SimTime) {
+        self.next_free.fetch_max(end.0, Ordering::AcqRel);
+    }
+
+    /// Forgets all reservations (a fresh resource at the epoch).
+    pub fn reset(&self) {
+        self.next_free.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_serialise() {
+        let r = Resource::new(50.0);
+        let a = r.reserve_bytes(SimTime::ZERO, 50 << 20);
+        let b = r.reserve_bytes(SimTime::ZERO, 25 << 20);
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(a.duration().as_secs_f64(), 1.0);
+        assert_eq!(b.start, a.end);
+        assert_eq!(b.duration().as_secs_f64(), 0.5);
+        assert_eq!(r.next_free(), b.end);
+    }
+
+    #[test]
+    fn idle_gaps_are_respected() {
+        let r = Resource::new(100.0);
+        let late = r.reserve_bytes(SimTime(5_000_000_000), 100 << 20);
+        assert_eq!(late.start, SimTime(5_000_000_000));
+    }
+
+    #[test]
+    fn occupy_and_reset() {
+        let r = Resource::new(1.0);
+        r.occupy_until(SimTime(42));
+        assert_eq!(r.next_free(), SimTime(42));
+        r.occupy_until(SimTime(7));
+        assert_eq!(r.next_free(), SimTime(42));
+        r.reset();
+        assert_eq!(r.next_free(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn infinite_bandwidth_is_instant() {
+        let r = Resource::new(0.0);
+        let res = r.reserve_bytes(SimTime(9), u64::MAX);
+        assert_eq!(res.start, res.end);
+    }
+}

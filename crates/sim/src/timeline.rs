@@ -1,0 +1,177 @@
+//! Per-phase virtual-time timelines: the serialisable record experiments
+//! emit so contention and overlap are visible in reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// One labelled span of virtual time (a write pass, a repair, a degraded
+/// read, a map wave, …) plus the bytes it moved.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase {
+    /// What the span was doing, e.g. `"repair"` or `"degraded-read"`.
+    pub label: String,
+    /// When the phase was issued.
+    pub start: SimTime,
+    /// When the phase's last event completed.
+    pub end: SimTime,
+    /// Bytes moved over the network during the phase.
+    pub bytes: u64,
+}
+
+impl Phase {
+    /// The phase's span.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// An append-only list of [`Phase`]s over one simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// The recorded phases, in issue order.
+    pub phases: Vec<Phase>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Records one phase.
+    pub fn record(&mut self, label: impl Into<String>, start: SimTime, end: SimTime, bytes: u64) {
+        self.phases.push(Phase {
+            label: label.into(),
+            start,
+            end,
+            bytes,
+        });
+    }
+
+    /// The instant the last phase finishes (the epoch when empty).
+    pub fn end(&self) -> SimTime {
+        self.phases
+            .iter()
+            .map(|p| p.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total virtual time covered, from the earliest start to the latest end.
+    pub fn makespan(&self) -> SimDuration {
+        let start = self.phases.iter().map(|p| p.start).min();
+        match start {
+            Some(s) => self.end().since(s),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Phases whose label starts with `prefix`.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a Phase> {
+        self.phases
+            .iter()
+            .filter(move |p| p.label.starts_with(prefix))
+    }
+
+    /// Virtual time during which phases labelled with `a` and phases
+    /// labelled with `b` were *both* in flight — the overlap the serial
+    /// execution model could never show.
+    pub fn overlap(&self, a: &str, b: &str) -> SimDuration {
+        let ia = union_intervals(self.with_prefix(a));
+        let ib = union_intervals(self.with_prefix(b));
+        let mut total = 0u64;
+        for (s1, e1) in &ia {
+            for (s2, e2) in &ib {
+                let s = s1.max(s2);
+                let e = e1.min(e2);
+                if e > s {
+                    total += e.0 - s.0;
+                }
+            }
+        }
+        SimDuration(total)
+    }
+
+    /// Total bytes recorded across phases with the given label prefix.
+    pub fn bytes_with_prefix(&self, prefix: &str) -> u64 {
+        self.with_prefix(prefix).map(|p| p.bytes).sum()
+    }
+}
+
+/// Merges phase spans into disjoint, sorted intervals.
+fn union_intervals<'a>(phases: impl Iterator<Item = &'a Phase>) -> Vec<(SimTime, SimTime)> {
+    let mut spans: Vec<(SimTime, SimTime)> = phases
+        .filter(|p| p.end > p.start)
+        .map(|p| (p.start, p.end))
+        .collect();
+    spans.sort();
+    let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(spans.len());
+    for (s, e) in spans {
+        match merged.last_mut() {
+            Some((_, last_end)) if s <= *last_end => *last_end = (*last_end).max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+impl std::fmt::Display for Timeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for p in &self.phases {
+            writeln!(
+                f,
+                "{:<28} {:>9.3}s .. {:>9.3}s  ({:>8.3}s, {:>7.1} MiB)",
+                p.label,
+                p.start.as_secs_f64(),
+                p.end.as_secs_f64(),
+                p.duration().as_secs_f64(),
+                p.bytes as f64 / (1024.0 * 1024.0),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn makespan_and_end() {
+        let mut tl = Timeline::new();
+        assert_eq!(tl.makespan(), SimDuration::ZERO);
+        tl.record("write", t(1.0), t(3.0), 100);
+        tl.record("repair", t(2.0), t(6.0), 200);
+        assert_eq!(tl.end(), t(6.0));
+        assert_eq!(tl.makespan(), SimDuration::from_secs_f64(5.0));
+        assert_eq!(tl.bytes_with_prefix("repair"), 200);
+    }
+
+    #[test]
+    fn overlap_of_interleaved_phases() {
+        let mut tl = Timeline::new();
+        tl.record("repair:0", t(0.0), t(4.0), 0);
+        tl.record("repair:1", t(3.0), t(5.0), 0);
+        tl.record("degraded-read:a", t(2.0), t(6.0), 0);
+        // repair union [0,5] ∩ degraded [2,6] = [2,5] = 3 s.
+        assert_eq!(
+            tl.overlap("repair", "degraded-read"),
+            SimDuration::from_secs_f64(3.0)
+        );
+        assert_eq!(tl.overlap("repair", "nothing"), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_lists_phases() {
+        let mut tl = Timeline::new();
+        tl.record("write", t(0.0), t(1.0), 1 << 20);
+        let text = tl.to_string();
+        assert!(text.contains("write"));
+        assert!(text.contains("1.000s"));
+    }
+}

@@ -1,0 +1,352 @@
+//! Offline, API-subset stand-in for `rayon`: a scoped worker pool built on
+//! `std::thread::scope`.
+//!
+//! The workspace threads its encode/repair hot paths through this crate so
+//! that swapping in the real `rayon` is a manifest-only change. Supported
+//! surface: [`join`], [`scope`] / [`Scope::spawn`], [`current_num_threads`]
+//! and [`ThreadPoolBuilder::build_global`].
+//!
+//! # Thread-count resolution
+//!
+//! The effective worker count is resolved, in priority order, from
+//!
+//! 1. the calling thread's [`with_num_threads`] override (a test/bench
+//!    extension the real rayon does not have),
+//! 2. a [`ThreadPoolBuilder::build_global`] configuration,
+//! 3. the `DRC_SIM_THREADS` environment variable (the workspace-wide
+//!    threading knob, documented alongside `DRC_GF_KERNEL`), and
+//! 4. `std::thread::available_parallelism()`.
+//!
+//! With one thread everything runs inline on the caller, in spawn order —
+//! the deterministic fallback (`DRC_SIM_THREADS=1`) the experiments use to
+//! reproduce single-threaded results exactly.
+//!
+//! # Differences from real rayon
+//!
+//! * There is no persistent pool: each [`scope`] spins up short-lived
+//!   `std::thread::scope` workers. Fine for block-sized work items
+//!   (microseconds of spawn cost against milliseconds of GF arithmetic).
+//! * Tasks spawned by a [`scope`] closure start only after the closure
+//!   returns (the scope still blocks until every task finishes).
+//! * A task that calls [`Scope::spawn`] from inside a running task executes
+//!   the nested task immediately, inline.
+
+#![allow(clippy::all)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Sentinel meaning "not configured".
+const UNSET: usize = 0;
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(UNSET);
+/// Whether `GLOBAL_THREADS` was set by an explicit `build_global` (as
+/// opposed to the lazy env-resolution cache): only an explicit
+/// configuration makes a later `build_global` fail, matching real rayon.
+static GLOBAL_EXPLICIT: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(UNSET) };
+}
+
+fn env_or_available_threads() -> usize {
+    match std::env::var("DRC_SIM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// The number of worker threads parallel operations will use.
+///
+/// Always at least 1. See the crate docs for the resolution order.
+pub fn current_num_threads() -> usize {
+    let tls = THREAD_OVERRIDE.with(|c| c.get());
+    if tls != UNSET {
+        return tls;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != UNSET {
+        return global;
+    }
+    let n = env_or_available_threads();
+    // First resolution wins; concurrent initialisers compute the same value.
+    let _ = GLOBAL_THREADS.compare_exchange(UNSET, n, Ordering::Relaxed, Ordering::Relaxed);
+    GLOBAL_THREADS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` with the calling thread's worker count pinned to `n`
+/// (an extension over real rayon, used by differential tests and benches).
+///
+/// The override is thread-local and restored on exit, including on panic.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "worker count must be at least 1");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = THREAD_OVERRIDE.with(|c| {
+        let prev = c.get();
+        c.set(n);
+        Restore(prev)
+    });
+    f()
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build_global`].
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool already configured")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the global worker configuration (rayon-shaped).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (0 = resolve from the environment).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs this configuration globally.
+    ///
+    /// Like real rayon, the first *explicit* configuration wins; later calls
+    /// fail. A preceding [`current_num_threads`] only caches the environment
+    /// default and does not count as a configuration.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            env_or_available_threads()
+        } else {
+            self.num_threads
+        };
+        if GLOBAL_EXPLICIT.swap(true, Ordering::Relaxed) {
+            return Err(ThreadPoolBuildError(()));
+        }
+        GLOBAL_THREADS.store(n, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Runs the two closures, potentially in parallel, returning both results.
+///
+/// With one worker thread both run sequentially on the caller (`a` first).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// A scope in which borrowed tasks can be spawned; see [`scope`].
+pub struct Scope<'env> {
+    tasks: Mutex<Vec<Task<'env>>>,
+    /// Inline scopes (single-thread mode, or nested spawns inside a running
+    /// task) execute spawned tasks immediately instead of queueing them.
+    inline: bool,
+}
+
+impl<'env> Scope<'env> {
+    fn new(inline: bool) -> Self {
+        Scope {
+            tasks: Mutex::new(Vec::new()),
+            inline,
+        }
+    }
+
+    /// Spawns a task that may borrow from outside the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        if self.inline {
+            f(&Scope::new(true));
+            return;
+        }
+        self.tasks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Box::new(move || f(&Scope::new(true))));
+    }
+}
+
+/// Creates a scope, runs `f` in it, then executes every spawned task across
+/// the configured worker threads, blocking until all complete.
+///
+/// A panic in any task propagates to the caller.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let threads = current_num_threads();
+    if threads <= 1 {
+        // Deterministic fallback: tasks run inline, in spawn order.
+        return f(&Scope::new(true));
+    }
+    let s = Scope::new(false);
+    let result = f(&s);
+    let tasks = s.tasks.into_inner().unwrap_or_else(|e| e.into_inner());
+    run_tasks(tasks, threads);
+    result
+}
+
+fn run_tasks(tasks: Vec<Task<'_>>, threads: usize) {
+    if tasks.is_empty() {
+        return;
+    }
+    if tasks.len() == 1 || threads <= 1 {
+        for t in tasks {
+            t();
+        }
+        return;
+    }
+    // Self-scheduling workers: a shared claim counter hands out tasks; each
+    // slot's mutex lets a worker move the boxed task out of the shared list.
+    let workers = threads.min(tasks.len());
+    let slots: Vec<Mutex<Option<Task<'_>>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|ts| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                ts.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let task = slots[i]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("each task slot is claimed exactly once");
+                    task();
+                })
+            })
+            .collect();
+        // Join explicitly so a task panic is re-raised with its own payload.
+        let mut panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_runs_every_task_with_borrows() {
+        let mut outs = vec![0u64; 64];
+        let input = 7u64;
+        scope(|s| {
+            for (i, slot) in outs.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = input * i as u64);
+            }
+        });
+        for (i, v) in outs.iter().enumerate() {
+            assert_eq!(*v, 7 * i as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_override_is_inline_and_ordered() {
+        let order = Mutex::new(Vec::new());
+        let order_ref = &order;
+        with_num_threads(1, || {
+            assert_eq!(current_num_threads(), 1);
+            scope(|s| {
+                for i in 0..8 {
+                    s.spawn(move |_| order_ref.lock().unwrap().push(i));
+                }
+            });
+        });
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn override_restores_on_exit() {
+        let outer = current_num_threads();
+        with_num_threads(3, || assert_eq!(current_num_threads(), 3));
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn nested_spawn_executes_inline() {
+        let hits = AtomicUsize::new(0);
+        with_num_threads(4, || {
+            scope(|s| {
+                s.spawn(|inner| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    inner.spawn(|_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn task_panic_propagates() {
+        with_num_threads(2, || {
+            scope(|s| {
+                s.spawn(|_| panic!("boom"));
+                s.spawn(|_| {});
+            });
+        });
+    }
+}
