@@ -168,6 +168,18 @@ fn repro() {
     bench_stripe_encode(&mut criterion);
     bench_reconstruct(&mut criterion);
 
+    // Headline contention number: how much a concurrent repair pass slows
+    // the event-driven shuffle (quick configuration of the
+    // `shuffle_contention` experiment), tracked across PRs.
+    let contention =
+        drc_core::experiments::shuffle_contention::run_shuffle_contention(1024 * 1024, 100)
+            .expect("shuffle-contention experiment runs");
+    let per_code: Vec<(String, serde_json::Value)> = contention
+        .rows
+        .iter()
+        .map(|r| (r.code.to_string(), serde_json::Value::Float(r.slowdown)))
+        .collect();
+
     let points = thread_points();
     let multi = *points.last().expect("at least one thread point");
     let mut groups: Vec<(String, serde_json::Value)> = Vec::new();
@@ -211,6 +223,14 @@ fn repro() {
         (
             "parallel_speedup".to_string(),
             serde_json::Value::Map(speedups),
+        ),
+        (
+            "shuffle_contention_slowdown".to_string(),
+            serde_json::Value::Float(contention.headline_slowdown()),
+        ),
+        (
+            "shuffle_contention_slowdown_per_code".to_string(),
+            serde_json::Value::Map(per_code),
         ),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serializable");

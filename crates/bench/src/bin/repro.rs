@@ -3,12 +3,18 @@
 //! ```text
 //! repro [--experiment <name>] [--effort quick|full] [--json <path>]
 //!
-//!   <name> ∈ { table1, repair_bw, fig3, fig4, fig5, encoding, degraded_mr, all }
+//!   <name> ∈ { table1, repair_bw, fig3, fig4, fig5, encoding, degraded_mr,
+//!              overlap, shuffle_contention, all }
 //! ```
 //!
 //! With no arguments every experiment runs at `quick` effort and the
 //! paper-style tables are printed to stdout. `--json` additionally dumps the
 //! raw results as JSON (the data behind `EXPERIMENTS.md`).
+//!
+//! `shuffle_contention` is the end-to-end contention experiment: it runs the
+//! same MapReduce job with and without a concurrent RaidNode repair pass on
+//! one shared `ClusterNet` and reports the per-code job slowdown, per-link
+//! shuffle wait seconds and the shuffle∩repair overlap window.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -17,7 +23,7 @@ use drc_bench::{parse_effort, provenance, EXPERIMENTS};
 use drc_core::experiments::{
     degraded_mr::run_degraded_mr, encoding::run_encoding, fig3::run_fig3, fig4::run_fig4,
     fig5::run_fig5, overlap::run_overlap, repair_bandwidth::run_repair_bandwidth,
-    table1::run_table1, Effort,
+    shuffle_contention::run_shuffle_contention, table1::run_table1, Effort,
 };
 use drc_core::reliability::ReliabilityParams;
 use drc_core::DrcError;
@@ -130,6 +136,18 @@ fn run(options: &Options) -> Result<BTreeMap<String, serde_json::Value>, DrcErro
         println!("{report}\n");
         results.insert(
             "overlap".to_string(),
+            serde_json::to_value(&report).expect("serializable"),
+        );
+    }
+    if wanted("shuffle_contention") {
+        let (block_bytes, target_tasks) = match options.effort {
+            Effort::Quick => (1024 * 1024, 100),
+            Effort::Full => (2 * 1024 * 1024, 200),
+        };
+        let report = run_shuffle_contention(block_bytes, target_tasks)?;
+        println!("{report}\n");
+        results.insert(
+            "shuffle_contention".to_string(),
             serde_json::to_value(&report).expect("serializable"),
         );
     }

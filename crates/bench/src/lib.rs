@@ -39,6 +39,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "encoding",
     "degraded_mr",
     "overlap",
+    "shuffle_contention",
 ];
 
 /// The commit the benchmarked tree was built from, best-effort
@@ -86,10 +87,11 @@ mod tests {
 
     #[test]
     fn experiment_list_is_complete() {
-        assert_eq!(EXPERIMENTS.len(), 8);
+        assert_eq!(EXPERIMENTS.len(), 9);
         assert!(EXPERIMENTS.contains(&"table1"));
         assert!(EXPERIMENTS.contains(&"fig5"));
         assert!(EXPERIMENTS.contains(&"overlap"));
+        assert!(EXPERIMENTS.contains(&"shuffle_contention"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | Fig. 5 | [`fig5`] | Terasort network traffic / locality on set-up 2 |
 //! | §5 extensions | [`encoding`], [`degraded_mr`] | encoding throughput; MapReduce under node failures |
 //! | substrate extension | [`overlap`] | repair / degraded-read overlap in virtual time on the event-driven HDFS |
+//! | substrate extension | [`shuffle_contention`] | job slowdown when the event-driven shuffle shares links with a concurrent repair pass |
 //!
 //! Every driver returns a serialisable result type with a `Display`
 //! implementation that prints a paper-style table, so the `repro` binary in
@@ -22,6 +23,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod overlap;
 pub mod repair_bandwidth;
+pub mod shuffle_contention;
 pub mod table1;
 
 /// How much work an experiment run should do.

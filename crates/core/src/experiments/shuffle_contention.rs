@@ -1,0 +1,338 @@
+//! Shuffle / repair contention on the shared cluster substrate.
+//!
+//! The paper's headline claim is that codes with inherent double replication
+//! win precisely when repair traffic, degraded reads and MapReduce execution
+//! contend for the same disks and links. With the shuffle now event-driven,
+//! that contention is measurable end-to-end: this experiment writes a real
+//! file per code, permanently fails the replicas of one data block, and runs
+//! the same Terasort-like job twice on the file system's own
+//! [`drc_sim::ClusterNet`] —
+//!
+//! * **solo**: the job runs alone (the failed block is served by a degraded
+//!   read for the ft≥2 array codes, or by 2-rep's surviving replica, but no
+//!   repair traffic competes), and
+//! * **contended**: the RaidNode repair pass is issued at the same virtual
+//!   instant, so its helper reads and replacement writes reserve the same
+//!   NICs, disks and LAN fabric the job's map waves and shuffle fetches
+//!   need.
+//!
+//! Byte accounting is identical in both runs (asserted); only the time axis
+//! moves. The report shows the per-code job slowdown, the per-link seconds
+//! the shuffle spent queueing, and how long the shuffle and the repair were
+//! concurrently in flight.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use drc_cluster::{Cluster, ClusterSpec, NodeId};
+use drc_codes::CodeKind;
+use drc_hdfs::DistributedFileSystem;
+use drc_mapreduce::{run_job_on, JobSite, JobSpec, LinkContention, SchedulerKind};
+
+use crate::render::TextTable;
+use crate::DrcError;
+
+/// Contention measurements for one code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShuffleContentionRow {
+    /// The coding scheme.
+    pub code: CodeKind,
+    /// Nodes failed (and repaired in the contended run).
+    pub failed_nodes: usize,
+    /// Job time with no concurrent repair, in virtual seconds.
+    pub solo_job_s: f64,
+    /// Job time with the repair pass issued at the same instant.
+    pub contended_job_s: f64,
+    /// `contended_job_s / solo_job_s` — the headline slowdown.
+    pub slowdown: f64,
+    /// Per-link seconds the contended run's shuffle fetches spent queueing.
+    pub contention: LinkContention,
+    /// Total per-link wait of the solo run (the shuffle's self-contention).
+    pub solo_contention_s: f64,
+    /// Virtual seconds the repair pass was in flight.
+    pub repair_s: f64,
+    /// Virtual seconds shuffle fetches and repair were both in flight.
+    pub shuffle_repair_overlap_s: f64,
+    /// The job's network traffic — byte-identical in both runs.
+    pub network_traffic_bytes: u64,
+}
+
+/// The shuffle/repair contention report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShuffleContentionReport {
+    /// Block size used, in bytes.
+    pub block_bytes: u64,
+    /// Map tasks targeted per job.
+    pub target_tasks: usize,
+    /// One row per code.
+    pub rows: Vec<ShuffleContentionRow>,
+}
+
+impl ShuffleContentionReport {
+    /// Looks up one code's row.
+    pub fn row(&self, code: CodeKind) -> Option<&ShuffleContentionRow> {
+        self.rows.iter().find(|r| r.code == code)
+    }
+
+    /// The largest per-code slowdown — the headline number tracked in
+    /// `BENCH_sim.json`.
+    pub fn headline_slowdown(&self) -> f64 {
+        self.rows.iter().map(|r| r.slowdown).fold(1.0, f64::max)
+    }
+}
+
+/// One measured execution window.
+struct Window {
+    job_s: f64,
+    contention: LinkContention,
+    repair_s: f64,
+    overlap_s: f64,
+    network_traffic_bytes: u64,
+}
+
+/// Runs the shuffle-contention experiment for 2-rep and the three
+/// double-replicated array codes.
+///
+/// Each code writes a file of ~`target_tasks` blocks of `block_bytes` onto a
+/// simulated 25-node cluster, loses every replica the code can tolerate of
+/// data block 0 of stripe 0, and executes the job with and without a
+/// concurrent RaidNode repair pass on the same [`drc_sim::ClusterNet`].
+///
+/// # Errors
+///
+/// Propagates file-system and execution errors (none are expected for these
+/// codes, whose failures stay within tolerance).
+pub fn run_shuffle_contention(
+    block_bytes: usize,
+    target_tasks: usize,
+) -> Result<ShuffleContentionReport, DrcError> {
+    let codes = [
+        CodeKind::TWO_REP,
+        CodeKind::Pentagon,
+        CodeKind::Heptagon,
+        CodeKind::HeptagonLocal,
+    ];
+    let mut rows = Vec::new();
+    for code in codes {
+        let failed = code.build()?.fault_tolerance().min(2);
+        let solo = run_window(code, block_bytes, target_tasks, failed, false)?;
+        let contended = run_window(code, block_bytes, target_tasks, failed, true)?;
+        // The headline slowdown is only meaningful if contention moved the
+        // time axis and nothing else — enforce the byte identity in every
+        // build, including the release runs that publish the number.
+        if solo.network_traffic_bytes != contended.network_traffic_bytes {
+            return Err(DrcError::InvalidExperiment {
+                reason: format!(
+                    "{code}: contention changed byte accounting \
+                     (solo {} vs contended {} bytes)",
+                    solo.network_traffic_bytes, contended.network_traffic_bytes
+                ),
+            });
+        }
+        rows.push(ShuffleContentionRow {
+            code,
+            failed_nodes: failed,
+            solo_job_s: solo.job_s,
+            contended_job_s: contended.job_s,
+            slowdown: contended.job_s / solo.job_s,
+            contention: contended.contention,
+            solo_contention_s: solo.contention.total_s(),
+            repair_s: contended.repair_s,
+            shuffle_repair_overlap_s: contended.overlap_s,
+            network_traffic_bytes: contended.network_traffic_bytes,
+        });
+    }
+    Ok(ShuffleContentionReport {
+        block_bytes: block_bytes as u64,
+        target_tasks,
+        rows,
+    })
+}
+
+/// Executes one write → failure → (repair? + job) window and measures the
+/// job. The repair pass, when present, is issued *first* at the shared
+/// virtual instant, so the job's map-wave traffic and shuffle fetches queue
+/// behind the reconstruction traffic on the shared links — the contended
+/// ordering the paper's failure experiments describe.
+fn run_window(
+    code: CodeKind,
+    block_bytes: usize,
+    target_tasks: usize,
+    failed: usize,
+    with_repair: bool,
+) -> Result<Window, DrcError> {
+    let mut spec = ClusterSpec::simulation_25(4);
+    spec.block_size_mb = (block_bytes as u64 / (1024 * 1024)).max(1);
+    let block_size = spec.block_size_bytes() as usize;
+    let mut fs = DistributedFileSystem::new(spec, 0xC0DE ^ code.to_string().len() as u64);
+
+    let k = code.build()?.data_blocks();
+    let stripes = target_tasks.div_ceil(k).max(1);
+    let data: Vec<u8> = (0..stripes * k * block_size)
+        .map(|i| (i * 31 + 7) as u8)
+        .collect();
+    let id = fs.write_file("/shuffle-contention", &data, code)?;
+    fs.sync();
+    let meta = fs.namenode().file(id)?.clone();
+
+    // Lose as many replicas of data block 0 of stripe 0 as the code
+    // tolerates, so the repair pass has real reconstruction work on every
+    // stripe the victims host. For the ft≥2 array codes both replicas go,
+    // and the job's map task for that block runs as a degraded read; 2-rep
+    // tolerates only one failure, so its map task falls back to the
+    // surviving replica (a plain remote read) and its row measures pure
+    // repair-vs-shuffle link contention.
+    let victims: Vec<NodeId> = meta.block_locations(0, 0)[..failed].to_vec();
+    for &v in &victims {
+        fs.fail_node_permanently(v);
+    }
+
+    // Snapshot the failed cluster for the job: `repair_nodes` marks the
+    // victims up again once the pass completes, but the job is issued in the
+    // same virtual window and must still see them down.
+    let mut cluster = Cluster::new(fs.cluster().spec().clone());
+    for &v in &victims {
+        cluster.set_down(v);
+    }
+
+    let start = fs.now();
+    let repair = if with_repair {
+        Some(fs.repair_nodes(&victims)?)
+    } else {
+        None
+    };
+
+    // A Terasort-like job over a quarter of the file's data blocks (always
+    // including the degraded block 0 of stripe 0), with short task overhead
+    // and map CPU: the map phase stays a fraction of the repair pass, so the
+    // shuffle is issued while the repair — which rebuilds *every* stripe the
+    // victims host — is still in flight. That is the window the paper's
+    // failure experiments are about.
+    let job_blocks: Vec<_> = meta
+        .placement
+        .data_blocks()
+        .into_iter()
+        .take((target_tasks / 4).max(8))
+        .collect();
+    let job = JobSpec::new("shuffle-contention", job_blocks)
+        .with_task_overhead_s(0.01)?
+        .with_map_cpu_s_per_mb(0.005)?
+        .with_reduce_tasks(cluster.up_nodes().len());
+    let scheduler = SchedulerKind::Delay.build();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED ^ failed as u64);
+    let built = code.build()?;
+    let metrics = run_job_on(
+        &job,
+        built.as_ref(),
+        &meta.placement,
+        &cluster,
+        scheduler.as_ref(),
+        &mut rng,
+        JobSite {
+            net: fs.cluster_net(),
+            start,
+        },
+    )?;
+
+    // Merge the storage-layer and job timelines (they share the virtual
+    // time base) to measure how long shuffle and repair ran concurrently.
+    let (repair_s, overlap_s) = match &repair {
+        Some(report) => {
+            let mut combined = fs.timeline().clone();
+            combined
+                .phases
+                .extend(metrics.timeline.phases.iter().cloned());
+            (
+                report.completed_at.since(report.issued_at).as_secs_f64(),
+                combined.overlap("shuffle:", "repair:").as_secs_f64(),
+            )
+        }
+        None => (0.0, 0.0),
+    };
+    Ok(Window {
+        job_s: metrics.job_time_s,
+        contention: metrics.shuffle_contention,
+        repair_s,
+        overlap_s,
+        network_traffic_bytes: metrics.network_traffic_bytes,
+    })
+}
+
+impl std::fmt::Display for ShuffleContentionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut table = TextTable::new(
+            format!(
+                "Job slowdown under concurrent repair ({} tasks, {} MiB blocks)",
+                self.target_tasks,
+                self.block_bytes / (1024 * 1024)
+            ),
+            &[
+                "Code",
+                "Failed",
+                "Solo job (s)",
+                "Contended job (s)",
+                "Slowdown",
+                "Src-NIC wait (s)",
+                "Dst-NIC wait (s)",
+                "Fabric wait (s)",
+                "Repair (s)",
+                "Shuffle∩repair (s)",
+            ],
+        );
+        for r in &self.rows {
+            table.push_row(vec![
+                r.code.to_string(),
+                r.failed_nodes.to_string(),
+                format!("{:.3}", r.solo_job_s),
+                format!("{:.3}", r.contended_job_s),
+                format!("{:.2}x", r.slowdown),
+                format!("{:.3}", r.contention.source_nic_wait_s),
+                format!("{:.3}", r.contention.dest_nic_wait_s),
+                format!("{:.3}", r.contention.fabric_wait_s),
+                format!("{:.3}", r.repair_s),
+                format!("{:.3}", r.shuffle_repair_overlap_s),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_repair_slows_the_job_and_contention_is_attributed() {
+        let report = run_shuffle_contention(1024 * 1024, 100).unwrap();
+        assert_eq!(report.rows.len(), 4);
+        for row in &report.rows {
+            assert!(row.failed_nodes >= 1, "{}", row.code);
+            assert!(row.solo_job_s > 0.0, "{}", row.code);
+            // The acceptance criteria: concurrent repair produces strictly
+            // positive per-link contention and a measurable job slowdown.
+            assert!(
+                row.slowdown > 1.0,
+                "{}: concurrent repair must slow the job (solo {:.3}s, contended {:.3}s)",
+                row.code,
+                row.solo_job_s,
+                row.contended_job_s
+            );
+            assert!(row.contention.source_nic_wait_s > 0.0, "{}", row.code);
+            assert!(row.contention.dest_nic_wait_s > 0.0, "{}", row.code);
+            assert!(row.contention.total_s() > 0.0, "{}", row.code);
+            assert!(row.solo_contention_s > 0.0, "{}", row.code);
+            assert!(row.repair_s > 0.0, "{}", row.code);
+            assert!(
+                row.shuffle_repair_overlap_s > 0.0,
+                "{}: shuffle and repair must be concurrently in flight",
+                row.code
+            );
+            assert!(row.network_traffic_bytes > 0);
+        }
+        assert!(report.headline_slowdown() > 1.0);
+        assert!(report.row(CodeKind::Pentagon).is_some());
+        let text = report.to_string();
+        assert!(text.contains("Slowdown"));
+    }
+}

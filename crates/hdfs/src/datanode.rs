@@ -1,14 +1,15 @@
 //! A simulated DataNode: stores block replicas and serves reads as timed
-//! events on its modeled disk and NIC.
+//! events on its node's disk and NIC in the cluster-wide [`ClusterNet`].
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 
-use drc_cluster::{ClusterSpec, NodeId};
-use drc_sim::{NodeIo, Reservation, Resource, SimTime};
+use drc_cluster::NodeId;
+use drc_sim::{ClusterNet, NodeIo, Reservation, Resource, SimTime};
 
 use crate::block::BlockKey;
 
@@ -17,25 +18,28 @@ use crate::block::BlockKey;
 /// The node tracks how many bytes it has served and received (lock-free
 /// atomics — reads are concurrent once the event-driven substrate overlaps
 /// them), which the RaidNode and the file-system facade use to account
-/// network traffic. It also owns its [`NodeIo`] resources (disk + NIC), so
-/// every store/read can be issued as a *timed event*: the returned
-/// [`Reservation`] says when the operation starts and finishes in virtual
-/// time, with contending operations queueing on the disk.
+/// network traffic. Its I/O resources (disk + NIC) are *handles into the
+/// cluster-wide [`ClusterNet`]*, not private copies: every store/read is a
+/// timed event on the same resources other layers reserve, so repair
+/// traffic, degraded reads and a MapReduce job's shuffle fetches all queue
+/// on the same disks and links. The returned [`Reservation`] says when the
+/// operation starts and finishes in virtual time.
 #[derive(Debug)]
 pub struct DataNode {
     id: NodeId,
-    io: NodeIo,
+    net: Arc<ClusterNet>,
     blocks: RwLock<BTreeMap<BlockKey, Bytes>>,
     bytes_served: AtomicU64,
     bytes_received: AtomicU64,
 }
 
 impl DataNode {
-    /// Creates an empty DataNode with I/O resources from the cluster spec.
-    pub fn new(id: NodeId, spec: &ClusterSpec) -> Self {
+    /// Creates an empty DataNode whose I/O happens on `net`'s resources for
+    /// this node id.
+    pub fn new(id: NodeId, net: Arc<ClusterNet>) -> Self {
         DataNode {
             id,
-            io: NodeIo::new(spec),
+            net,
             blocks: RwLock::new(BTreeMap::new()),
             bytes_served: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
@@ -47,9 +51,10 @@ impl DataNode {
         self.id
     }
 
-    /// The node's modeled I/O resources (disk and NIC).
+    /// The node's modeled I/O resources (disk and NIC) in the shared
+    /// [`ClusterNet`].
     pub fn io(&self) -> &NodeIo {
-        &self.io
+        self.net.node(self.id)
     }
 
     /// Stores (or overwrites) a block replica.
@@ -70,7 +75,7 @@ impl DataNode {
         now: SimTime,
         fabric: &Resource,
     ) -> Reservation {
-        let res = drc_sim::push_to(now, &self.io, fabric, data.len() as u64);
+        let res = drc_sim::push_to(now, self.io(), fabric, data.len() as u64);
         self.store(key, data);
         res
     }
@@ -98,7 +103,7 @@ impl DataNode {
         fabric: &Resource,
     ) -> Option<(Bytes, Reservation)> {
         let data = self.read(key)?;
-        let res = drc_sim::pull_from(now, &self.io, fabric, data.len() as u64);
+        let res = drc_sim::pull_from(now, self.io(), fabric, data.len() as u64);
         Some((data, res))
     }
 
@@ -153,7 +158,8 @@ mod tests {
     }
 
     fn node(id: usize) -> DataNode {
-        DataNode::new(NodeId(id), &ClusterSpec::simulation_25(4))
+        let net = Arc::new(ClusterNet::new(&drc_cluster::ClusterSpec::simulation_25(4)));
+        DataNode::new(NodeId(id), net)
     }
 
     #[test]

@@ -27,6 +27,13 @@
 //! record (and [`Timeline::overlap`] for how long two kinds of work ran
 //! concurrently).
 //!
+//! The resources themselves live in one cluster-wide
+//! [`drc_sim::ClusterNet`], shared by every DataNode and exposed through
+//! [`DistributedFileSystem::cluster_net`]: hand it to the MapReduce
+//! engine's `run_job_on` and a job's shuffle fetches queue on the same NICs
+//! and fabric as a concurrent repair pass (the `shuffle_contention`
+//! experiment measures exactly that).
+//!
 //! Byte accounting is independent of the virtual clock and of the worker
 //! pool's thread count: `DRC_SIM_THREADS=1` and a 32-thread run report
 //! identical network-byte numbers.
@@ -41,7 +48,7 @@ use serde::{Deserialize, Serialize};
 
 use drc_cluster::{Cluster, ClusterSpec, NodeId, PlacementMap, PlacementPolicy};
 use drc_codes::{CodeKind, ErasureCode, StripeEncoder};
-use drc_sim::{EventQueue, Resource, SimTime, Timeline, VirtualClock};
+use drc_sim::{ClusterNet, EventQueue, SimTime, Timeline, VirtualClock};
 
 use crate::block::BlockKey;
 use crate::datanode::DataNode;
@@ -92,8 +99,12 @@ pub struct DistributedFileSystem {
     /// Reusable parity scratch: stripe encodes allocate nothing in steady
     /// state (the write path and the RaidNode encode stripe after stripe).
     encoder: StripeEncoder,
-    /// The shared LAN fabric every transfer's bytes queue through.
-    fabric: Resource,
+    /// The cluster-wide resource model (per-node disks and NICs plus the
+    /// shared LAN fabric). The DataNodes hold clones of this `Arc`, and
+    /// [`DistributedFileSystem::cluster_net`] hands the same model to other
+    /// layers (the MapReduce engine's shuffle), so all traffic queues on the
+    /// same links.
+    net: Arc<ClusterNet>,
     clock: VirtualClock,
     timeline: Timeline,
     rng: ChaCha8Rng,
@@ -115,11 +126,11 @@ impl std::fmt::Debug for DistributedFileSystem {
 impl DistributedFileSystem {
     /// Creates a file system over a fresh cluster with the given spec.
     pub fn new(spec: ClusterSpec, seed: u64) -> Self {
-        let fabric = drc_sim::fabric(&spec);
+        let net = Arc::new(ClusterNet::new(&spec));
         let cluster = Cluster::new(spec);
         let datanodes = cluster
             .nodes()
-            .map(|n| (n, DataNode::new(n, cluster.spec())))
+            .map(|n| (n, DataNode::new(n, Arc::clone(&net))))
             .collect();
         DistributedFileSystem {
             cluster,
@@ -127,7 +138,7 @@ impl DistributedFileSystem {
             datanodes,
             code_cache: BTreeMap::new(),
             encoder: StripeEncoder::new(),
-            fabric,
+            net,
             clock: VirtualClock::new(),
             timeline: Timeline::new(),
             rng: ChaCha8Rng::seed_from_u64(seed),
@@ -150,6 +161,16 @@ impl DistributedFileSystem {
     /// Access to a DataNode (for inspection in tests and experiments).
     pub fn datanode(&self, node: NodeId) -> Option<&DataNode> {
         self.datanodes.get(&node)
+    }
+
+    /// The cluster-wide resource model this file system's traffic runs on.
+    ///
+    /// Hand the same `Arc` to other layers (e.g. the MapReduce engine's
+    /// `run_job_on`) to make their traffic contend with writes, repairs and
+    /// degraded reads for the same per-node disks, NICs and the shared LAN
+    /// fabric — the contention the paper's experiments are about.
+    pub fn cluster_net(&self) -> &Arc<ClusterNet> {
+        &self.net
     }
 
     /// The current virtual instant operations are issued at.
@@ -257,7 +278,7 @@ impl DistributedFileSystem {
                         .datanodes
                         .get(&node)
                         .ok_or(HdfsError::DataNodeUnavailable { node: node.0 })?;
-                    let res = dn.store_timed(key, content.clone(), issued, &self.fabric);
+                    let res = dn.store_timed(key, content.clone(), issued, self.net.fabric());
                     write_end = write_end.max(res.end);
                 }
             }
@@ -349,7 +370,7 @@ impl DistributedFileSystem {
                 continue;
             }
             if let Some(dn) = self.datanodes.get(&node) {
-                if let Some((data, res)) = dn.read_timed(&key, issued, &self.fabric) {
+                if let Some((data, res)) = dn.read_timed(&key, issued, self.net.fabric()) {
                     self.read_network_bytes += data.len() as u64;
                     return Ok((data, res.end));
                 }
@@ -412,7 +433,7 @@ impl DistributedFileSystem {
                     continue;
                 }
                 if let Some(dn) = self.datanodes.get(&node) {
-                    if let Some((data, res)) = dn.read_timed(&key, issued, &self.fabric) {
+                    if let Some((data, res)) = dn.read_timed(&key, issued, self.net.fabric()) {
                         fetches_done = fetches_done.max(res.end);
                         available.insert(block, data.to_vec());
                         break;
@@ -540,7 +561,7 @@ impl DistributedFileSystem {
                                 key,
                                 Bytes::from(content),
                                 decode_done,
-                                &self.fabric,
+                                self.net.fabric(),
                             );
                             stripe_done = stripe_done.max(res.end);
                             report.blocks_restored += 1;

@@ -15,12 +15,47 @@
 //! [`ClusterSpec`], but the *differences between codes* come only from
 //! locality and degraded reads — exactly the mechanism the paper identifies.
 //!
-//! Since PR 2 the engine runs on the `drc_sim` substrate: map slots are
-//! unit-capacity [`Resource`]s, the shared LAN is a bandwidth server, and
-//! every task duration the schedulers' placements induce is consumed as a
-//! virtual-time reservation. [`JobMetrics::timeline`] records the per-wave
-//! phases (including degraded-read spans), so contention between waves and
-//! reconstruction traffic is visible instead of being summed serially.
+//! # Event model
+//!
+//! Every phase of the job is discrete events on the `drc_sim` substrate —
+//! there is no closed-form time left in the engine:
+//!
+//! * **Map waves** — map slots are unit-capacity [`Resource`]s; every task
+//!   duration the schedulers' placements induce is consumed as a
+//!   virtual-time reservation, and each wave's remote-read bytes queue
+//!   through the shared LAN fabric.
+//! * **Shuffle** — each reducer is placed round-robin over the up nodes and
+//!   issues one fetch event per *source node*: a [`Transfer`] that acquires
+//!   the source node's NIC, the destination node's NIC and the shared LAN
+//!   fabric from the [`ClusterNet`], holding all three for the bottleneck
+//!   service time. The share produced on the reducer's own node never
+//!   touches the network. Per-link queueing delay is accumulated into
+//!   [`JobMetrics::shuffle_contention`].
+//! * **Reduce** — a reducer occupies one of its node's reduce-slot
+//!   [`Resource`]s from fetch start through merge CPU and the output write,
+//!   which reserves the node's *disk* in the same [`ClusterNet`].
+//!
+//! [`run_job`] executes against a private, idle [`ClusterNet`];
+//! [`run_job_on`] executes against a **shared** one (e.g.
+//! `DistributedFileSystem::cluster_net`), which is where the paper's
+//! headline contention appears: a repair pass or a batch of degraded reads
+//! issued in the same virtual window reserves the same NICs, disks and
+//! fabric, so shuffle fetches queue behind reconstruction traffic and the
+//! job visibly slows down (the `shuffle-contention` experiment).
+//!
+//! [`JobMetrics::timeline`] records the per-wave phases — `map:wave<i>`
+//! (plus `degraded-read:wave<i>` spans), `shuffle:fetch` and
+//! `reduce:wave<i>` — so contention between waves, reconstruction and
+//! shuffle traffic is visible instead of being summed serially.
+//!
+//! # Byte accounting
+//!
+//! Byte totals are computed exactly (round-to-nearest, saturating at
+//! `u64::MAX`, with non-finite ratios rejected as configuration errors) and
+//! are **independent of the event model**: the events decide *when* traffic
+//! moves, never *how much*. An event-driven run reports the same
+//! `shuffle_bytes` / `network_traffic_bytes` as the closed-form accounting,
+//! whatever the substrate's congestion state.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -29,13 +64,52 @@ use serde::{Deserialize, Serialize};
 
 use drc_cluster::{Cluster, NodeId, PlacementMap};
 use drc_codes::ErasureCode;
-use drc_sim::{Resource, SimDuration, SimTime, Timeline};
+use drc_sim::{ClusterNet, Resource, SimDuration, SimTime, Timeline, Transfer};
 
 use crate::assignment::Assignment;
 use crate::graph::TaskNodeGraph;
 use crate::job::{JobSpec, MapTask};
 use crate::scheduler::TaskScheduler;
 use crate::MapReduceError;
+
+/// Per-link queueing delay accumulated by the shuffle's fetch events.
+///
+/// Each fetch is a [`Transfer`] over the source NIC, destination NIC and the
+/// shared LAN fabric; whenever one of those links is still busy with earlier
+/// traffic (other fetches, or repair / degraded-read transfers sharing the
+/// [`ClusterNet`]), the wait is attributed here. Waits on different links can
+/// cover the same virtual-time window — each figure answers "how long would
+/// this link alone have delayed the fetches".
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinkContention {
+    /// Seconds fetches waited for busy source (map-side) NICs.
+    pub source_nic_wait_s: f64,
+    /// Seconds fetches waited for busy destination (reduce-side) NICs.
+    pub dest_nic_wait_s: f64,
+    /// Seconds the saturated shared LAN fabric added to fetch completions
+    /// beyond the bottleneck NIC's service time.
+    pub fabric_wait_s: f64,
+}
+
+impl LinkContention {
+    /// Total attributed wait across all links.
+    pub fn total_s(&self) -> f64 {
+        self.source_nic_wait_s + self.dest_nic_wait_s + self.fabric_wait_s
+    }
+}
+
+/// Where and when a job executes: the resource substrate its traffic
+/// reserves and the virtual instant it is issued.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSite<'a> {
+    /// The cluster resource model (per-node NICs and disks plus the shared
+    /// LAN fabric). Pass a file system's `cluster_net()` to make the job
+    /// contend with storage-layer traffic issued in the same window.
+    pub net: &'a ClusterNet,
+    /// The virtual instant the job starts (reservations never begin
+    /// earlier).
+    pub start: SimTime,
+}
 
 /// Measurements from one simulated job execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -66,8 +140,12 @@ pub struct JobMetrics {
     pub degraded_reads: usize,
     /// Per-phase virtual-time record: one `map:wave<i>` phase per scheduling
     /// wave (plus a `degraded-read:wave<i>` span when reconstruction traffic
-    /// was in flight) and a final `shuffle+reduce` phase.
+    /// was in flight), a `shuffle:fetch` phase covering the reducer fetch
+    /// events, and one `reduce:wave<i>` phase per reduce-slot wave.
     pub timeline: Timeline,
+    /// Per-link seconds the shuffle's fetch events spent queueing behind
+    /// other traffic on the NICs and the shared fabric.
+    pub shuffle_contention: LinkContention,
 }
 
 impl JobMetrics {
@@ -85,9 +163,35 @@ impl JobMetrics {
     }
 }
 
+/// Scales a byte count by a ratio, rounding to the nearest byte and
+/// saturating at `u64::MAX`.
+///
+/// # Errors
+///
+/// Returns [`MapReduceError::InvalidConfig`] if the ratio is NaN or infinite
+/// or the product is not finite — a silent `as u64` cast of those values
+/// would turn the byte count into 0 (pre-1.45 UB, now saturation of NaN to
+/// 0), wiping `shuffle_bytes` from the traffic totals without a trace.
+fn scale_bytes(bytes: u64, ratio: f64, what: &str) -> Result<u64, MapReduceError> {
+    if !ratio.is_finite() || ratio < 0.0 {
+        return Err(MapReduceError::InvalidConfig {
+            reason: format!("{what}: scaling ratio must be finite and non-negative, got {ratio}"),
+        });
+    }
+    let scaled = bytes as f64 * ratio;
+    if scaled >= u64::MAX as f64 {
+        return Ok(u64::MAX);
+    }
+    Ok(scaled.round() as u64)
+}
+
 /// Runs `job` on `cluster` against `placement`, scheduling map tasks with
 /// `scheduler`. `code` must be the code the placement was built with; it is
 /// used to plan degraded reads when every replica of a block is unreachable.
+///
+/// The job executes on a private, idle [`ClusterNet`] built from the
+/// cluster's spec, starting at the virtual epoch; use [`run_job_on`] to
+/// execute on a shared substrate instead.
 ///
 /// # Errors
 ///
@@ -101,6 +205,41 @@ pub fn run_job(
     cluster: &Cluster,
     scheduler: &dyn TaskScheduler,
     rng: &mut dyn RngCore,
+) -> Result<JobMetrics, MapReduceError> {
+    let net = ClusterNet::new(cluster.spec());
+    run_job_on(
+        job,
+        code,
+        placement,
+        cluster,
+        scheduler,
+        rng,
+        JobSite {
+            net: &net,
+            start: SimTime::ZERO,
+        },
+    )
+}
+
+/// Runs `job` like [`run_job`], but issues every event against the
+/// [`ClusterNet`] and start instant in `site`.
+///
+/// This is the entry point for contention studies: hand in a file system's
+/// shared net and a repair pass or degraded reads issued in the same virtual
+/// window will compete with the job's map-wave traffic and shuffle fetches
+/// for the same NICs, disks and LAN fabric.
+///
+/// # Errors
+///
+/// As [`run_job`].
+pub fn run_job_on(
+    job: &JobSpec,
+    code: &dyn ErasureCode,
+    placement: &PlacementMap,
+    cluster: &Cluster,
+    scheduler: &dyn TaskScheduler,
+    rng: &mut dyn RngCore,
+    site: JobSite<'_>,
 ) -> Result<JobMetrics, MapReduceError> {
     let spec = cluster.spec();
     let block_mb = spec.block_size_mb as f64;
@@ -129,13 +268,14 @@ pub fn run_job(
         .into_iter()
         .map(|n| (n, (0..slots).map(|_| Resource::new(0.0)).collect()))
         .collect();
-    // The shared LAN fabric: aggregate remote traffic queues through it at
-    // cluster-wide bandwidth.
-    let aggregate_bw = spec.network_bandwidth_mbps * cluster.up_nodes().len().max(1) as f64;
-    let lan = Resource::new(aggregate_bw);
+    // The shared LAN fabric of the execution site: aggregate remote traffic
+    // queues through it at cluster-wide bandwidth, behind whatever other
+    // traffic (repairs, degraded reads) already reserved it.
+    let net = site.net;
+    let lan = net.fabric();
     let mut timeline = Timeline::new();
-    let mut wave_start = SimTime::ZERO;
-    let mut map_phase_end = SimTime::ZERO;
+    let mut wave_start = site.start;
+    let mut map_phase_end = site.start;
     let mut wave_index = 0usize;
 
     let mut remote_input_bytes = 0u64;
@@ -221,9 +361,12 @@ pub fn run_job(
         // the aggregate network can move while the slots are busy, the map
         // phase is network-bound and stretches accordingly. This is the
         // mechanism behind the paper's observation that lost locality costs
-        // job time, not just traffic.
-        let lan_res = lan.reserve_bytes(wave_start, wave_network_bytes);
-        wave_end = wave_end.max(lan_res.end);
+        // job time, not just traffic. A fully-local wave reserves nothing,
+        // so it cannot queue behind unrelated fabric traffic.
+        if wave_network_bytes > 0 {
+            let lan_res = lan.reserve_bytes(wave_start, wave_network_bytes);
+            wave_end = wave_end.max(lan_res.end);
+        }
         timeline.record(
             format!("map:wave{wave_index}"),
             wave_start,
@@ -255,42 +398,111 @@ pub fn run_job(
     }
 
     // ---- Shuffle + reduce phase -------------------------------------------
+    //
+    // Byte accounting is closed-form and exact (the events below only decide
+    // *when* the traffic moves): map output scales the input by the shuffle
+    // ratio, and everything except the share produced on the reducer's own
+    // node crosses the network.
     let input_bytes = job.map_tasks().len() as u64 * block_bytes;
-    let map_output_bytes = (input_bytes as f64 * job.shuffle_ratio()) as u64;
-    let reduce_nodes = cluster.up_nodes().len().min(job.reduce_tasks()).max(1);
-    // Fraction of map output that must cross the network: everything except
-    // the share produced on the same node as its reducer.
-    let network_fraction = 1.0 - 1.0 / cluster.up_nodes().len().max(1) as f64;
-    let shuffle_bytes = (map_output_bytes as f64 * network_fraction) as u64;
+    let map_output_bytes = scale_bytes(input_bytes, job.shuffle_ratio(), "map output")?;
+    let up = cluster.up_nodes();
+    let n_up = up.len().max(1);
+    let network_fraction = 1.0 - 1.0 / n_up as f64;
+    let shuffle_bytes = scale_bytes(map_output_bytes, network_fraction, "shuffle volume")?;
 
-    let reduce_phase_s = if job.reduce_tasks() == 0 || map_output_bytes == 0 {
-        0.0
-    } else {
-        let per_reducer_mb =
-            map_output_bytes as f64 / (1024.0 * 1024.0) / job.reduce_tasks() as f64;
-        let reducers_per_node = job.reduce_tasks().div_ceil(reduce_nodes) as f64;
-        // Shuffle fetch, merge/CPU, and output write, per reducer wave.
-        let fetch_s = per_reducer_mb * network_fraction / spec.network_bandwidth_mbps;
-        let cpu_s = per_reducer_mb * job.reduce_cpu_s_per_mb();
-        let write_s = per_reducer_mb / spec.disk_bandwidth_mbps;
-        job.task_overhead_s() + reducers_per_node * (fetch_s + cpu_s + write_s)
-    };
+    let mut shuffle_contention = LinkContention::default();
+    let mut job_end = map_phase_end;
+    if job.reduce_tasks() > 0 && map_output_bytes > 0 && !up.is_empty() {
+        // Reducers are placed round-robin over the up nodes and occupy one
+        // of their node's reduce slots from task start to output write.
+        let slots_per_node = spec.reduce_slots_per_node.max(1);
+        let reduce_slots: BTreeMap<NodeId, Vec<Resource>> = up
+            .iter()
+            .map(|&n| (n, (0..slots_per_node).map(|_| Resource::new(0.0)).collect()))
+            .collect();
+        let reducers = job.reduce_tasks();
+        let per_reducer_bytes = map_output_bytes as f64 / reducers as f64;
+        let per_reducer_mb = per_reducer_bytes / (1024.0 * 1024.0);
+        // Map output is modeled as spread uniformly over the up nodes; each
+        // reducer fetches one share per *source node* (its own node's share
+        // is local and never touches the network). Per-fetch sizes only
+        // shape event durations — the byte totals above stay exact.
+        let per_source_bytes = (per_reducer_bytes / n_up as f64).round() as u64;
+        let overhead = SimDuration::from_secs_f64(job.task_overhead_s());
+        let merge_cpu = SimDuration::from_secs_f64(per_reducer_mb * job.reduce_cpu_s_per_mb());
+        let write_bytes = per_reducer_bytes.round() as u64;
+        let wave_size = (up.len() * slots_per_node).max(1);
+        let mut fetch_span: Option<(SimTime, SimTime)> = None;
+        let mut wave_spans: Vec<(SimTime, SimTime)> = Vec::new();
 
-    if reduce_phase_s > 0.0 {
-        timeline.record(
-            "shuffle+reduce",
-            map_phase_end,
-            map_phase_end + SimDuration::from_secs_f64(reduce_phase_s),
-            shuffle_bytes,
-        );
+        for r in 0..reducers {
+            let dest = up[r % up.len()];
+            let slot = reduce_slots[&dest]
+                .iter()
+                .min_by_key(|s| s.next_free())
+                .expect("at least one reduce slot per node");
+            let task_start = map_phase_end.max(slot.next_free());
+            let fetch_start = task_start + overhead;
+            let mut fetch_done = fetch_start;
+            // One fetch event per remote source: source NIC + destination
+            // NIC + shared fabric, held together for the bottleneck time.
+            for &src in &up {
+                if src == dest || per_source_bytes == 0 {
+                    continue;
+                }
+                let fetch = Transfer::new(net.fabric(), per_source_bytes)
+                    .via(&net.node(src).nic)
+                    .via(&net.node(dest).nic)
+                    .issue(fetch_start);
+                shuffle_contention.source_nic_wait_s += fetch.pipe_waits[0].as_secs_f64();
+                shuffle_contention.dest_nic_wait_s += fetch.pipe_waits[1].as_secs_f64();
+                shuffle_contention.fabric_wait_s += fetch.fabric_delay.as_secs_f64();
+                fetch_done = fetch_done.max(fetch.reservation.end);
+                fetch_span = Some(match fetch_span {
+                    None => (fetch.reservation.start, fetch.reservation.end),
+                    Some((s, e)) => (s.min(fetch.reservation.start), e.max(fetch.reservation.end)),
+                });
+            }
+            // Merge CPU after the last fetch lands, then the output write on
+            // the node's disk (shared with any storage-layer traffic).
+            let write_res = net
+                .node(dest)
+                .disk
+                .reserve_bytes(fetch_done + merge_cpu, write_bytes);
+            slot.occupy_until(write_res.end);
+            job_end = job_end.max(write_res.end);
+
+            let wave = r / wave_size;
+            match wave_spans.get_mut(wave) {
+                Some((s, e)) => {
+                    *s = (*s).min(task_start);
+                    *e = (*e).max(write_res.end);
+                }
+                None => wave_spans.push((task_start, write_res.end)),
+            }
+        }
+
+        match fetch_span {
+            Some((s, e)) => timeline.record("shuffle:fetch", s, e, shuffle_bytes),
+            // Per-source shares rounded to zero bytes (a degenerate, tiny
+            // shuffle): keep the bytes on the record as an instant phase.
+            None if shuffle_bytes > 0 => {
+                timeline.record("shuffle:fetch", map_phase_end, map_phase_end, shuffle_bytes)
+            }
+            None => {}
+        }
+        for (wave, (s, e)) in wave_spans.iter().enumerate() {
+            timeline.record(format!("reduce:wave{wave}"), *s, *e, 0);
+        }
     }
 
+    let reduce_phase_s = job_end.since(map_phase_end).as_secs_f64();
     let network_traffic_bytes = remote_input_bytes + degraded_read_bytes + shuffle_bytes;
     Ok(JobMetrics {
         job: job.name().to_string(),
         code: placement.code_name().to_string(),
-        job_time_s: map_phase_end.as_secs_f64() + reduce_phase_s,
-        map_phase_s: map_phase_end.as_secs_f64(),
+        job_time_s: job_end.since(site.start).as_secs_f64(),
+        map_phase_s: map_phase_end.since(site.start).as_secs_f64(),
         reduce_phase_s,
         network_traffic_bytes,
         remote_input_bytes,
@@ -300,6 +512,7 @@ pub fn run_job(
         local_map_tasks,
         degraded_reads,
         timeline,
+        shuffle_contention,
     })
 }
 
@@ -572,16 +785,97 @@ mod tests {
             .filter(|p| p.label.starts_with("map:wave"))
             .count();
         assert!(waves >= 2, "overload must produce multiple wave phases");
-        assert!(m
+        // The shuffle's fetch events and the reduce waves are phases of
+        // their own, and the fetch phase carries the shuffle bytes.
+        assert_eq!(m.timeline.bytes_with_prefix("shuffle:"), m.shuffle_bytes);
+        assert!(m.timeline.with_prefix("reduce:wave").count() >= 1);
+        // Reducers fetch while earlier reducers still merge: the two phase
+        // groups overlap.
+        let fetch = m
             .timeline
-            .phases
-            .iter()
-            .any(|p| p.label == "shuffle+reduce"));
+            .with_prefix("shuffle:fetch")
+            .next()
+            .expect("a shuffle phase");
+        assert!(fetch.start >= SimTime::ZERO && fetch.end > fetch.start);
         // The timeline's end is the job's virtual completion.
         assert!((m.timeline.end().as_secs_f64() - m.job_time_s).abs() < 1e-6);
         // Wave network bytes sum to the job's input traffic.
         let wave_bytes: u64 = m.timeline.with_prefix("map:wave").map(|p| p.bytes).sum();
         assert_eq!(wave_bytes, m.remote_input_bytes + m.degraded_read_bytes);
+    }
+
+    #[test]
+    fn shuffle_contention_is_reported_and_busy_links_delay_the_job() {
+        use drc_cluster::PlacementPolicy;
+        let code = CodeKind::TWO_REP.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            10,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
+        let job = JobSpec::new("contend", placement.data_blocks()).with_reduce_tasks(25);
+        let run_at = |net: &drc_sim::ClusterNet, rng: &mut ChaCha8Rng| {
+            run_job_on(
+                &job,
+                code.as_ref(),
+                &placement,
+                &cluster,
+                &DelayScheduler::default(),
+                rng,
+                JobSite {
+                    net,
+                    start: SimTime::ZERO,
+                },
+            )
+            .unwrap()
+        };
+        // Idle substrate: reducers still compete with *each other* for NICs,
+        // so some contention is visible even without storage traffic.
+        let mut rng_a = ChaCha8Rng::seed_from_u64(99);
+        let idle_net = drc_sim::ClusterNet::new(cluster.spec());
+        let idle = run_at(&idle_net, &mut rng_a);
+        assert!(idle.shuffle_contention.total_s() >= 0.0);
+
+        // Busy substrate: every NIC is reserved until well past the idle
+        // job's completion — the shuffle must queue behind it, the job is
+        // strictly delayed, and the waits are attributed to the NICs.
+        let mut rng_b = ChaCha8Rng::seed_from_u64(99);
+        let busy_net = drc_sim::ClusterNet::new(cluster.spec());
+        let hold = SimTime::ZERO + SimDuration::from_secs_f64(2.0 * idle.job_time_s + 10.0);
+        for n in cluster.up_nodes() {
+            busy_net.node(n).nic.occupy_until(hold);
+        }
+        let busy = run_at(&busy_net, &mut rng_b);
+        assert_eq!(busy.network_traffic_bytes, idle.network_traffic_bytes);
+        assert!(busy.job_time_s > idle.job_time_s, "busy links must delay");
+        assert!(
+            busy.shuffle_contention.source_nic_wait_s > idle.shuffle_contention.source_nic_wait_s
+        );
+        assert!(busy.shuffle_contention.dest_nic_wait_s > idle.shuffle_contention.dest_nic_wait_s);
+        // The map phase never touches NICs, so the whole delay is reduce-side.
+        assert!((busy.map_phase_s - idle.map_phase_s).abs() < 1e-9);
+        assert!(busy.reduce_phase_s > idle.reduce_phase_s);
+    }
+
+    #[test]
+    fn scale_bytes_rounds_saturates_and_rejects_non_finite() {
+        // Round-to-nearest instead of the old silent truncation …
+        assert_eq!(scale_bytes(10, 0.25, "t").unwrap(), 3); // 2.5 rounds away from 0
+        assert_eq!(scale_bytes(3, 1.0 / 3.0, "t").unwrap(), 1);
+        assert_eq!(scale_bytes(1 << 30, 1.0, "t").unwrap(), 1 << 30);
+        // … saturation instead of a wrapping cast …
+        assert_eq!(scale_bytes(u64::MAX, 2.0, "t").unwrap(), u64::MAX);
+        // … and an error (never a silent 0) for non-finite or negative
+        // ratios, the failure mode a NaN shuffle ratio used to trigger.
+        assert!(scale_bytes(1, f64::NAN, "t").is_err());
+        assert!(scale_bytes(1, f64::INFINITY, "t").is_err());
+        assert!(scale_bytes(1, -0.5, "t").is_err());
+        assert_eq!(scale_bytes(0, 1.0, "t").unwrap(), 0);
     }
 
     #[test]

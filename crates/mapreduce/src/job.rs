@@ -4,6 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use drc_cluster::GlobalBlockId;
 
+use crate::MapReduceError;
+
 /// Identifier of a map task within a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
@@ -32,9 +34,12 @@ pub struct MapTask {
 ///     .collect();
 /// let job = JobSpec::new("terasort", blocks)
 ///     .with_shuffle_ratio(1.0)
+///     .expect("finite ratio")
 ///     .with_reduce_tasks(5);
 /// assert_eq!(job.map_tasks().len(), 10);
 /// assert_eq!(job.reduce_tasks(), 5);
+/// // Non-finite parameters are rejected at construction time.
+/// assert!(job.with_shuffle_ratio(f64::NAN).is_err());
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobSpec {
@@ -75,11 +80,28 @@ impl JobSpec {
         }
     }
 
+    /// Validates a job parameter: non-finite values (NaN, ±∞) are a
+    /// construction error — `NaN.max(0.0)` is `NaN`, so a clamp alone would
+    /// let NaN through and poison every downstream duration and byte count.
+    /// Finite negatives clamp to zero as before.
+    fn finite_param(value: f64, what: &str) -> Result<f64, MapReduceError> {
+        if !value.is_finite() {
+            return Err(MapReduceError::InvalidConfig {
+                reason: format!("{what} must be finite, got {value}"),
+            });
+        }
+        Ok(value.max(0.0))
+    }
+
     /// Sets the map-output-to-input ratio (1.0 for sort-like jobs, near 0 for
-    /// grep-like jobs).
-    pub fn with_shuffle_ratio(mut self, ratio: f64) -> Self {
-        self.shuffle_ratio = ratio.max(0.0);
-        self
+    /// grep-like jobs). Finite negatives clamp to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapReduceError::InvalidConfig`] for NaN or infinite ratios.
+    pub fn with_shuffle_ratio(mut self, ratio: f64) -> Result<Self, MapReduceError> {
+        self.shuffle_ratio = Self::finite_param(ratio, "shuffle ratio")?;
+        Ok(self)
     }
 
     /// Sets the number of reduce tasks.
@@ -88,22 +110,38 @@ impl JobSpec {
         self
     }
 
-    /// Sets the map CPU cost in seconds per MiB of input.
-    pub fn with_map_cpu_s_per_mb(mut self, cost: f64) -> Self {
-        self.map_cpu_s_per_mb = cost.max(0.0);
-        self
+    /// Sets the map CPU cost in seconds per MiB of input. Finite negatives
+    /// clamp to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapReduceError::InvalidConfig`] for NaN or infinite costs.
+    pub fn with_map_cpu_s_per_mb(mut self, cost: f64) -> Result<Self, MapReduceError> {
+        self.map_cpu_s_per_mb = Self::finite_param(cost, "map CPU cost")?;
+        Ok(self)
     }
 
-    /// Sets the reduce CPU cost in seconds per MiB of shuffled data.
-    pub fn with_reduce_cpu_s_per_mb(mut self, cost: f64) -> Self {
-        self.reduce_cpu_s_per_mb = cost.max(0.0);
-        self
+    /// Sets the reduce CPU cost in seconds per MiB of shuffled data. Finite
+    /// negatives clamp to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapReduceError::InvalidConfig`] for NaN or infinite costs.
+    pub fn with_reduce_cpu_s_per_mb(mut self, cost: f64) -> Result<Self, MapReduceError> {
+        self.reduce_cpu_s_per_mb = Self::finite_param(cost, "reduce CPU cost")?;
+        Ok(self)
     }
 
-    /// Sets the fixed per-task overhead in seconds.
-    pub fn with_task_overhead_s(mut self, overhead: f64) -> Self {
-        self.task_overhead_s = overhead.max(0.0);
-        self
+    /// Sets the fixed per-task overhead in seconds. Finite negatives clamp
+    /// to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapReduceError::InvalidConfig`] for NaN or infinite
+    /// overheads.
+    pub fn with_task_overhead_s(mut self, overhead: f64) -> Result<Self, MapReduceError> {
+        self.task_overhead_s = Self::finite_param(overhead, "task overhead")?;
+        Ok(self)
     }
 
     /// The job's name.
@@ -169,15 +207,37 @@ mod tests {
     fn builder_setters_clamp_and_apply() {
         let job = JobSpec::new("j", blocks(2))
             .with_shuffle_ratio(-1.0)
+            .unwrap()
             .with_reduce_tasks(4)
             .with_map_cpu_s_per_mb(0.5)
+            .unwrap()
             .with_reduce_cpu_s_per_mb(0.25)
-            .with_task_overhead_s(2.0);
+            .unwrap()
+            .with_task_overhead_s(2.0)
+            .unwrap();
         assert_eq!(job.shuffle_ratio(), 0.0);
         assert_eq!(job.reduce_tasks(), 4);
         assert_eq!(job.map_cpu_s_per_mb(), 0.5);
         assert_eq!(job.reduce_cpu_s_per_mb(), 0.25);
         assert_eq!(job.task_overhead_s(), 2.0);
+    }
+
+    #[test]
+    fn non_finite_parameters_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let job = JobSpec::new("j", blocks(1));
+            assert!(job.clone().with_shuffle_ratio(bad).is_err(), "{bad}");
+            assert!(job.clone().with_map_cpu_s_per_mb(bad).is_err(), "{bad}");
+            assert!(job.clone().with_reduce_cpu_s_per_mb(bad).is_err(), "{bad}");
+            assert!(job.clone().with_task_overhead_s(bad).is_err(), "{bad}");
+        }
+        // The error is a constructor-level InvalidConfig, not a panic or a
+        // silently-poisoned job.
+        let err = JobSpec::new("j", blocks(1))
+            .with_shuffle_ratio(f64::NAN)
+            .unwrap_err();
+        assert!(matches!(err, MapReduceError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("shuffle ratio"));
     }
 
     #[test]

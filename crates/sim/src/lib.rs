@@ -15,6 +15,10 @@
 //!   components (DataNodes) can reserve through `&self`,
 //! * [`ClusterNet`] — per-node disk + NIC resources and the shared fabric,
 //!   built from [`drc_cluster::ClusterSpec`] bandwidth figures,
+//! * [`Transfer`] — sequences one operation's acquisition of several pipes
+//!   plus the fabric and reports per-link wait time, so layers that share
+//!   the fabric (shuffle, repair, degraded reads) can attribute their
+//!   queueing delay to the link that caused it,
 //! * [`Phase`] / [`Timeline`] — serialisable per-phase timelines (start,
 //!   end, bytes) that experiments emit so overlap is visible in reports.
 //!
@@ -62,7 +66,9 @@ mod time;
 mod timeline;
 
 pub use event::EventQueue;
-pub use net::{fabric, pull_from, push_to, transfer_between, ClusterNet, NodeIo};
+pub use net::{
+    fabric, pull_from, push_to, transfer_between, ClusterNet, NodeIo, Transfer, TransferOutcome,
+};
 pub use resource::{Reservation, Resource};
 pub use time::{SimDuration, SimTime, VirtualClock};
 pub use timeline::{Phase, Timeline};

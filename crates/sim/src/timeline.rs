@@ -7,6 +7,14 @@ use crate::time::{SimDuration, SimTime};
 
 /// One labelled span of virtual time (a write pass, a repair, a degraded
 /// read, a map wave, …) plus the bytes it moved.
+///
+/// A phase covers the **half-open interval `[start, end)`**: the phase is in
+/// flight at `start` and no longer in flight at `end`. Two back-to-back
+/// phases that share a timestamp (`a.end == b.start`) therefore never
+/// overlap, and a zero-length phase (`start == end`, e.g. an instantaneous
+/// completion on an infinitely fast resource) covers no time at all — it is
+/// kept on the timeline for its label and byte accounting but contributes
+/// nothing to [`Timeline::overlap`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Phase {
     /// What the span was doing, e.g. `"repair"` or `"degraded-read"`.
@@ -77,6 +85,12 @@ impl Timeline {
     /// Virtual time during which phases labelled with `a` and phases
     /// labelled with `b` were *both* in flight — the overlap the serial
     /// execution model could never show.
+    ///
+    /// Phases are half-open `[start, end)` intervals: a phase ending at the
+    /// exact instant another starts shares only the boundary timestamp, which
+    /// covers zero time, so back-to-back events never report phantom overlap.
+    /// Zero-length phases are in flight for no time at all and overlap
+    /// nothing, including other zero-length phases at the same instant.
     pub fn overlap(&self, a: &str, b: &str) -> SimDuration {
         let ia = union_intervals(self.with_prefix(a));
         let ib = union_intervals(self.with_prefix(b));
@@ -164,6 +178,39 @@ mod tests {
             SimDuration::from_secs_f64(3.0)
         );
         assert_eq!(tl.overlap("repair", "nothing"), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn back_to_back_phases_do_not_overlap() {
+        // Half-open [start, end) convention: sharing a boundary timestamp is
+        // not overlap.
+        let mut tl = Timeline::new();
+        tl.record("shuffle:fetch", t(0.0), t(2.0), 10);
+        tl.record("repair:s0", t(2.0), t(4.0), 10);
+        assert_eq!(tl.overlap("shuffle:", "repair:"), SimDuration::ZERO);
+        // A single nanosecond of true overlap is detected.
+        tl.record("repair:s1", SimTime(1_999_999_999), t(2.0), 0);
+        assert_eq!(tl.overlap("shuffle:", "repair:"), SimDuration(1));
+    }
+
+    #[test]
+    fn zero_length_phases_cover_no_time() {
+        let mut tl = Timeline::new();
+        // Instantaneous completions (e.g. on an infinitely fast resource).
+        tl.record("repair:instant", t(1.0), t(1.0), 5);
+        tl.record("degraded-read:instant", t(1.0), t(1.0), 7);
+        tl.record("degraded-read:span", t(0.0), t(3.0), 0);
+        // Identical-timestamp zero-length phases never overlap each other …
+        assert_eq!(tl.overlap("repair:", "degraded-read:"), SimDuration::ZERO);
+        // … or anything else, even a span that covers their instant.
+        assert_eq!(
+            tl.overlap("repair:", "degraded-read:span"),
+            SimDuration::ZERO
+        );
+        // But their labels and bytes stay on the record.
+        assert_eq!(tl.bytes_with_prefix("repair:"), 5);
+        assert_eq!(tl.bytes_with_prefix("degraded-read:"), 7);
+        assert_eq!(tl.end(), t(3.0));
     }
 
     #[test]

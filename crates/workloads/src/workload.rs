@@ -124,10 +124,15 @@ pub fn provision_workload<R: Rng + ?Sized>(
         rng,
     )?;
     let blocks: Vec<_> = placement.data_blocks().into_iter().take(tasks).collect();
+    // The per-kind parameters are compile-time constants and always finite;
+    // the validation errors they would raise are unreachable here.
     let job = JobSpec::new(format!("{kind}-{load_percent:.0}pct"), blocks)
         .with_shuffle_ratio(kind.shuffle_ratio())
+        .expect("workload shuffle ratios are finite")
         .with_map_cpu_s_per_mb(kind.map_cpu_s_per_mb())
+        .expect("workload map CPU costs are finite")
         .with_reduce_cpu_s_per_mb(kind.reduce_cpu_s_per_mb())
+        .expect("workload reduce CPU costs are finite")
         .with_reduce_tasks(spec.total_reduce_slots().max(1));
     Ok(ProvisionedWorkload {
         code,
