@@ -3,8 +3,10 @@
 //!
 //! Run as a normal criterion bench (`cargo bench --bench gf_throughput`), or
 //! with a `repro` argument (`cargo bench --bench gf_throughput -- repro`) to
-//! emit `BENCH_gf.json` — bytes/sec per kernel per operation plus RS(10,4)
-//! stripe-encode throughput — so the perf trajectory is tracked across PRs.
+//! emit `BENCH_gf.json` — bytes/sec per kernel per operation (including
+//! worst-case RS(10,4) reconstruct pinned to each kernel via
+//! `kernel::with_forced`) plus RS(10,4) stripe-encode throughput — so the
+//! perf trajectory is tracked across PRs.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 
@@ -36,6 +38,39 @@ fn bench_slice_ops(c: &mut Criterion) {
         });
         group.finish();
     }
+}
+
+fn bench_reconstruct_per_kernel(c: &mut Criterion) {
+    // Worst-case RS(10,4) reconstruction (4 data shards lost) pinned to each
+    // kernel in turn via `kernel::with_forced`, so BENCH_gf.json tracks
+    // reconstruct throughput for every variant, not just the auto-selected
+    // one. The pin is process-wide, so the pool workers the parallel split
+    // engages run the pinned kernel too.
+    let rs = ReedSolomon::new(10, 4).expect("valid parameters");
+    let shard = 64 * 1024;
+    let data: Vec<Vec<u8>> = (0..10u8)
+        .map(|i| make_src(shard).iter().map(|b| b.wrapping_add(i)).collect())
+        .collect();
+    let coded = rs.encode(&data).expect("encodes");
+    let present: Vec<Option<&[u8]>> = coded
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i >= 4).then_some(s.as_slice()))
+        .collect();
+    let mut group = c.benchmark_group("gf_reconstruct");
+    group.throughput(Throughput::Bytes((10 * shard) as u64));
+    for kern in kernel::all() {
+        let mut out = vec![vec![0u8; shard]; 14];
+        group.bench_function(kern.name(), |b| {
+            kernel::with_forced(kern, || {
+                b.iter(|| {
+                    rs.reconstruct_into(&present, shard, &mut out)
+                        .expect("reconstructs")
+                })
+            })
+        });
+    }
+    group.finish();
 }
 
 fn bench_fused_encode(c: &mut Criterion) {
@@ -126,6 +161,7 @@ fn bench_matrix_inversion(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_slice_ops,
+    bench_reconstruct_per_kernel,
     bench_fused_encode,
     bench_reed_solomon,
     bench_matrix_inversion
@@ -134,10 +170,6 @@ criterion_group!(
 // ---------------------------------------------------------------------------
 // `repro` mode: machine-readable kernel throughput for cross-PR tracking.
 // ---------------------------------------------------------------------------
-
-/// `BENCH_gf.json` lives at the workspace root regardless of the cwd cargo
-/// gives bench binaries (the package directory).
-const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gf.json");
 
 fn bps_value(m: &criterion::Measurement) -> serde_json::Value {
     match m.bytes_per_sec() {
@@ -152,6 +184,7 @@ fn bps_value(m: &criterion::Measurement) -> serde_json::Value {
 fn repro() {
     let mut criterion = Criterion::default();
     bench_slice_ops(&mut criterion);
+    bench_reconstruct_per_kernel(&mut criterion);
     bench_fused_encode(&mut criterion);
     bench_reed_solomon(&mut criterion);
 
@@ -159,7 +192,7 @@ fn repro() {
     for kern in kernel::all() {
         let kern: &Kernel = kern;
         let prefix = format!("gf_slice_ops/{}/", kern.name());
-        let ops: Vec<(String, serde_json::Value)> = criterion
+        let mut ops: Vec<(String, serde_json::Value)> = criterion
             .measurements()
             .iter()
             .filter_map(|m| {
@@ -167,6 +200,11 @@ fn repro() {
                 Some((format!("{op}_bps"), bps_value(m)))
             })
             .collect();
+        // RS(10,4) worst-case reconstruct throughput pinned to this kernel.
+        let rec_id = format!("gf_reconstruct/{}", kern.name());
+        if let Some(m) = criterion.measurements().iter().find(|m| m.id == rec_id) {
+            ops.push(("reconstruct_bps".to_string(), bps_value(m)));
+        }
         kernels_json.push((kern.name().to_string(), serde_json::Value::Map(ops)));
     }
 
@@ -201,9 +239,9 @@ fn repro() {
         ("rs_10_4".into(), serde_json::Value::Map(rs_json)),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serializable");
-    std::fs::write(BENCH_JSON_PATH, &json).expect("writable BENCH_gf.json");
+    std::fs::write(drc_bench::GF_BENCH_JSON_PATH, &json).expect("writable BENCH_gf.json");
     println!("{json}");
-    println!("wrote {BENCH_JSON_PATH}");
+    println!("wrote {}", drc_bench::GF_BENCH_JSON_PATH);
 }
 
 fn main() {

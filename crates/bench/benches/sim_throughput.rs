@@ -1,6 +1,6 @@
 //! Event-driven substrate and shard-parallel encode benchmarks.
 //!
-//! Three groups:
+//! Four groups:
 //!
 //! * `sim_stripe_encode` — production stripe-encode throughput (the
 //!   HDFS-RAID write path: `StripeEncoder` over `encode_into`) at one worker
@@ -8,16 +8,20 @@
 //!   heptagon-local stripe,
 //! * `sim_reconstruct` — worst-case Reed–Solomon reconstruction, single vs
 //!   multi-thread,
+//! * `pool_dispatch` — nanoseconds per `rayon::scope` round-trip through
+//!   the persistent worker pool at widths 1/2/N, next to the per-call
+//!   `std::thread::scope` spawn the old pool paid (the baseline the pool
+//!   must beat for the lowered `PAR_MIN_LEN` to make sense),
 //! * `sim_substrate` — the discrete-event machinery itself (event queue
 //!   churn, timed cluster transfers), in operations per second.
 //!
 //! Run with a `repro` argument (`cargo bench -p drc_bench --bench
 //! sim_throughput -- repro`) to emit `BENCH_sim.json`: provenance (git SHA,
-//! GF kernel, thread count), bytes/sec per configuration and the measured
-//! multi-thread speedup, so the parallel-encode trajectory is tracked across
-//! PRs. On a single-core host the pool degenerates to one worker and the
-//! recorded speedup is honestly ~1.0; multi-core hosts (CI) show the real
-//! scaling.
+//! GF kernel, thread count), bytes/sec per configuration, the measured
+//! multi-thread speedup and the pool dispatch costs, so the parallel-encode
+//! trajectory is tracked across PRs. On a single-core host the pool
+//! degenerates to one worker and the recorded speedup is honestly ~1.0;
+//! multi-core hosts (CI) show the real scaling.
 
 use criterion::{criterion_group, Criterion, Throughput};
 
@@ -96,6 +100,46 @@ fn bench_reconstruct(c: &mut Criterion) {
     group.finish();
 }
 
+/// The widths the pool-dispatch microbench measures: 1 (inline path), 2,
+/// and the full pool (at least 4 so the queue handoff is exercised even on
+/// narrow hosts — the pool happily oversubscribes).
+fn dispatch_widths() -> Vec<usize> {
+    vec![1, 2, rayon::current_num_threads().max(4)]
+}
+
+fn bench_pool_dispatch(c: &mut Criterion) {
+    // Cost of one `rayon::scope` round-trip with trivial tasks: this is the
+    // pure dispatch overhead (queue push + condvar wake + completion latch)
+    // that bounds how small PAR_MIN_LEN can go. The `thread_scope_spawn`
+    // baseline is what the old per-call `std::thread::scope` pool paid for
+    // every dispatch; the persistent pool must sit well below it.
+    let mut group = c.benchmark_group("pool_dispatch");
+    for width in dispatch_widths() {
+        group.bench_function(format!("scope/threads={width}"), |b| {
+            rayon::with_num_threads(width, || {
+                b.iter(|| {
+                    rayon::scope(|s| {
+                        for _ in 0..width {
+                            s.spawn(|_| {
+                                criterion::black_box(());
+                            });
+                        }
+                    })
+                })
+            })
+        });
+    }
+    group.bench_function("thread_scope_spawn_baseline", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                let h = s.spawn(|| criterion::black_box(0u64));
+                h.join().expect("baseline thread joins")
+            })
+        })
+    });
+    group.finish();
+}
+
 fn bench_substrate(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_substrate");
     group.throughput(Throughput::Elements(1024));
@@ -137,16 +181,13 @@ criterion_group!(
     benches,
     bench_stripe_encode,
     bench_reconstruct,
+    bench_pool_dispatch,
     bench_substrate
 );
 
 // ---------------------------------------------------------------------------
 // `repro` mode: machine-readable substrate + parallel-encode numbers.
 // ---------------------------------------------------------------------------
-
-/// `BENCH_sim.json` lives at the workspace root regardless of the cwd cargo
-/// gives bench binaries (the package directory).
-const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
 
 fn bps(criterion: &Criterion, id: &str) -> Option<f64> {
     criterion
@@ -156,7 +197,16 @@ fn bps(criterion: &Criterion, id: &str) -> Option<f64> {
         .and_then(|m| m.bytes_per_sec())
 }
 
-fn bps_value(v: Option<f64>) -> serde_json::Value {
+fn ns(criterion: &Criterion, id: &str) -> Option<f64> {
+    criterion
+        .measurements()
+        .iter()
+        .find(|m| m.id == id)
+        .map(|m| m.ns_per_iter)
+        .filter(|v| v.is_finite())
+}
+
+fn float_value(v: Option<f64>) -> serde_json::Value {
     match v {
         Some(x) => serde_json::Value::Float(x),
         None => serde_json::Value::Null,
@@ -167,6 +217,7 @@ fn repro() {
     let mut criterion = Criterion::default();
     bench_stripe_encode(&mut criterion);
     bench_reconstruct(&mut criterion);
+    bench_pool_dispatch(&mut criterion);
 
     // Headline contention number: how much a concurrent repair pass slows
     // the event-driven shuffle (quick configuration of the
@@ -194,8 +245,8 @@ fn repro() {
         groups.push((
             label.to_string(),
             serde_json::Value::Map(vec![
-                ("threads_1_bps".to_string(), bps_value(single)),
-                (format!("threads_{multi}_bps"), bps_value(wide)),
+                ("threads_1_bps".to_string(), float_value(single)),
+                (format!("threads_{multi}_bps"), float_value(wide)),
             ]),
         ));
         let speedup = match (single, wide) {
@@ -219,10 +270,35 @@ fn repro() {
             "multi_threads".to_string(),
             serde_json::Value::UInt(multi as u64),
         ),
+        (
+            "par_min_len".to_string(),
+            serde_json::Value::UInt(drc_gf::slice::PAR_MIN_LEN as u64),
+        ),
         ("stripe_encode".to_string(), serde_json::Value::Map(groups)),
         (
             "parallel_speedup".to_string(),
             serde_json::Value::Map(speedups),
+        ),
+        (
+            "pool_dispatch_ns".to_string(),
+            serde_json::Value::Map(
+                dispatch_widths()
+                    .into_iter()
+                    .map(|w| {
+                        (
+                            format!("scope_threads_{w}"),
+                            float_value(ns(
+                                &criterion,
+                                &format!("pool_dispatch/scope/threads={w}"),
+                            )),
+                        )
+                    })
+                    .chain(std::iter::once((
+                        "thread_scope_spawn_baseline".to_string(),
+                        float_value(ns(&criterion, "pool_dispatch/thread_scope_spawn_baseline")),
+                    )))
+                    .collect(),
+            ),
         ),
         (
             "shuffle_contention_slowdown".to_string(),
@@ -234,9 +310,9 @@ fn repro() {
         ),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serializable");
-    std::fs::write(BENCH_JSON_PATH, &json).expect("writable BENCH_sim.json");
+    std::fs::write(drc_bench::SIM_BENCH_JSON_PATH, &json).expect("writable BENCH_sim.json");
     println!("{json}");
-    println!("wrote {BENCH_JSON_PATH}");
+    println!("wrote {}", drc_bench::SIM_BENCH_JSON_PATH);
 }
 
 fn main() {

@@ -1,0 +1,100 @@
+//! CI gate for the multi-core stripe-encode scaling (ROADMAP: "Multi-core
+//! speedup validation").
+//!
+//! Reads the `BENCH_sim.json` a preceding `cargo bench -p drc_bench --bench
+//! sim_throughput -- repro` run wrote at the workspace root and asserts that
+//! every stripe-encode `parallel_speedup` entry reaches
+//! [`MIN_SPEEDUP`] — but only when the host actually has ≥ 2 CPUs. On a
+//! single-CPU host the pool degenerates to one worker and a speedup of ~1.0
+//! is the *honest* result, so the gate prints a loud skip notice and exits
+//! successfully instead of failing on hardware that cannot show scaling.
+//!
+//! Exit status: 0 on pass or skip, 1 on a missing/malformed JSON or a
+//! speedup below the floor.
+
+use drc_bench::{json_f64, json_lookup, SIM_BENCH_JSON_PATH};
+
+/// Minimum acceptable multi-thread stripe-encode speedup on ≥ 2 CPUs.
+const MIN_SPEEDUP: f64 = 1.5;
+
+/// The stripe-encode entries of `parallel_speedup` the gate checks
+/// (`reconstruct_rs_10_4` is recorded but not gated: reconstruction spends
+/// part of its time in serial matrix inversion).
+const GATED: &[&str] = &["rs_10_4", "heptagon_local"];
+
+fn main() {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cpus < 2 {
+        println!(
+            "SKIP: multi-core stripe-encode speedup gate needs >= 2 CPUs, \
+             this host reports {cpus}; parallel_speedup ~ 1.0 is expected here. \
+             Run on a multi-core host to validate the >= {MIN_SPEEDUP}x scaling."
+        );
+        return;
+    }
+
+    let text = match std::fs::read_to_string(SIM_BENCH_JSON_PATH) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "FAIL: cannot read {SIM_BENCH_JSON_PATH}: {e} \
+                 (run `cargo bench -p drc_bench --bench sim_throughput -- repro` first)"
+            );
+            std::process::exit(1);
+        }
+    };
+    let doc = match serde_json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("FAIL: {SIM_BENCH_JSON_PATH} is not valid JSON: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    let speedups = match json_lookup(&doc, "parallel_speedup") {
+        Some(v) => v,
+        None => {
+            eprintln!("FAIL: {SIM_BENCH_JSON_PATH} has no `parallel_speedup` map");
+            std::process::exit(1);
+        }
+    };
+    let threads = json_lookup(&doc, "multi_threads")
+        .and_then(json_f64)
+        .unwrap_or(0.0);
+    if threads < 2.0 {
+        println!(
+            "SKIP: BENCH_sim.json was produced with multi_threads={threads}, so a \
+             speedup of ~1.0 is the honest result for that run; re-run the sim \
+             snapshot with a multi-thread pool to gate scaling."
+        );
+        return;
+    }
+
+    let mut failed = false;
+    for name in GATED {
+        match json_lookup(speedups, name).and_then(json_f64) {
+            Some(s) if s >= MIN_SPEEDUP => {
+                println!(
+                    "OK:   {name} stripe-encode speedup {s:.2}x at {threads} threads \
+                     (floor {MIN_SPEEDUP}x, {cpus} CPUs)"
+                );
+            }
+            Some(s) => {
+                eprintln!(
+                    "FAIL: {name} stripe-encode speedup {s:.2}x at {threads} threads \
+                     is below the {MIN_SPEEDUP}x floor on a {cpus}-CPU host"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL: `parallel_speedup.{name}` missing from {SIM_BENCH_JSON_PATH}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("multi-core stripe-encode speedup gate passed");
+}

@@ -42,6 +42,33 @@ pub const EXPERIMENTS: &[&str] = &[
     "shuffle_contention",
 ];
 
+/// Workspace-root path of `BENCH_gf.json` (written by the `gf_throughput`
+/// bench in `repro` mode), independent of the cwd cargo gives bench/bin
+/// targets (the package directory).
+pub const GF_BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gf.json");
+
+/// Workspace-root path of `BENCH_sim.json` (written by the `sim_throughput`
+/// bench in `repro` mode and read back by the `check_speedup` CI gate).
+pub const SIM_BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+
+/// Looks up `key` in a JSON object from the vendored `serde_json`.
+pub fn json_lookup<'a>(v: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
+    match v {
+        serde_json::Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Numeric coercion of a JSON scalar (float, signed or unsigned integer).
+pub fn json_f64(v: &serde_json::Value) -> Option<f64> {
+    match v {
+        serde_json::Value::Float(f) => Some(*f),
+        serde_json::Value::Int(n) => Some(*n as f64),
+        serde_json::Value::UInt(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
 /// The commit the benchmarked tree was built from, best-effort
 /// (`"unknown"` outside a git checkout or without a `git` binary).
 pub fn git_sha() -> String {

@@ -8,20 +8,35 @@
 //!
 //! | name | lane width | technique | available |
 //! |---|---|---|---|
+//! | `gfni` | 64 B | `gf2p8affineqb` with per-coefficient 8×8 bit-matrices | x86-64 with GFNI + AVX-512F |
+//! | `vbmi` | 64 B | split-nibble `vpermb` table lookups | x86-64 with AVX-512VBMI |
 //! | `avx2` | 32 B | split-nibble `vpshufb` table lookups | x86-64 with AVX2 |
 //! | `ssse3` | 16 B | split-nibble `pshufb` table lookups | x86-64 with SSSE3 |
 //! | `neon` | 16 B | split-nibble `tbl` lookups | aarch64 (always) |
 //! | `wide` | 8 B xor / 1 B mul | `u64` XOR lanes + per-coefficient 256-byte product row | everywhere |
 //! | `reference` | 1 B | branch-free log/antilog scalar | everywhere |
 //!
+//! The dispatch tier order is `gfni > vbmi > avx2 > ssse3 > wide >
+//! reference` (`neon` slots between `ssse3` and `wide` on aarch64): the GFNI
+//! kernel computes a whole 64-byte product in **one** `gf2p8affineqb`
+//! instruction — constant-multiplication in GF(2^8) is GF(2)-linear, so it
+//! is an 8×8 bit-matrix applied per byte, which also side-steps
+//! `gf2p8mulb`'s hard-wired AES polynomial (0x11b, not our 0x11d) — while
+//! the VBMI kernel is the familiar split-nibble lookup widened to 64-byte
+//! lanes via `vpermb`.
+//!
 //! [`active`] picks the widest kernel the CPU supports **once** (cached in an
 //! atomic) so steady-state dispatch is a single relaxed load plus an indirect
 //! call per bulk operation — amortised over whole blocks, not per byte. The
-//! `DRC_GF_KERNEL` environment variable (`avx2|ssse3|neon|wide|reference`)
-//! pins the choice for benchmarks and differential tests; an unavailable or
-//! unknown name falls back to auto-detection. [`all`] lists every kernel the
-//! host can run, which the proptests use to verify byte-for-byte agreement
-//! and the benches use for per-variant throughput curves.
+//! `DRC_GF_KERNEL` environment variable
+//! (`gfni|vbmi|avx2|ssse3|neon|wide|reference`) pins the choice for
+//! benchmarks and differential tests; a name that no kernel runnable on this
+//! host carries falls back to auto-detection **with a one-time stderr
+//! warning** naming the valid set, so a typo cannot silently benchmark the
+//! wrong kernel. [`all`] lists every kernel the host can run, which the
+//! proptests use to verify byte-for-byte agreement and the benches use for
+//! per-variant throughput curves; [`with_forced`] pins the active kernel for
+//! a closure (bench/test hook).
 //!
 //! The sibling knob `DRC_SIM_THREADS` controls the *worker-pool width* the
 //! bulk [`crate::slice`] operations split block-sized work across (default:
@@ -35,11 +50,11 @@
 //! unsafe block is one of exactly two shapes:
 //!
 //! 1. **ISA intrinsics behind verified CPU support.** The `target_feature`
-//!    functions (`*_avx2`, `*_ssse3`) are only ever reachable through a
-//!    [`Kernel`] whose constructor site is guarded by
-//!    `is_x86_feature_detected!`; the NEON path compiles only on aarch64
-//!    where NEON is part of the baseline ISA. Calling them is therefore
-//!    never UB by reason of unsupported instructions.
+//!    functions (`*_gfni`, `*_vbmi`, `*_avx512`, `*_avx2`, `*_ssse3`) are
+//!    only ever reachable through a [`Kernel`] whose constructor site is
+//!    guarded by `is_x86_feature_detected!`; the NEON path compiles only on
+//!    aarch64 where NEON is part of the baseline ISA. Calling them is
+//!    therefore never UB by reason of unsupported instructions.
 //! 2. **Unaligned loads/stores inside bounds.** All pointer arithmetic walks
 //!    `chunks_exact`-style over ranges `i * LANE .. (i + 1) * LANE` with
 //!    `i < len / LANE`, so every access is in-bounds, and the `loadu`/
@@ -67,7 +82,8 @@ pub struct Kernel {
 }
 
 impl Kernel {
-    /// The kernel's name (`avx2`, `ssse3`, `neon`, `wide` or `reference`).
+    /// The kernel's name (`gfni`, `vbmi`, `avx2`, `ssse3`, `neon`, `wide`
+    /// or `reference`).
     pub fn name(&self) -> &'static str {
         self.name
     }
@@ -356,6 +372,170 @@ mod x86 {
         scale_assign: scale_assign_avx2,
         mul_acc: mul_acc_avx2,
     };
+
+    // -----------------------------------------------------------------------
+    // AVX-512 tiers: 64-byte lanes.
+    //
+    // `gfni` applies the per-coefficient 8×8 bit-matrix from `TABLES.gfni`
+    // with one `gf2p8affineqb` per lane (the matrix route is mandatory: the
+    // dedicated `gf2p8mulb` multiplier is hard-wired to the AES polynomial
+    // 0x11b, not this field's 0x11d). `vbmi` is the split-nibble lookup
+    // widened to 64 bytes with `vpermb`; the nibble values are < 16, so the
+    // 16-entry tables broadcast into a zmm serve as 64-entry `vpermb` tables
+    // whose upper replicas are simply never distinguished.
+    // -----------------------------------------------------------------------
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F is available and `dst.len() == src.len()`.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn xor_assign_avx512_impl(dst: &mut [u8], src: &[u8]) {
+        let lanes = dst.len() / 64;
+        let d_ptr = dst.as_mut_ptr();
+        let s_ptr = src.as_ptr();
+        for i in 0..lanes {
+            let s = _mm512_loadu_si512(s_ptr.add(i * 64) as *const _);
+            let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
+            _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, _mm512_xor_si512(d, s));
+        }
+        xor_assign_wide(&mut dst[lanes * 64..], &src[lanes * 64..]);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure GFNI + AVX-512F are available and
+    /// `dst.len() == src.len()`.
+    #[target_feature(enable = "gfni,avx512f")]
+    unsafe fn mul_acc_gfni_impl(dst: &mut [u8], src: &[u8], coeff: u8) {
+        let mat = _mm512_set1_epi64(TABLES.gfni[coeff as usize] as i64);
+        let lanes = dst.len() / 64;
+        let d_ptr = dst.as_mut_ptr();
+        let s_ptr = src.as_ptr();
+        for i in 0..lanes {
+            let s = _mm512_loadu_si512(s_ptr.add(i * 64) as *const _);
+            let prod = _mm512_gf2p8affine_epi64_epi8::<0>(s, mat);
+            let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
+            _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, _mm512_xor_si512(d, prod));
+        }
+        mul_acc_wide(&mut dst[lanes * 64..], &src[lanes * 64..], coeff);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure GFNI + AVX-512F are available.
+    #[target_feature(enable = "gfni,avx512f")]
+    unsafe fn scale_assign_gfni_impl(dst: &mut [u8], coeff: u8) {
+        let mat = _mm512_set1_epi64(TABLES.gfni[coeff as usize] as i64);
+        let lanes = dst.len() / 64;
+        let d_ptr = dst.as_mut_ptr();
+        for i in 0..lanes {
+            let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
+            let prod = _mm512_gf2p8affine_epi64_epi8::<0>(d, mat);
+            _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, prod);
+        }
+        scale_assign_wide(&mut dst[lanes * 64..], coeff);
+    }
+
+    fn mul_acc_gfni(dst: &mut [u8], src: &[u8], coeff: u8) {
+        // SAFETY: this kernel is only registered after
+        // `is_x86_feature_detected!("gfni")` + `("avx512f")`; lengths
+        // checked by the wrapper.
+        unsafe { mul_acc_gfni_impl(dst, src, coeff) }
+    }
+
+    fn scale_assign_gfni(dst: &mut [u8], coeff: u8) {
+        // SAFETY: as above.
+        unsafe { scale_assign_gfni_impl(dst, coeff) }
+    }
+
+    fn xor_assign_avx512(dst: &mut [u8], src: &[u8]) {
+        // SAFETY: both registration sites (gfni, vbmi) verify avx512f;
+        // lengths checked by the wrapper.
+        unsafe { xor_assign_avx512_impl(dst, src) }
+    }
+
+    pub(super) static GFNI: Kernel = Kernel {
+        name: "gfni",
+        xor_assign: xor_assign_avx512,
+        scale_assign: scale_assign_gfni,
+        mul_acc: mul_acc_gfni,
+    };
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512VBMI + AVX-512F are available and
+    /// `dst.len() == src.len()`.
+    #[target_feature(enable = "avx512vbmi,avx512f")]
+    unsafe fn mul_acc_vbmi_impl(dst: &mut [u8], src: &[u8], coeff: u8) {
+        let lo_tbl = _mm512_broadcast_i32x4(_mm_loadu_si128(
+            TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i,
+        ));
+        let hi_tbl = _mm512_broadcast_i32x4(_mm_loadu_si128(
+            TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i,
+        ));
+        let mask = _mm512_set1_epi8(0x0f);
+        let lanes = dst.len() / 64;
+        let d_ptr = dst.as_mut_ptr();
+        let s_ptr = src.as_ptr();
+        for i in 0..lanes {
+            let s = _mm512_loadu_si512(s_ptr.add(i * 64) as *const _);
+            let lo = _mm512_and_si512(s, mask);
+            let hi = _mm512_and_si512(_mm512_srli_epi64::<4>(s), mask);
+            let prod = _mm512_xor_si512(
+                _mm512_permutexvar_epi8(lo, lo_tbl),
+                _mm512_permutexvar_epi8(hi, hi_tbl),
+            );
+            let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
+            _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, _mm512_xor_si512(d, prod));
+        }
+        mul_acc_wide(&mut dst[lanes * 64..], &src[lanes * 64..], coeff);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512VBMI + AVX-512F are available.
+    #[target_feature(enable = "avx512vbmi,avx512f")]
+    unsafe fn scale_assign_vbmi_impl(dst: &mut [u8], coeff: u8) {
+        let lo_tbl = _mm512_broadcast_i32x4(_mm_loadu_si128(
+            TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i,
+        ));
+        let hi_tbl = _mm512_broadcast_i32x4(_mm_loadu_si128(
+            TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i,
+        ));
+        let mask = _mm512_set1_epi8(0x0f);
+        let lanes = dst.len() / 64;
+        let d_ptr = dst.as_mut_ptr();
+        for i in 0..lanes {
+            let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
+            let lo = _mm512_and_si512(d, mask);
+            let hi = _mm512_and_si512(_mm512_srli_epi64::<4>(d), mask);
+            let prod = _mm512_xor_si512(
+                _mm512_permutexvar_epi8(lo, lo_tbl),
+                _mm512_permutexvar_epi8(hi, hi_tbl),
+            );
+            _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, prod);
+        }
+        scale_assign_wide(&mut dst[lanes * 64..], coeff);
+    }
+
+    fn mul_acc_vbmi(dst: &mut [u8], src: &[u8], coeff: u8) {
+        // SAFETY: this kernel is only registered after
+        // `is_x86_feature_detected!("avx512vbmi")` + `("avx512f")`; lengths
+        // checked by the wrapper.
+        unsafe { mul_acc_vbmi_impl(dst, src, coeff) }
+    }
+
+    fn scale_assign_vbmi(dst: &mut [u8], coeff: u8) {
+        // SAFETY: as above.
+        unsafe { scale_assign_vbmi_impl(dst, coeff) }
+    }
+
+    pub(super) static VBMI: Kernel = Kernel {
+        name: "vbmi",
+        xor_assign: xor_assign_avx512,
+        scale_assign: scale_assign_vbmi,
+        mul_acc: mul_acc_vbmi,
+    };
 }
 
 // ---------------------------------------------------------------------------
@@ -430,11 +610,23 @@ mod arm {
 // Dispatch
 // ---------------------------------------------------------------------------
 
-/// Every kernel the current host can execute, widest first.
+/// Every kernel the current host can execute, widest first
+/// (`gfni > vbmi > avx2 > ssse3 > wide > reference`; `neon` between `ssse3`
+/// and `wide` on aarch64).
 pub fn all() -> Vec<&'static Kernel> {
     let mut kernels: Vec<&'static Kernel> = Vec::new();
     #[cfg(target_arch = "x86_64")]
     {
+        if std::arch::is_x86_feature_detected!("gfni")
+            && std::arch::is_x86_feature_detected!("avx512f")
+        {
+            kernels.push(&x86::GFNI);
+        }
+        if std::arch::is_x86_feature_detected!("avx512vbmi")
+            && std::arch::is_x86_feature_detected!("avx512f")
+        {
+            kernels.push(&x86::VBMI);
+        }
         if std::arch::is_x86_feature_detected!("avx2") {
             kernels.push(&x86::AVX2);
         }
@@ -456,25 +648,153 @@ pub fn reference() -> &'static Kernel {
     &REFERENCE
 }
 
+/// Looks up a host-runnable kernel by `DRC_GF_KERNEL` name.
+fn find(name: &str) -> Option<&'static Kernel> {
+    all().into_iter().find(|k| k.name() == name)
+}
+
+/// The message emitted when `DRC_GF_KERNEL` names no kernel runnable on
+/// this host (factored out so tests can pin its contents).
+fn unknown_kernel_warning(requested: &str) -> String {
+    let valid: Vec<&'static str> = all().iter().map(|k| k.name()).collect();
+    format!(
+        "drc_gf: DRC_GF_KERNEL={requested:?} matches no kernel runnable on this host; \
+         falling back to auto-detection ({}). Valid values here: {}.",
+        all()[0].name(),
+        valid.join(", ")
+    )
+}
+
 fn select() -> &'static Kernel {
     if let Ok(name) = std::env::var("DRC_GF_KERNEL") {
-        if let Some(k) = all().into_iter().find(|k| k.name() == name) {
-            return k;
+        match find(&name) {
+            Some(k) => return k,
+            None => {
+                // Warn exactly once: a typo'd benchmark run must not
+                // silently measure the auto-detected kernel.
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| eprintln!("{}", unknown_kernel_warning(&name)));
+            }
         }
     }
     all()[0]
 }
 
+static ACTIVE: AtomicPtr<Kernel> = AtomicPtr::new(std::ptr::null_mut());
+
 /// The kernel used by [`crate::slice`]: the widest supported one, selected
 /// once and cached.
 pub fn active() -> &'static Kernel {
-    static ACTIVE: AtomicPtr<Kernel> = AtomicPtr::new(std::ptr::null_mut());
     let cached = ACTIVE.load(Ordering::Relaxed);
     if !cached.is_null() {
-        // SAFETY: the pointer was stored from a `&'static Kernel` below.
+        // SAFETY: the pointer was stored from a `&'static Kernel` below or
+        // in `with_forced`.
         return unsafe { &*cached };
     }
     let chosen = select();
     ACTIVE.store(chosen as *const Kernel as *mut Kernel, Ordering::Relaxed);
     chosen
+}
+
+/// Runs `f` with the **process-wide** active kernel pinned to `kern`,
+/// restoring the previous selection on exit (including on panic).
+///
+/// Bench/test hook: because the pin is global rather than thread-local, work
+/// the closure spreads across the worker pool also runs on `kern` — which is
+/// exactly what per-kernel throughput measurements of the parallel
+/// encode/reconstruct paths need. Do not race it against concurrent
+/// measurements that care about *their* kernel choice.
+pub fn with_forced<R>(kern: &'static Kernel, f: impl FnOnce() -> R) -> R {
+    struct Restore(*mut Kernel);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ACTIVE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let prev = ACTIVE.swap(kern as *const Kernel as *mut Kernel, Ordering::Relaxed);
+    let _restore = Restore(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_order_is_widest_first() {
+        let names: Vec<&str> = all().iter().map(|k| k.name()).collect();
+        // The portable tail is always present and always last.
+        assert_eq!(&names[names.len() - 2..], &["wide", "reference"]);
+        // Relative tier order of whatever SIMD tiers the host offers.
+        let tier = |n: &str| match n {
+            "gfni" => 0,
+            "vbmi" => 1,
+            "avx2" => 2,
+            "ssse3" => 3,
+            "neon" => 4,
+            "wide" => 5,
+            "reference" => 6,
+            other => panic!("unexpected kernel {other}"),
+        };
+        for pair in names.windows(2) {
+            assert!(tier(pair[0]) < tier(pair[1]), "order violated: {names:?}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_tiers_register_on_supporting_hosts() {
+        let names: Vec<&str> = all().iter().map(|k| k.name()).collect();
+        if std::arch::is_x86_feature_detected!("gfni")
+            && std::arch::is_x86_feature_detected!("avx512f")
+        {
+            assert_eq!(names[0], "gfni", "gfni host must dispatch-select gfni");
+        }
+        if std::arch::is_x86_feature_detected!("avx512vbmi")
+            && std::arch::is_x86_feature_detected!("avx512f")
+        {
+            assert!(names.contains(&"vbmi"), "vbmi host must list vbmi");
+        }
+    }
+
+    #[test]
+    fn find_resolves_every_host_kernel_and_rejects_unknown() {
+        for kern in all() {
+            assert!(
+                std::ptr::eq(find(kern.name()).expect("listed kernel resolves"), kern),
+                "find({}) must return the listed kernel",
+                kern.name()
+            );
+        }
+        assert!(find("not-a-kernel").is_none());
+        assert!(find("AVX2").is_none(), "names are case-sensitive");
+    }
+
+    #[test]
+    fn unknown_override_warning_names_the_valid_set() {
+        let msg = unknown_kernel_warning("avx512");
+        assert!(msg.contains("DRC_GF_KERNEL=\"avx512\""), "{msg}");
+        assert!(msg.contains("falling back to auto-detection"), "{msg}");
+        for kern in all() {
+            assert!(
+                msg.contains(kern.name()),
+                "warning must name {:?}: {msg}",
+                kern.name()
+            );
+        }
+    }
+
+    #[test]
+    fn with_forced_pins_and_restores() {
+        let outer = active();
+        let forced = reference();
+        with_forced(forced, || {
+            assert!(std::ptr::eq(active(), forced));
+        });
+        assert!(std::ptr::eq(active(), outer));
+        // Restores even when the closure panics.
+        let r = std::panic::catch_unwind(|| with_forced(forced, || panic!("boom")));
+        assert!(r.is_err());
+        assert!(std::ptr::eq(active(), outer));
+    }
 }

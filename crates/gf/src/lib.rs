@@ -21,15 +21,18 @@
 //!
 //! # Kernel dispatch and performance
 //!
-//! Bulk operations bottom out in split-nibble table-lookup kernels: for a
+//! Bulk operations bottom out in table-lookup SIMD kernels. On AVX-512
+//! hosts with GFNI, a per-coefficient 8×8 bit-matrix drives one
+//! `gf2p8affineqb` per 64-byte lane; elsewhere, split-nibble lookups — for a
 //! coefficient `c`, the products of `c` with all 16 low nibbles and all 16
 //! high nibbles are precomputed (at compile time, for every `c`) into two
-//! 16-byte tables, so a single `pshufb`/`tbl` instruction multiplies 16–32
-//! bytes at once; see the `tables` internals and [`kernel`] for the
-//! exact variants (AVX2, SSSE3, NEON, portable wide-scalar, reference). The
-//! widest kernel the CPU supports is detected **once** per process via
-//! `is_x86_feature_detected!` and cached; everything in [`mod@slice`] then
-//! dispatches through two function-pointer loads per *block-sized* call.
+//! 16-byte tables, so a single `vpermb`/`pshufb`/`tbl` instruction
+//! multiplies 16–64 bytes at once; see the `tables` internals and
+//! [`kernel`] for the exact variants (GFNI, AVX-512VBMI, AVX2, SSSE3, NEON,
+//! portable wide-scalar, reference). The widest kernel the CPU supports is
+//! detected **once** per process via `is_x86_feature_detected!` and cached;
+//! everything in [`mod@slice`] then dispatches through two function-pointer
+//! loads per *block-sized* call.
 //!
 //! Encode paths are allocation-free end to end: callers hand
 //! [`ReedSolomon::encode_into`] (and the `*_into` functions in [`mod@slice`])

@@ -3,7 +3,8 @@
 //! Storage blocks are megabytes of payload; encoding and repairing them means
 //! applying the same field operation to every byte of a block. Every function
 //! here dispatches to the widest SIMD [`crate::kernel`] the host CPU
-//! supports (AVX2 / SSSE3 / NEON / portable), selected once per process.
+//! supports (GFNI / AVX-512VBMI / AVX2 / SSSE3 / NEON / portable), selected
+//! once per process.
 //!
 //! Two API tiers:
 //!
@@ -21,8 +22,9 @@
 //!
 //! Blocks large enough to give every worker at least [`PAR_MIN_LEN`] bytes
 //! (see [`workers_for`]) are split into [`TILE`]-aligned byte ranges and
-//! spread over the workspace worker pool (the vendored `rayon` stub; worker
-//! count from `DRC_SIM_THREADS`, the sibling knob of `DRC_GF_KERNEL`).
+//! spread over the workspace worker pool (the vendored `rayon` stand-in — a
+//! persistent pool of condvar-parked workers; worker count from
+//! `DRC_SIM_THREADS`, the sibling knob of `DRC_GF_KERNEL`).
 //! Every output byte is computed by the same sequence of field operations
 //! regardless of the split, so parallel and single-threaded runs are
 //! **byte-identical** — `DRC_SIM_THREADS=1` (or short blocks) takes the
@@ -38,11 +40,17 @@ use crate::Gf256;
 pub const TILE: usize = 4096;
 
 /// Minimum bytes of work *per worker* for splitting across the pool: with
-/// less than this per thread, spawn/handoff costs (the vendored pool has no
-/// persistent workers) rival the GF arithmetic itself, and the serial
-/// allocation-free path wins. Parallel execution therefore engages only for
-/// blocks of at least `2 * PAR_MIN_LEN` bytes.
-pub const PAR_MIN_LEN: usize = 16 * TILE;
+/// less than this per thread, the handoff cost rivals the GF arithmetic
+/// itself, and the serial allocation-free path wins. Parallel execution
+/// therefore engages for blocks of at least `2 * PAR_MIN_LEN` bytes.
+///
+/// The vendored pool keeps its workers parked on a condvar between calls
+/// (see `vendor/rayon`), so a dispatch costs a queue push plus a wake —
+/// roughly two orders of magnitude below the per-call `std::thread::scope`
+/// spawns it used to pay. That is what lets this threshold sit at 16 KiB
+/// (stripe-sized blocks fan out) instead of the 64 KiB the spawn-per-call
+/// pool needed.
+pub const PAR_MIN_LEN: usize = 4 * TILE;
 
 /// How many pool workers a `len`-byte operation should actually use: capped
 /// so every worker gets at least [`PAR_MIN_LEN`] bytes. A result below 2

@@ -25,7 +25,8 @@ fn fill(seed: u64, len: usize) -> Vec<u8> {
 }
 
 /// Lengths that exercise empty input, single bytes, lane remainders and
-/// multi-lane spans for every kernel width (8/16/32 bytes).
+/// multi-lane spans for every kernel width (8/16/32/64 bytes — the 63/64/65
+/// and 127/128/129 points straddle the AVX-512 gfni/vbmi lane boundary).
 fn awkward_len() -> impl Strategy<Value = usize> {
     prop_oneof![
         Just(0usize),
@@ -37,6 +38,12 @@ fn awkward_len() -> impl Strategy<Value = usize> {
         Just(31usize),
         Just(32usize),
         Just(33usize),
+        Just(63usize),
+        Just(64usize),
+        Just(65usize),
+        Just(127usize),
+        Just(128usize),
+        Just(129usize),
         1usize..260,
     ]
 }

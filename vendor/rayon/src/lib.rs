@@ -1,10 +1,39 @@
-//! Offline, API-subset stand-in for `rayon`: a scoped worker pool built on
-//! `std::thread::scope`.
+//! Offline, API-subset stand-in for `rayon`: a **persistent** worker pool
+//! with a rayon-shaped scoped-task surface.
 //!
 //! The workspace threads its encode/repair hot paths through this crate so
 //! that swapping in the real `rayon` is a manifest-only change. Supported
 //! surface: [`join`], [`scope`] / [`Scope::spawn`], [`current_num_threads`]
 //! and [`ThreadPoolBuilder::build_global`].
+//!
+//! # Pool architecture
+//!
+//! Workers are OS threads spawned **once**, lazily, the first time a scope
+//! needs them, and kept parked on a condvar between calls. A [`scope`]
+//! submits its collected tasks to a small global injector queue (one mutex
+//! acquisition for the whole batch), wakes the pool, and then *helps*: the
+//! calling thread pops and executes queued tasks itself until its own batch
+//! has completed. Steady-state dispatch therefore costs a queue push plus a
+//! condvar wake — no thread spawn, no per-call allocation beyond the boxed
+//! tasks — which is what lets `drc_gf::slice::PAR_MIN_LEN` sit at 16 KiB
+//! instead of the 64 KiB the old per-call `std::thread::scope` pool needed.
+//!
+//! Tasks may borrow from the caller's stack (`'env` lifetimes, like real
+//! rayon scopes): the boxed closures are lifetime-erased before entering the
+//! queue, which is sound because [`scope`] does not return until every task
+//! it submitted has finished (a per-batch completion latch, decremented as
+//! each task retires, gates the return).
+//!
+//! Because *waiting threads execute queued tasks* instead of blocking idly,
+//! re-entrant use is deadlock-free: a task that itself calls [`scope`] (or
+//! [`join`]) enqueues its sub-tasks and drains the same queue while it
+//! waits, so there is always at least one thread making progress on any
+//! batch. A panic in a task is caught on the worker, stashed in the batch's
+//! latch, and re-raised with its original payload on the thread that called
+//! [`scope`] once the rest of the batch has retired.
+//!
+//! The pool grows to the widest worker count ever requested and never
+//! shrinks; parked workers cost a few KiB of stack each and zero CPU.
 //!
 //! # Thread-count resolution
 //!
@@ -18,24 +47,29 @@
 //! 4. `std::thread::available_parallelism()`.
 //!
 //! With one thread everything runs inline on the caller, in spawn order —
-//! the deterministic fallback (`DRC_SIM_THREADS=1`) the experiments use to
-//! reproduce single-threaded results exactly.
+//! the deterministic, allocation-free fallback (`DRC_SIM_THREADS=1`) the
+//! experiments use to reproduce single-threaded results exactly. The
+//! persistent pool is never touched in that mode.
 //!
 //! # Differences from real rayon
 //!
-//! * There is no persistent pool: each [`scope`] spins up short-lived
-//!   `std::thread::scope` workers. Fine for block-sized work items
-//!   (microseconds of spawn cost against milliseconds of GF arithmetic).
+//! * There is no work stealing between per-worker deques — a single global
+//!   injector queue hands out whole byte-range tasks. Fine for this
+//!   workspace's block-sized work items.
 //! * Tasks spawned by a [`scope`] closure start only after the closure
 //!   returns (the scope still blocks until every task finishes).
 //! * A task that calls [`Scope::spawn`] from inside a running task executes
-//!   the nested task immediately, inline.
+//!   the nested task immediately, inline. Nested [`scope`]/[`join`] *calls*,
+//!   by contrast, use the pool like any other caller.
 
 #![allow(clippy::all)]
 
+use std::any::Any;
 use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Sentinel meaning "not configured".
 const UNSET: usize = 0;
@@ -153,6 +187,183 @@ impl ThreadPoolBuilder {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The persistent pool.
+// ---------------------------------------------------------------------------
+
+/// A lifetime-erased task plus the latch of the batch it belongs to.
+///
+/// The closure is really `'env`-bounded; erasure is sound because the
+/// submitting [`scope`]/[`join`] blocks until the latch opens.
+struct RawTask {
+    run: Box<dyn FnOnce() + Send>,
+    latch: Arc<Latch>,
+}
+
+/// Per-batch completion latch: counts tasks still outstanding and carries
+/// the first panic payload any of them raised.
+struct Latch {
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Latch {
+    fn new(tasks: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(tasks),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+}
+
+struct PoolState {
+    queue: VecDeque<RawTask>,
+    /// Persistent workers spawned so far (they never exit).
+    workers: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Parked workers and helping waiters both sleep here; any enqueue or
+    /// batch completion notifies it.
+    wakeup: Condvar,
+}
+
+static POOL: Pool = Pool {
+    state: Mutex::new(PoolState {
+        queue: VecDeque::new(),
+        workers: 0,
+    }),
+    wakeup: Condvar::new(),
+};
+
+/// Number of persistent workers currently parked in or running on the pool
+/// (grows to the widest width ever requested; exposed for tests/benches).
+pub fn pool_workers() -> usize {
+    POOL.state.lock().unwrap_or_else(|e| e.into_inner()).workers
+}
+
+/// Runs one task and retires it against its latch. Panics are caught here —
+/// workers must never unwind — and re-raised by the batch owner.
+fn execute(task: RawTask) {
+    let result = catch_unwind(AssertUnwindSafe(task.run));
+    if let Err(payload) = result {
+        task.latch
+            .panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get_or_insert(payload);
+    }
+    // Release-ordered so the batch owner's acquire load of `remaining == 0`
+    // observes everything the task wrote.
+    if task.latch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Lock/unlock pairs this notification with the owner's
+        // check-then-wait (which holds the same mutex): no lost wakeup.
+        // This one must be notify_all: a notify_one could be consumed by an
+        // unrelated batch's waiter (which would just re-park), leaving this
+        // batch's owner asleep with no further notification ever coming.
+        drop(POOL.state.lock().unwrap_or_else(|e| e.into_inner()));
+        POOL.wakeup.notify_all();
+    }
+}
+
+fn worker_loop() {
+    let mut guard = POOL.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if let Some(task) = guard.queue.pop_front() {
+            drop(guard);
+            execute(task);
+            guard = POOL.state.lock().unwrap_or_else(|e| e.into_inner());
+        } else {
+            guard = POOL.wakeup.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Grows the pool to at least `target` persistent workers (under the state
+/// lock held by the caller).
+fn ensure_workers(state: &mut PoolState, target: usize) {
+    while state.workers < target {
+        std::thread::Builder::new()
+            .name(format!("drc-pool-{}", state.workers))
+            .spawn(worker_loop)
+            .expect("spawning a pool worker thread");
+        state.workers += 1;
+    }
+}
+
+/// Blocks until `latch` opens, executing queued tasks (from *any* batch)
+/// while it waits — the property that makes nested scopes deadlock-free.
+fn help_until(latch: &Latch) {
+    let mut guard = POOL.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if latch.is_open() {
+            return;
+        }
+        if let Some(task) = guard.queue.pop_front() {
+            drop(guard);
+            execute(task);
+            guard = POOL.state.lock().unwrap_or_else(|e| e.into_inner());
+        } else {
+            guard = POOL.wakeup.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Submits a batch of `'env` tasks to the pool and blocks (helping) until
+/// all have retired; re-raises the first task panic.
+///
+/// # Safety invariant
+///
+/// The lifetime erasure below is sound because this function does not
+/// return — normally or by unwind — until `latch` records every task
+/// finished, so the `'env` borrows outlive all task executions.
+fn run_batch(tasks: Vec<Task<'_>>, width: usize) {
+    debug_assert!(tasks.len() > 1 && width > 1);
+    let latch = Arc::new(Latch::new(tasks.len()));
+    // The caller helps, so this many collaborators saturate the batch.
+    let helpers = width.min(tasks.len()).saturating_sub(1);
+    {
+        let mut state = POOL.state.lock().unwrap_or_else(|e| e.into_inner());
+        ensure_workers(&mut state, helpers);
+        for task in tasks {
+            // SAFETY: erasing `'env` to `'static`; see the invariant above.
+            let run: Box<dyn FnOnce() + Send> = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(task)
+            };
+            state.queue.push_back(RawTask {
+                run,
+                latch: Arc::clone(&latch),
+            });
+        }
+    }
+    // Wake only as many threads as the batch can use — `notify_all` would
+    // stampede every parked worker (pool width, not batch size) through the
+    // state mutex on each dispatch. A wake landing on a latch-waiter instead
+    // of a parked worker is still progress (it pops a task), a wake landing
+    // on nobody is absorbed by busy threads re-polling the queue, and the
+    // caller's own help loop below guarantees completion regardless.
+    for _ in 0..helpers {
+        POOL.wakeup.notify_one();
+    }
+    help_until(&latch);
+    if let Some(payload) = latch.take_panic() {
+        resume_unwind(payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rayon-shaped surface: join / scope.
+// ---------------------------------------------------------------------------
+
 /// Runs the two closures, potentially in parallel, returning both results.
 ///
 /// With one worker thread both run sequentially on the caller (`a` first).
@@ -166,14 +377,34 @@ where
     if current_num_threads() <= 1 {
         return (a(), b());
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        match hb.join() {
-            Ok(rb) => (ra, rb),
-            Err(payload) => std::panic::resume_unwind(payload),
-        }
-    })
+    let latch = Arc::new(Latch::new(1));
+    let mut rb: Option<RB> = None;
+    {
+        let slot = &mut rb;
+        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || *slot = Some(b()));
+        let mut state = POOL.state.lock().unwrap_or_else(|e| e.into_inner());
+        ensure_workers(&mut state, 1);
+        state.queue.push_back(RawTask {
+            // SAFETY: erasing the borrow of `rb`/`b`; we block on the latch
+            // below before touching `rb` or returning, even if `a` panics.
+            run: unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(task)
+            },
+            latch: Arc::clone(&latch),
+        });
+    }
+    POOL.wakeup.notify_one();
+    // Run `a` on the caller, but never unwind past the latch while `b` may
+    // still be writing into our stack frame.
+    let ra = catch_unwind(AssertUnwindSafe(a));
+    help_until(&latch);
+    if let Some(payload) = latch.take_panic() {
+        resume_unwind(payload);
+    }
+    match ra {
+        Ok(ra) => (ra, rb.expect("join task ran to completion")),
+        Err(payload) => resume_unwind(payload),
+    }
 }
 
 type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
@@ -211,9 +442,10 @@ impl<'env> Scope<'env> {
 }
 
 /// Creates a scope, runs `f` in it, then executes every spawned task across
-/// the configured worker threads, blocking until all complete.
+/// the persistent worker pool (the caller participates), blocking until all
+/// complete.
 ///
-/// A panic in any task propagates to the caller.
+/// A panic in any task propagates to the caller with its original payload.
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: FnOnce(&Scope<'env>) -> R,
@@ -226,54 +458,17 @@ where
     let s = Scope::new(false);
     let result = f(&s);
     let tasks = s.tasks.into_inner().unwrap_or_else(|e| e.into_inner());
-    run_tasks(tasks, threads);
-    result
-}
-
-fn run_tasks(tasks: Vec<Task<'_>>, threads: usize) {
-    if tasks.is_empty() {
-        return;
-    }
-    if tasks.len() == 1 || threads <= 1 {
-        for t in tasks {
-            t();
-        }
-        return;
-    }
-    // Self-scheduling workers: a shared claim counter hands out tasks; each
-    // slot's mutex lets a worker move the boxed task out of the shared list.
-    let workers = threads.min(tasks.len());
-    let slots: Vec<Mutex<Option<Task<'_>>>> =
-        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|ts| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                ts.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= slots.len() {
-                        break;
-                    }
-                    let task = slots[i]
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .take()
-                        .expect("each task slot is claimed exactly once");
-                    task();
-                })
-            })
-            .collect();
-        // Join explicitly so a task panic is re-raised with its own payload.
-        let mut panic = None;
-        for h in handles {
-            if let Err(payload) = h.join() {
-                panic.get_or_insert(payload);
+    match tasks.len() {
+        0 => {}
+        // One task gains nothing from a handoff; run it on the caller.
+        1 => {
+            for task in tasks {
+                task();
             }
         }
-        if let Some(payload) = panic {
-            std::panic::resume_unwind(payload);
-        }
-    });
+        _ => run_batch(tasks, threads),
+    }
+    result
 }
 
 #[cfg(test)]
@@ -348,5 +543,148 @@ mod tests {
                 s.spawn(|_| {});
             });
         });
+    }
+
+    #[test]
+    fn workers_persist_across_scopes() {
+        let run = |salt: u64| {
+            let mut outs = vec![0u64; 16];
+            with_num_threads(4, || {
+                scope(|s| {
+                    for (i, slot) in outs.iter_mut().enumerate() {
+                        s.spawn(move |_| *slot = salt + i as u64);
+                    }
+                });
+            });
+            outs
+        };
+        let _ = run(1);
+        let after_first = pool_workers();
+        assert!(after_first >= 3, "width-4 scope keeps >= 3 workers parked");
+        let outs = run(100);
+        assert_eq!(outs, (100..116).collect::<Vec<_>>());
+        assert_eq!(
+            pool_workers(),
+            after_first,
+            "second scope reuses parked workers instead of spawning"
+        );
+    }
+
+    #[test]
+    fn reentrant_scope_inside_task_completes() {
+        // A task that itself calls `scope` must drain the shared queue while
+        // waiting (help-while-waiting) instead of deadlocking the pool.
+        let mut outer = vec![0u32; 8];
+        with_num_threads(4, || {
+            scope(|s| {
+                for (i, slot) in outer.iter_mut().enumerate() {
+                    s.spawn(move |_| {
+                        let mut inner = vec![0u32; 4];
+                        scope(|s2| {
+                            for (j, cell) in inner.iter_mut().enumerate() {
+                                s2.spawn(move |_| *cell = (i * 10 + j) as u32);
+                            }
+                        });
+                        *slot = inner.iter().sum();
+                    });
+                }
+            });
+        });
+        for (i, v) in outer.iter().enumerate() {
+            let expected: u32 = (0..4).map(|j| (i * 10 + j) as u32).sum();
+            assert_eq!(*v, expected, "outer task {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_scopes_from_many_threads() {
+        // Several OS threads driving the one global pool at once: batches
+        // must not steal each other's completions or results.
+        let results: Vec<Mutex<Vec<u64>>> = (0..4).map(|_| Mutex::new(Vec::new())).collect();
+        std::thread::scope(|ts| {
+            for (t, out) in results.iter().enumerate() {
+                ts.spawn(move || {
+                    with_num_threads(3, || {
+                        let mut buf = vec![0u64; 32];
+                        scope(|s| {
+                            for (i, slot) in buf.iter_mut().enumerate() {
+                                s.spawn(move |_| *slot = (t * 1000 + i) as u64);
+                            }
+                        });
+                        *out.lock().unwrap() = buf;
+                    });
+                });
+            }
+        });
+        for (t, out) in results.iter().enumerate() {
+            let buf = out.lock().unwrap();
+            for (i, v) in buf.iter().enumerate() {
+                assert_eq!(*v, (t * 1000 + i) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn thousand_task_stress() {
+        let mut outs = vec![0u64; 1000];
+        with_num_threads(8, || {
+            scope(|s| {
+                for (i, slot) in outs.iter_mut().enumerate() {
+                    s.spawn(move |_| *slot = (i as u64).wrapping_mul(2654435761));
+                }
+            });
+        });
+        for (i, v) in outs.iter().enumerate() {
+            assert_eq!(*v, (i as u64).wrapping_mul(2654435761));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner boom")]
+    fn panic_in_reentrant_scope_propagates_to_outer_caller() {
+        with_num_threads(4, || {
+            scope(|s| {
+                s.spawn(|_| {
+                    scope(|s2| {
+                        s2.spawn(|_| panic!("inner boom"));
+                        s2.spawn(|_| {});
+                    });
+                });
+                s.spawn(|_| {});
+            });
+        });
+    }
+
+    #[test]
+    fn scope_survives_a_panicked_batch() {
+        // After a panicked batch the pool must stay serviceable.
+        let r = std::panic::catch_unwind(|| {
+            with_num_threads(2, || {
+                scope(|s| {
+                    s.spawn(|_| panic!("first batch dies"));
+                    s.spawn(|_| {});
+                })
+            })
+        });
+        assert!(r.is_err());
+        let mut outs = vec![0u8; 8];
+        with_num_threads(2, || {
+            scope(|s| {
+                for (i, slot) in outs.iter_mut().enumerate() {
+                    s.spawn(move |_| *slot = i as u8 + 1);
+                }
+            });
+        });
+        assert_eq!(outs, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_runs_tasks_and_propagates_second_panic() {
+        let (a, b) = with_num_threads(4, || join(|| 1u32, || 2u32));
+        assert_eq!((a, b), (1, 2));
+        let r = std::panic::catch_unwind(|| {
+            with_num_threads(4, || join(|| 1u32, || -> u32 { panic!("b boom") }))
+        });
+        assert!(r.is_err());
     }
 }
