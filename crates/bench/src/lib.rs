@@ -83,9 +83,21 @@ pub fn git_sha() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// The CPUs the current host actually has (1 if undetectable). Recorded in
+/// [`provenance`] so snapshot consumers (notably the `check_speedup` gate)
+/// can tell a genuine multi-core measurement from an oversubscribed one —
+/// "2 threads" on a 1-CPU container time-slices one core and can never show
+/// a speedup.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// The provenance stamp every benchmark JSON carries: git SHA, active GF
-/// kernel and worker-pool thread count. Cross-PR (and cross-host) numbers
-/// are only comparable with this context attached.
+/// kernel, worker-pool thread count and the benching host's CPU count.
+/// Cross-PR (and cross-host) numbers are only comparable with this context
+/// attached.
 pub fn provenance() -> serde_json::Value {
     serde_json::Value::Map(vec![
         ("git_sha".to_string(), serde_json::Value::Str(git_sha())),
@@ -96,6 +108,10 @@ pub fn provenance() -> serde_json::Value {
         (
             "threads".to_string(),
             serde_json::Value::UInt(rayon::current_num_threads() as u64),
+        ),
+        (
+            "host_cpus".to_string(),
+            serde_json::Value::UInt(host_cpus() as u64),
         ),
     ])
 }
@@ -122,12 +138,13 @@ mod tests {
     }
 
     #[test]
-    fn provenance_has_the_three_stamps() {
+    fn provenance_has_the_four_stamps() {
         let serde_json::Value::Map(entries) = provenance() else {
             panic!("provenance must be a map");
         };
         let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
-        assert_eq!(keys, ["git_sha", "gf_kernel", "threads"]);
+        assert_eq!(keys, ["git_sha", "gf_kernel", "threads", "host_cpus"]);
         assert!(matches!(&entries[2].1, serde_json::Value::UInt(n) if *n >= 1));
+        assert!(matches!(&entries[3].1, serde_json::Value::UInt(n) if *n >= 1));
     }
 }

@@ -45,7 +45,7 @@ fn payload(len: usize, salt: usize) -> Vec<u8> {
 /// workers on block-sized payloads: the bytes must be identical.
 #[test]
 fn partial_parity_repair_is_thread_count_invariant_for_all_patterns() {
-    let len = 2 * slice::PAR_MIN_LEN + 129; // engages the parallel split
+    let len = slice::PAR_ENGAGE_MIN + 129; // engages the parallel split
     for kind in [
         CodeKind::Pentagon,
         CodeKind::Heptagon,
@@ -112,7 +112,7 @@ fn partial_parity_repair_is_thread_count_invariant_for_all_patterns() {
 /// matrix product) is thread-count invariant for every evaluated code.
 #[test]
 fn stripe_encode_is_thread_count_invariant_for_every_code() {
-    let len = 2 * slice::PAR_MIN_LEN + 321;
+    let len = slice::PAR_ENGAGE_MIN + 321;
     for kind in [
         CodeKind::TWO_REP,
         CodeKind::Pentagon,

@@ -41,9 +41,9 @@
 //! one full pass per parity row.
 //!
 //! On top of the SIMD kernels, block-sized operations are *shard-parallel*:
-//! buffers large enough to give each worker at least
-//! [`slice::PAR_MIN_LEN`] bytes are split into tile-aligned byte ranges
-//! across the workspace worker pool. The pool width comes from
+//! buffers of at least [`slice::PAR_ENGAGE_MIN`] bytes are split into
+//! tile-aligned byte ranges (each worker getting at least a
+//! [`slice::PAR_MIN_LEN`] share) across the workspace worker pool. The pool width comes from
 //! `DRC_SIM_THREADS` (the sibling knob of `DRC_GF_KERNEL`);
 //! `DRC_SIM_THREADS=1` keeps every path serial and allocation-free, and all
 //! thread counts produce byte-identical output.

@@ -20,8 +20,10 @@
 //!
 //! # Shard parallelism
 //!
-//! Blocks large enough to give every worker at least [`PAR_MIN_LEN`] bytes
-//! (see [`workers_for`]) are split into [`TILE`]-aligned byte ranges and
+//! Blocks of at least [`PAR_ENGAGE_MIN`] bytes (enough total work to
+//! amortise one pool dispatch) are split — giving every worker at least a
+//! [`PAR_MIN_LEN`] share, see [`workers_for`] — into [`TILE`]-aligned byte
+//! ranges and
 //! spread over the workspace worker pool (the vendored `rayon` stand-in — a
 //! persistent pool of condvar-parked workers; worker count from
 //! `DRC_SIM_THREADS`, the sibling knob of `DRC_GF_KERNEL`).
@@ -39,23 +41,37 @@ use crate::Gf256;
 /// every parity row consumes the source tile.
 pub const TILE: usize = 4096;
 
-/// Minimum bytes of work *per worker* for splitting across the pool: with
-/// less than this per thread, the handoff cost rivals the GF arithmetic
-/// itself, and the serial allocation-free path wins. Parallel execution
-/// therefore engages for blocks of at least `2 * PAR_MIN_LEN` bytes.
+/// Minimum bytes of work *per worker* when splitting across the pool: a
+/// woken worker's share of the arithmetic must dwarf its share of the
+/// dispatch. At the ~10 GB/s these kernels sustain, 16 KiB is ~1.6 µs of
+/// GF work per worker against a sub-microsecond per-worker wake — the
+/// floor below which an extra worker stops paying for itself.
 ///
 /// The vendored pool keeps its workers parked on a condvar between calls
-/// (see `vendor/rayon`), so a dispatch costs a queue push plus a wake —
-/// roughly two orders of magnitude below the per-call `std::thread::scope`
-/// spawns it used to pay. That is what lets this threshold sit at 16 KiB
-/// (stripe-sized blocks fan out) instead of the 64 KiB the spawn-per-call
-/// pool needed.
+/// (see `vendor/rayon`), so this per-worker floor can sit at 16 KiB instead
+/// of the 64 KiB the spawn-per-call pool needed. Whether to parallelise *at
+/// all* is a separate question — see [`PAR_ENGAGE_MIN`].
 pub const PAR_MIN_LEN: usize = 4 * TILE;
 
-/// How many pool workers a `len`-byte operation should actually use: capped
-/// so every worker gets at least [`PAR_MIN_LEN`] bytes. A result below 2
-/// means "stay serial".
+/// Minimum *total* block length for engaging the pool at all: the scope
+/// itself pays the whole dispatch round-trip (measured ~0.5 µs at width 2,
+/// ~1.3 µs at width 4 — `pool_dispatch_ns` in `BENCH_sim.json`), so the
+/// time a split can save must clear that fixed cost by a wide margin. A
+/// 2-way split of 64 KiB saves ~3.2 µs of ~6.4 µs serial work — several
+/// times the dispatch even before bandwidth contention; at half this
+/// length the saving (~1.6 µs) is too thin a multiple to survive it, and
+/// measured 2-thread throughput drops below serial. Blocks shorter than
+/// this stay on the serial, allocation-free path regardless of pool width.
+pub const PAR_ENGAGE_MIN: usize = 16 * TILE;
+
+/// How many pool workers a `len`-byte operation should actually use: zero
+/// (serial) for blocks under [`PAR_ENGAGE_MIN`], otherwise capped so every
+/// worker gets at least [`PAR_MIN_LEN`] bytes. A result below 2 means
+/// "stay serial".
 pub fn workers_for(len: usize) -> usize {
+    if len < PAR_ENGAGE_MIN {
+        return 0;
+    }
     rayon::current_num_threads().min(len / PAR_MIN_LEN)
 }
 
@@ -464,9 +480,25 @@ mod tests {
     }
 
     #[test]
+    fn workers_for_respects_both_floors() {
+        rayon::with_num_threads(8, || {
+            // Below the engagement floor: serial, no matter how wide the pool.
+            assert_eq!(workers_for(PAR_ENGAGE_MIN - 1), 0);
+            // At the floor the split engages, each worker >= PAR_MIN_LEN.
+            let w = workers_for(PAR_ENGAGE_MIN);
+            assert!(w >= 2, "engagement floor must actually engage, got {w}");
+            assert!(PAR_ENGAGE_MIN / w >= PAR_MIN_LEN);
+            // Large blocks are capped by the pool width.
+            assert_eq!(workers_for(64 * PAR_ENGAGE_MIN), 8);
+        });
+        // A 1-wide pool never splits.
+        rayon::with_num_threads(1, || assert!(workers_for(64 * PAR_ENGAGE_MIN) < 2));
+    }
+
+    #[test]
     fn parallel_split_matches_serial_byte_for_byte() {
         let k = 5;
-        let len = 3 * PAR_MIN_LEN + 123; // spans several parallel ranges + slack
+        let len = PAR_ENGAGE_MIN + 3 * PAR_MIN_LEN + 123; // several parallel ranges + slack
         let blocks: Vec<Vec<u8>> = (0..k)
             .map(|j| (0..len).map(|i| (i * 13 + j * 29 + 5) as u8).collect())
             .collect();

@@ -2,8 +2,8 @@
 //! encoding split across the worker pool must equal the single-threaded
 //! result **byte-for-byte**, for every erasure pattern up to `r` losses.
 //!
-//! Buffers are sized to give at least two workers a full
-//! `slice::PAR_MIN_LEN` share, so the parallel split actually engages (the
+//! Buffers are sized past `slice::PAR_ENGAGE_MIN` with slack, so the
+//! parallel split actually engages and the last range is a partial one (the
 //! pool is pinned per-call via `rayon::with_num_threads`, so this holds
 //! even on single-core hosts).
 
@@ -54,7 +54,7 @@ proptest! {
         extra in 0usize..257,
         threads in 2usize..5,
     ) {
-        let len = 2 * slice::PAR_MIN_LEN + extra; // engages the parallel split
+        let len = slice::PAR_ENGAGE_MIN + extra; // engages the parallel split
         let rs = ReedSolomon::new(k, r).expect("valid parameters");
         let data: Vec<Vec<u8>> = (0..k).map(|i| shard(len, i)).collect();
         let coded = rayon::with_num_threads(1, || rs.encode(&data).expect("encodes"));
@@ -85,7 +85,7 @@ proptest! {
         extra in 0usize..257,
         threads in 2usize..5,
     ) {
-        let len = 2 * slice::PAR_MIN_LEN + extra;
+        let len = slice::PAR_ENGAGE_MIN + extra;
         let rs = ReedSolomon::new(k, m).expect("valid parameters");
         let data: Vec<Vec<u8>> = (0..k).map(|i| shard(len, i + 3)).collect();
         let mut serial = vec![vec![0u8; len]; m];
@@ -104,7 +104,7 @@ proptest! {
         threads in 2usize..5,
         coeff_seed in any::<u8>(),
     ) {
-        let len = 2 * slice::PAR_MIN_LEN + extra;
+        let len = slice::PAR_ENGAGE_MIN + extra;
         let blocks: Vec<Vec<u8>> = (0..n).map(|i| shard(len, i)).collect();
         let coeffs: Vec<Gf256> = (0..n)
             .map(|i| Gf256::new(coeff_seed.wrapping_mul(29).wrapping_add(i as u8)))

