@@ -18,8 +18,11 @@
 //! Run with a `repro` argument (`cargo bench -p drc_bench --bench
 //! sim_throughput -- repro`) to emit `BENCH_sim.json`: provenance (git SHA,
 //! GF kernel, thread count, bench-host CPU count), bytes/sec per
-//! configuration, the measured multi-thread speedup and the pool dispatch
-//! costs, so the parallel-encode trajectory is tracked across PRs. On a
+//! configuration, the measured multi-thread speedup, the pool dispatch
+//! costs, and the virtual-time contention headlines (shuffle∩repair
+//! slowdown plus the live failure-trace slowdown and repair∩job overlap),
+//! so the parallel-encode and contention trajectories are tracked across
+//! PRs. On a
 //! single-core host the forced 2-thread point oversubscribes one core, so
 //! the recorded speedup is honestly <= 1.0 — `provenance.host_cpus` lets
 //! the `check_speedup` gate tell that apart from a real multi-core
@@ -233,6 +236,29 @@ fn repro() {
         .map(|r| (r.code.to_string(), serde_json::Value::Float(r.slowdown)))
         .collect();
 
+    // Headline live-trace numbers: worst job slowdown across the detection
+    // timeout × arrival rate sweep and the largest repair∩job overlap
+    // (the shared quick configuration of the `failure_trace` experiment,
+    // so the stamped numbers match the CI repro artifact).
+    let (ft_block_bytes, ft_target_tasks) = drc_bench::FAILURE_TRACE_QUICK;
+    let failure =
+        drc_core::experiments::failure_trace::run_failure_trace(ft_block_bytes, ft_target_tasks)
+            .expect("failure-trace experiment runs");
+    let failure_per_code: Vec<(String, serde_json::Value)> = {
+        let mut worst: Vec<(String, f64)> = Vec::new();
+        for row in &failure.rows {
+            let name = row.code.to_string();
+            match worst.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, s)) => *s = s.max(row.slowdown),
+                None => worst.push((name, row.slowdown)),
+            }
+        }
+        worst
+            .into_iter()
+            .map(|(n, s)| (n, serde_json::Value::Float(s)))
+            .collect()
+    };
+
     let points = thread_points();
     let multi = *points.last().expect("at least one thread point");
     let mut groups: Vec<(String, serde_json::Value)> = Vec::new();
@@ -313,6 +339,18 @@ fn repro() {
         (
             "shuffle_contention_slowdown_per_code".to_string(),
             serde_json::Value::Map(per_code),
+        ),
+        (
+            "failure_trace_slowdown".to_string(),
+            serde_json::Value::Float(failure.headline_slowdown()),
+        ),
+        (
+            "failure_trace_slowdown_per_code".to_string(),
+            serde_json::Value::Map(failure_per_code),
+        ),
+        (
+            "failure_trace_repair_job_overlap_s".to_string(),
+            serde_json::Value::Float(failure.max_repair_job_overlap_s()),
         ),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serializable");

@@ -23,8 +23,14 @@
 //!   CPUs, which in practice means dedicated hardware with real bandwidth
 //!   headroom; there a speedup below the floor fails the gate.
 //!
-//! Exit status: 0 on pass, advisory or skip; 1 on a missing/malformed JSON
-//! or an enforced speedup below the floor.
+//! Before the hardware-dependent gate, the snapshot's *virtual-time*
+//! contention headlines (`shuffle_contention_slowdown`,
+//! `failure_trace_slowdown`, `failure_trace_repair_job_overlap_s`) are
+//! checked unconditionally — they are deterministic on any host, so a
+//! missing or non-positive headline always fails.
+//!
+//! Exit status: 0 on pass, advisory or skip; 1 on a missing/malformed JSON,
+//! a broken virtual-time headline, or an enforced speedup below the floor.
 
 use drc_bench::{json_f64, json_lookup, SIM_BENCH_JSON_PATH};
 
@@ -68,6 +74,44 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    // The virtual-time contention headlines are deterministic and
+    // hardware-independent, so — unlike the wall-clock speedup below — they
+    // are enforced on every host: a stamped snapshot whose contended runs
+    // show no slowdown or no repair∩job overlap means the event model broke.
+    let mut failed = false;
+    for (name, floor, kind) in [
+        ("shuffle_contention_slowdown", 1.0, "slowdown"),
+        ("failure_trace_slowdown", 1.0, "slowdown"),
+        ("failure_trace_repair_job_overlap_s", 0.0, "overlap"),
+    ] {
+        match json_lookup(&doc, name).and_then(json_f64) {
+            Some(v) if v > floor => {
+                println!("OK:   {name} = {v:.3} (virtual-time {kind} headline)");
+            }
+            Some(v) => {
+                eprintln!(
+                    "FAIL: {name} = {v:.3} — the contended run must show a \
+                     {kind} strictly above {floor}"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!(
+                    "FAIL: `{name}` missing from {SIM_BENCH_JSON_PATH} \
+                     (stale snapshot? re-run `cargo bench -p drc_bench --bench \
+                     sim_throughput -- repro`)"
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        // Fatal regardless of what the hardware-dependent gate below would
+        // decide: the SKIP/advisory escape hatches are for wall-clock
+        // scaling, not for broken virtual-time accounting.
+        std::process::exit(1);
+    }
     // The CPUs of the host the *snapshot was measured on* — the gate may run
     // elsewhere than the bench, so its own CPU count proves nothing. Older
     // snapshots without the stamp fall back to this host (CI runs bench and
@@ -118,7 +162,6 @@ fn main() {
         );
     }
 
-    let mut failed = false;
     for name in GATED {
         match json_lookup(speedups, name).and_then(json_f64) {
             Some(s) if s >= MIN_SPEEDUP => {

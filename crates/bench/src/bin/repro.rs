@@ -4,7 +4,7 @@
 //! repro [--experiment <name>] [--effort quick|full] [--json <path>]
 //!
 //!   <name> ∈ { table1, repair_bw, fig3, fig4, fig5, encoding, degraded_mr,
-//!              overlap, shuffle_contention, all }
+//!              overlap, shuffle_contention, failure_trace, all }
 //! ```
 //!
 //! With no arguments every experiment runs at `quick` effort and the
@@ -15,15 +15,22 @@
 //! same MapReduce job with and without a concurrent RaidNode repair pass on
 //! one shared `ClusterNet` and reports the per-code job slowdown, per-link
 //! shuffle wait seconds and the shuffle∩repair overlap window.
+//!
+//! `failure_trace` goes one step further: node fail-stops arrive as a live
+//! Poisson trace *while* the job runs; the NameNode detects them after a
+//! configurable heartbeat timeout and auto-repairs on the shared substrate,
+//! and the engine re-executes the lost attempts. The sweep reports job
+//! slowdown per detection timeout × arrival rate and the repair∩job overlap.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use drc_bench::{parse_effort, provenance, EXPERIMENTS};
 use drc_core::experiments::{
-    degraded_mr::run_degraded_mr, encoding::run_encoding, fig3::run_fig3, fig4::run_fig4,
-    fig5::run_fig5, overlap::run_overlap, repair_bandwidth::run_repair_bandwidth,
-    shuffle_contention::run_shuffle_contention, table1::run_table1, Effort,
+    degraded_mr::run_degraded_mr, encoding::run_encoding, failure_trace::run_failure_trace,
+    fig3::run_fig3, fig4::run_fig4, fig5::run_fig5, overlap::run_overlap,
+    repair_bandwidth::run_repair_bandwidth, shuffle_contention::run_shuffle_contention,
+    table1::run_table1, Effort,
 };
 use drc_core::reliability::ReliabilityParams;
 use drc_core::DrcError;
@@ -148,6 +155,18 @@ fn run(options: &Options) -> Result<BTreeMap<String, serde_json::Value>, DrcErro
         println!("{report}\n");
         results.insert(
             "shuffle_contention".to_string(),
+            serde_json::to_value(&report).expect("serializable"),
+        );
+    }
+    if wanted("failure_trace") {
+        let (block_bytes, target_tasks) = match options.effort {
+            Effort::Quick => drc_bench::FAILURE_TRACE_QUICK,
+            Effort::Full => (2 * 1024 * 1024, 120),
+        };
+        let report = run_failure_trace(block_bytes, target_tasks)?;
+        println!("{report}\n");
+        results.insert(
+            "failure_trace".to_string(),
             serde_json::to_value(&report).expect("serializable"),
         );
     }

@@ -40,7 +40,15 @@ pub const EXPERIMENTS: &[&str] = &[
     "degraded_mr",
     "overlap",
     "shuffle_contention",
+    "failure_trace",
 ];
+
+/// Quick-effort configuration of the `failure_trace` experiment,
+/// `(block_bytes, target_tasks)`. One definition shared by the `repro`
+/// binary's quick arm and the `sim_throughput` bench's headline run, so the
+/// `failure_trace_*` numbers in `BENCH_sim.json` always describe the same
+/// configuration as the CI repro artifact.
+pub const FAILURE_TRACE_QUICK: (usize, usize) = (1024 * 1024, 60);
 
 /// Workspace-root path of `BENCH_gf.json` (written by the `gf_throughput`
 /// bench in `repro` mode), independent of the cwd cargo gives bench/bin
@@ -130,11 +138,12 @@ mod tests {
 
     #[test]
     fn experiment_list_is_complete() {
-        assert_eq!(EXPERIMENTS.len(), 9);
+        assert_eq!(EXPERIMENTS.len(), 10);
         assert!(EXPERIMENTS.contains(&"table1"));
         assert!(EXPERIMENTS.contains(&"fig5"));
         assert!(EXPERIMENTS.contains(&"overlap"));
         assert!(EXPERIMENTS.contains(&"shuffle_contention"));
+        assert!(EXPERIMENTS.contains(&"failure_trace"));
     }
 
     #[test]

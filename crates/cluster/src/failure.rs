@@ -1,14 +1,36 @@
-//! Failure injection: sampling transient or permanent node failures.
+//! Failure injection: static scenarios and trace-driven timed failures.
 //!
-//! Used by the degraded-MapReduce experiments (§5 future work: "MR
-//! performance in the presence of node failures") and by the Monte-Carlo
-//! reliability cross-checks.
+//! Two models live here:
+//!
+//! * [`FailureScenario`] — the original *static* model: a fixed set of nodes
+//!   that are down for the whole duration of an experiment. Used by the
+//!   degraded-MapReduce experiments (§5 future work: "MR performance in the
+//!   presence of node failures") and by the Monte-Carlo reliability
+//!   cross-checks.
+//! * [`FailureTrace`] — the *timed* generalisation: a sorted sequence of
+//!   [`FailureEvent`]s (node down/up, correlated rack bursts, slowdowns) at
+//!   virtual instants. Layers that execute on the `drc_sim` substrate (the
+//!   simulated HDFS's detection/auto-repair engine, the MapReduce engine's
+//!   mid-job failure handling) consume the trace event by event, so
+//!   detection lag, repair traffic and job execution interleave in virtual
+//!   time instead of being fixed configuration. A static scenario is the
+//!   trivial trace with every failure at t = 0 ([`FailureScenario::to_trace`]).
+//!
+//! # Interval semantics
+//!
+//! A node taken down by an event at instant `t` and restored at `t'` is
+//! unavailable over the **half-open interval `[t, t')`** — the same
+//! convention as `drc_sim::Timeline` phases: the node is already dark *at*
+//! `t` and serving again *at* `t'`. Trace timestamps are integer nanoseconds
+//! on the same epoch as `drc_sim::SimTime` (this crate sits below `drc_sim`
+//! in the dependency order, so it speaks raw nanoseconds rather than the
+//! typed instant).
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::topology::{Cluster, NodeId};
+use crate::topology::{Cluster, NodeId, RackId};
 
 /// A failure scenario: which nodes are down for the duration of an experiment.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -28,13 +50,20 @@ impl FailureScenario {
         FailureScenario { down }
     }
 
-    /// Samples `count` distinct down nodes uniformly at random.
-    pub fn random<R: Rng + ?Sized>(cluster: &Cluster, count: usize, rng: &mut R) -> Self {
+    /// Samples distinct down nodes uniformly at random.
+    ///
+    /// The sample is **capped at the cluster size**: asking for more
+    /// failures than there are nodes yields a scenario with every node down,
+    /// not an error. The second return value is the count actually sampled
+    /// (`count.min(cluster.len())`), so callers can detect truncation
+    /// without re-deriving the cap.
+    pub fn random<R: Rng + ?Sized>(cluster: &Cluster, count: usize, rng: &mut R) -> (Self, usize) {
         let mut nodes: Vec<NodeId> = cluster.nodes().collect();
         nodes.shuffle(rng);
         nodes.truncate(count.min(cluster.len()));
         nodes.sort_unstable();
-        FailureScenario { down: nodes }
+        let sampled = nodes.len();
+        (FailureScenario { down: nodes }, sampled)
     }
 
     /// Applies the scenario to a cluster (marks the nodes down).
@@ -59,6 +88,235 @@ impl FailureScenario {
     /// Returns `true` if no node is down.
     pub fn is_empty(&self) -> bool {
         self.down.is_empty()
+    }
+
+    /// The equivalent timed trace: every node of the scenario fails at
+    /// t = 0 and nothing recovers. With a zero detection timeout this trace
+    /// reproduces the static model exactly (the differential tests lock
+    /// that identity byte-for-byte).
+    pub fn to_trace(&self) -> FailureTrace {
+        FailureTrace::from_events(
+            self.down
+                .iter()
+                .map(|&node| FailureEvent::at_ns(0, FailureEventKind::NodeDown { node }))
+                .collect(),
+        )
+    }
+}
+
+/// What happens at one instant of a [`FailureTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FailureEventKind {
+    /// The node fail-stops and its disk contents are lost (the paper's
+    /// repair-relevant failure: the storage layer must re-create the node's
+    /// replicas from surviving ones once the failure is detected).
+    NodeDown {
+        /// The failing node.
+        node: NodeId,
+    },
+    /// The node is re-provisioned and rejoins the cluster (empty if nothing
+    /// repaired it first — redundancy is only restored by repair traffic).
+    NodeUp {
+        /// The recovering node.
+        node: NodeId,
+    },
+    /// Every node of the rack fail-stops at the same instant (a correlated
+    /// burst: a switch or PDU failure).
+    RackDown {
+        /// The failing rack.
+        rack: RackId,
+    },
+    /// The node stays up but its disk and NIC run at `1/factor` of nominal
+    /// bandwidth from this instant on (a failing disk, a congested uplink);
+    /// `factor == 1.0` restores nominal speed.
+    Slowdown {
+        /// The degraded node.
+        node: NodeId,
+        /// Bandwidth divisor (2.0 = half speed).
+        factor: f64,
+    },
+}
+
+/// One timed failure-model event.
+///
+/// `at_ns` is the virtual instant in nanoseconds since the simulation epoch
+/// (the representation of `drc_sim::SimTime`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// Virtual instant, in nanoseconds since the simulation epoch.
+    pub at_ns: u64,
+    /// What happens at that instant.
+    pub kind: FailureEventKind,
+}
+
+impl FailureEvent {
+    /// Pairs an instant (in nanoseconds) with an event kind.
+    pub fn at_ns(at_ns: u64, kind: FailureEventKind) -> Self {
+        FailureEvent { at_ns, kind }
+    }
+
+    /// Pairs an instant (in seconds since the epoch, rounded to the nearest
+    /// nanosecond; negative or non-finite values clamp to the epoch) with an
+    /// event kind.
+    pub fn at_secs(at_s: f64, kind: FailureEventKind) -> Self {
+        FailureEvent {
+            at_ns: secs_to_ns(at_s),
+            kind,
+        }
+    }
+}
+
+fn secs_to_ns(at_s: f64) -> u64 {
+    if !at_s.is_finite() || at_s <= 0.0 {
+        return 0;
+    }
+    (at_s * 1e9).round() as u64
+}
+
+/// A sorted sequence of timed [`FailureEvent`]s: the trace a failure engine
+/// replays against the simulated cluster.
+///
+/// Events are kept sorted by instant; events sharing an instant keep their
+/// insertion order (the same deterministic tie-break as the substrate's
+/// event queue).
+///
+/// # Example
+///
+/// ```
+/// use drc_cluster::{FailureEvent, FailureEventKind, FailureTrace, NodeId};
+///
+/// let trace = FailureTrace::from_events(vec![
+///     FailureEvent::at_secs(5.0, FailureEventKind::NodeUp { node: NodeId(3) }),
+///     FailureEvent::at_secs(1.0, FailureEventKind::NodeDown { node: NodeId(3) }),
+/// ]);
+/// // Sorted on construction: the failure precedes the recovery.
+/// assert_eq!(trace.events()[0].at_ns, 1_000_000_000);
+/// assert_eq!(trace.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FailureTrace {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureTrace {
+    /// An empty trace (nothing ever fails).
+    pub fn new() -> Self {
+        FailureTrace::default()
+    }
+
+    /// Builds a trace from events in any order (stable-sorted by instant).
+    pub fn from_events(mut events: Vec<FailureEvent>) -> Self {
+        events.sort_by_key(|e| e.at_ns);
+        FailureTrace { events }
+    }
+
+    /// Adds one event, keeping the trace sorted (an event at an already-used
+    /// instant goes after the existing ones — insertion order breaks ties).
+    pub fn push(&mut self, event: FailureEvent) {
+        let idx = self.events.partition_point(|e| e.at_ns <= event.at_ns);
+        self.events.insert(idx, event);
+    }
+
+    /// The events in instant order.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Number of events in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The distinct nodes the trace ever takes down (directly or via a rack
+    /// burst), in id order.
+    pub fn nodes_taken_down(&self, cluster: &Cluster) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = Vec::new();
+        for ev in &self.events {
+            match ev.kind {
+                FailureEventKind::NodeDown { node } => nodes.push(node),
+                FailureEventKind::RackDown { rack } => nodes.extend(cluster.nodes_in_rack(rack)),
+                _ => {}
+            }
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// A Poisson-arrival failure trace: node fail-stops arrive as a Poisson
+    /// process with the given **per-node** failure rate (the reliability
+    /// crate's `ReliabilityParams::failure_rate_per_hour` unit), i.e. an
+    /// aggregate arrival rate of `rate × live nodes`. Victims are drawn
+    /// uniformly from the nodes still up; arrivals stop at `horizon_s`
+    /// virtual seconds or after `max_failures` events, whichever comes
+    /// first.
+    ///
+    /// Real MTTFs (years) against second-scale simulations need an
+    /// acceleration factor folded into `rate_per_hour` — the same trick the
+    /// reliability crate's Monte-Carlo validator uses.
+    pub fn poisson<R: Rng + ?Sized>(
+        cluster: &Cluster,
+        rate_per_hour: f64,
+        horizon_s: f64,
+        max_failures: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut events = Vec::new();
+        let valid = rate_per_hour.is_finite()
+            && rate_per_hour > 0.0
+            && horizon_s.is_finite()
+            && horizon_s > 0.0;
+        if !valid {
+            return FailureTrace { events };
+        }
+        let rate_per_s = rate_per_hour / 3600.0;
+        let mut alive: Vec<NodeId> = cluster.up_nodes();
+        let mut t = 0.0f64;
+        while events.len() < max_failures && !alive.is_empty() {
+            let aggregate = rate_per_s * alive.len() as f64;
+            // Exponential inter-arrival: -ln(1 - U) / rate, U ∈ [0, 1).
+            let u: f64 = rng.gen();
+            t += -(1.0 - u).ln() / aggregate;
+            if t >= horizon_s {
+                break;
+            }
+            let victim = alive.swap_remove(rng.gen_range(0..alive.len()));
+            events.push(FailureEvent::at_secs(
+                t,
+                FailureEventKind::NodeDown { node: victim },
+            ));
+        }
+        FailureTrace::from_events(events)
+    }
+
+    /// A correlated rack burst: every node of `rack` fails at `at_s`
+    /// seconds, and (when `recover_after_s` is `Some`) the whole rack is
+    /// re-provisioned that many seconds later — the unavailability interval
+    /// is `[at_s, at_s + recover_after_s)` per the half-open convention.
+    pub fn rack_burst(
+        rack: RackId,
+        at_s: f64,
+        recover_after_s: Option<f64>,
+        cluster: &Cluster,
+    ) -> Self {
+        let mut events = vec![FailureEvent::at_secs(
+            at_s,
+            FailureEventKind::RackDown { rack },
+        )];
+        if let Some(after) = recover_after_s {
+            for node in cluster.nodes_in_rack(rack) {
+                events.push(FailureEvent::at_secs(
+                    at_s + after,
+                    FailureEventKind::NodeUp { node },
+                ));
+            }
+        }
+        FailureTrace::from_events(events)
     }
 }
 
@@ -86,13 +344,107 @@ mod tests {
     fn random_scenarios_are_distinct_nodes_and_deterministic() {
         let cluster = Cluster::new(ClusterSpec::setup1());
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
-        let s = FailureScenario::random(&cluster, 5, &mut rng);
+        let (s, sampled) = FailureScenario::random(&cluster, 5, &mut rng);
         assert_eq!(s.len(), 5);
+        assert_eq!(sampled, 5);
         let unique: std::collections::BTreeSet<_> = s.down.iter().collect();
         assert_eq!(unique.len(), 5);
-        // Requesting more failures than nodes caps at the cluster size.
+        // Requesting more failures than nodes caps at the cluster size, and
+        // the returned count makes the truncation detectable.
         let mut rng2 = rand_chacha::ChaCha8Rng::seed_from_u64(9);
-        let all = FailureScenario::random(&cluster, 100, &mut rng2);
+        let (all, sampled) = FailureScenario::random(&cluster, 100, &mut rng2);
         assert_eq!(all.len(), 25);
+        assert_eq!(sampled, 25);
+    }
+
+    #[test]
+    fn scenario_to_trace_is_all_node_downs_at_t0() {
+        let cluster = Cluster::new(ClusterSpec::setup1());
+        let scenario = FailureScenario::nodes(vec![NodeId(2), NodeId(9)]);
+        let trace = scenario.to_trace();
+        assert_eq!(trace.len(), 2);
+        assert!(trace.events().iter().all(|e| e.at_ns == 0));
+        assert_eq!(trace.nodes_taken_down(&cluster), vec![NodeId(2), NodeId(9)]);
+    }
+
+    #[test]
+    fn traces_sort_and_push_keeps_order() {
+        let mut trace = FailureTrace::from_events(vec![
+            FailureEvent::at_ns(50, FailureEventKind::NodeUp { node: NodeId(1) }),
+            FailureEvent::at_ns(10, FailureEventKind::NodeDown { node: NodeId(1) }),
+        ]);
+        trace.push(FailureEvent::at_ns(
+            30,
+            FailureEventKind::Slowdown {
+                node: NodeId(2),
+                factor: 2.0,
+            },
+        ));
+        let at: Vec<u64> = trace.events().iter().map(|e| e.at_ns).collect();
+        assert_eq!(at, vec![10, 30, 50]);
+        assert!(!trace.is_empty());
+        // Negative / non-finite second stamps clamp to the epoch.
+        assert_eq!(
+            FailureEvent::at_secs(-3.0, FailureEventKind::NodeUp { node: NodeId(0) }).at_ns,
+            0
+        );
+        assert_eq!(
+            FailureEvent::at_secs(f64::NAN, FailureEventKind::NodeUp { node: NodeId(0) }).at_ns,
+            0
+        );
+    }
+
+    #[test]
+    fn poisson_traces_are_deterministic_bounded_and_distinct() {
+        let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        // An aggressive accelerated rate so the horizon sees arrivals.
+        let trace = FailureTrace::poisson(&cluster, 3600.0, 10.0, 3, &mut rng);
+        assert!(trace.len() <= 3);
+        assert!(
+            !trace.is_empty(),
+            "this seed and rate must produce arrivals"
+        );
+        let down = trace.nodes_taken_down(&cluster);
+        assert_eq!(down.len(), trace.len(), "victims are distinct");
+        // Sorted, within the horizon, and reproducible from the same seed.
+        let mut last = 0;
+        for ev in trace.events() {
+            assert!(ev.at_ns >= last);
+            assert!(ev.at_ns < 10_000_000_000);
+            last = ev.at_ns;
+            assert!(matches!(ev.kind, FailureEventKind::NodeDown { .. }));
+        }
+        let mut rng2 = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(
+            trace,
+            FailureTrace::poisson(&cluster, 3600.0, 10.0, 3, &mut rng2)
+        );
+        // Degenerate parameters yield an empty trace, never a hang.
+        let mut rng3 = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        assert!(FailureTrace::poisson(&cluster, 0.0, 10.0, 3, &mut rng3).is_empty());
+        assert!(FailureTrace::poisson(&cluster, 1.0, f64::NAN, 3, &mut rng3).is_empty());
+    }
+
+    #[test]
+    fn rack_burst_fails_the_rack_and_recovers_it() {
+        let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+        let rack = RackId(1);
+        let members = cluster.nodes_in_rack(rack);
+        let trace = FailureTrace::rack_burst(rack, 2.0, Some(3.0), &cluster);
+        assert_eq!(trace.len(), 1 + members.len());
+        assert_eq!(trace.events()[0].at_ns, 2_000_000_000);
+        assert!(matches!(
+            trace.events()[0].kind,
+            FailureEventKind::RackDown { rack: r } if r == rack
+        ));
+        // Half-open outage: recoveries land exactly at at + after.
+        for ev in &trace.events()[1..] {
+            assert_eq!(ev.at_ns, 5_000_000_000);
+            assert!(matches!(ev.kind, FailureEventKind::NodeUp { .. }));
+        }
+        assert_eq!(trace.nodes_taken_down(&cluster), members);
+        // Without recovery only the burst itself is on the trace.
+        assert_eq!(FailureTrace::rack_burst(rack, 2.0, None, &cluster).len(), 1);
     }
 }

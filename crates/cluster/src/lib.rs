@@ -10,7 +10,11 @@
 //! * [`PlacementMap`] — mapping of erasure-code stripes onto cluster nodes,
 //!   preserving the array-code property that all blocks of one stripe-local
 //!   node land on the same cluster node (Fig. 2),
-//! * [`FailureScenario`] — failure injection for degraded-mode experiments.
+//! * [`FailureScenario`] — static failure injection for degraded-mode
+//!   experiments (every failure in force for the whole run),
+//! * [`FailureTrace`] — timed failure injection: a sorted sequence of
+//!   [`FailureEvent`]s (node down/up, rack bursts, slowdowns) the
+//!   event-driven layers replay in virtual time.
 //!
 //! # Example
 //!
@@ -46,7 +50,7 @@ mod spec;
 mod topology;
 
 pub use error::ClusterError;
-pub use failure::FailureScenario;
+pub use failure::{FailureEvent, FailureEventKind, FailureScenario, FailureTrace};
 pub use placement::{GlobalBlockId, PlacementMap, PlacementPolicy, StripePlacement};
 pub use spec::ClusterSpec;
 pub use topology::{Cluster, NodeId, RackId};

@@ -48,24 +48,29 @@ impl StripeEncoder {
     /// Encodes one stripe, returning the non-data distinct blocks (blocks
     /// `k..distinct_blocks()` — the local and global parities).
     ///
+    /// The data blocks may live in any borrowable container (`Vec<u8>`,
+    /// `bytes::Bytes`, `&[u8]` views): the encoder reads them in place, so
+    /// a repair path holding freshly decoded blocks feeds them straight in
+    /// without cloning each one into a `Vec<u8>` first.
+    ///
     /// The returned slice borrows the encoder's scratch buffers; copy out
     /// whatever must outlive the next call.
     ///
     /// # Errors
     ///
     /// As [`ErasureCode::encode_into`].
-    pub fn encode<'a>(
+    pub fn encode<'a, B: AsRef<[u8]>>(
         &'a mut self,
         code: &dyn ErasureCode,
-        data: &[Vec<u8>],
+        data: &[B],
     ) -> Result<&'a [Vec<u8>], CodeError> {
         let parity_count = code.distinct_blocks() - code.data_blocks();
-        let len = data.first().map(|b| b.len()).unwrap_or(0);
+        let len = data.first().map(|b| b.as_ref().len()).unwrap_or(0);
         if self.parities.len() != parity_count || self.parities.iter().any(|b| b.len() != len) {
             self.parities.clear();
             self.parities.resize_with(parity_count, || vec![0u8; len]);
         }
-        code.encode_into(data, &mut self.parities)?;
+        crate::traits::encode_parities_into(code, data, &mut self.parities)?;
         Ok(&self.parities)
     }
 }

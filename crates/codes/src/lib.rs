@@ -62,4 +62,4 @@ pub use registry::CodeKind;
 pub use repair::{
     combine_partial_parity_into, ReadPlan, ReadSource, RepairPlan, Transfer, TransferPayload,
 };
-pub use traits::ErasureCode;
+pub use traits::{encode_parities_into, ErasureCode};

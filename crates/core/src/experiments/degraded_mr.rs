@@ -94,8 +94,11 @@ pub fn run_degraded_mr(effort: Effort) -> Result<DegradedMrReport, DrcError> {
                     load,
                     &mut rng,
                 )?;
-                // Failures strike after the data was written.
-                let scenario = FailureScenario::random(&cluster, failed_nodes, &mut rng);
+                // Failures strike after the data was written. The sampled
+                // count always equals the request here (`failed_nodes` is
+                // far below the cluster size, so the cap never truncates).
+                let (scenario, sampled) = FailureScenario::random(&cluster, failed_nodes, &mut rng);
+                debug_assert_eq!(sampled, failed_nodes);
                 scenario.apply(&mut cluster);
                 match run_job(
                     &workload.job,

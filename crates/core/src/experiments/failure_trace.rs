@@ -1,0 +1,481 @@
+//! Live failure traces end-to-end: detection lag × failure arrival rate.
+//!
+//! The other failure experiments fix the failure pattern up front. This one
+//! retires that last static assumption: node fail-stops arrive as a
+//! **Poisson process** (the reliability crate's per-node failure rate,
+//! accelerated so a second-scale virtual window sees arrivals — the same
+//! trick its Monte-Carlo validator uses) *while the job runs*, and the
+//! storage layer reacts the way a real deployment would:
+//!
+//! 1. the same timed [`FailureTrace`] is scheduled into the simulated HDFS
+//!    (heartbeats stop → the NameNode declares the nodes dead one detection
+//!    timeout later → the auto-repair queue rebuilds their blocks on the
+//!    shared `ClusterNet`), and
+//! 2. handed to the MapReduce engine (`run_job_traced`), whose scheduler
+//!    keeps assigning onto silently-dead nodes during the blind window,
+//!    re-executes the lost attempts after detection, and serves reads of
+//!    failed replicas as degraded reads.
+//!
+//! The sweep crosses detection timeout × arrival rate per code kind. The
+//! headline numbers are the job slowdown relative to a failure-free run and
+//! the virtual seconds the auto-repair traffic overlapped the job on the
+//! shared substrate — the end-to-end cost of a failure that *happens during
+//! the job*, which no static scenario can show.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use drc_cluster::{Cluster, ClusterSpec, FailureEvent, FailureTrace};
+use drc_codes::CodeKind;
+use drc_hdfs::DistributedFileSystem;
+use drc_mapreduce::{run_job_traced, FailureModel, JobSite, JobSpec, SchedulerKind};
+use drc_reliability::ReliabilityParams;
+use drc_sim::SimDuration;
+
+use crate::render::TextTable;
+use crate::DrcError;
+
+/// One `(code, detection timeout, arrival rate)` point of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureTracePoint {
+    /// The coding scheme.
+    pub code: CodeKind,
+    /// Heartbeat detection timeout, in virtual seconds.
+    pub detection_timeout_s: f64,
+    /// Acceleration factor applied to the reliability model's per-node
+    /// failure rate (real MTTFs are years; the virtual window is seconds).
+    pub rate_acceleration: f64,
+    /// Fail-stops the trace injected inside the job's map window.
+    pub failures_injected: usize,
+    /// Job time with no failures, in virtual seconds.
+    pub baseline_job_s: f64,
+    /// Job time under the live trace (with concurrent auto-repair).
+    pub traced_job_s: f64,
+    /// `traced_job_s / baseline_job_s` — the headline slowdown.
+    pub slowdown: f64,
+    /// Map attempts lost to fail-stops and executed again.
+    pub tasks_reexecuted: usize,
+    /// Total blind-window seconds (failure → detection), across nodes.
+    pub detection_lag_s: f64,
+    /// Auto-repair passes the failure engine executed.
+    pub auto_repair_passes: usize,
+    /// Network bytes the auto-repairs moved.
+    pub repair_network_bytes: u64,
+    /// Virtual seconds auto-repair traffic and the job were concurrently in
+    /// flight on the shared substrate.
+    pub repair_job_overlap_s: f64,
+}
+
+/// The trace-driven failure report: one row per sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureTraceReport {
+    /// Block size used, in bytes.
+    pub block_bytes: u64,
+    /// Map tasks targeted per file.
+    pub target_tasks: usize,
+    /// The sweep points.
+    pub rows: Vec<FailureTracePoint>,
+}
+
+impl FailureTraceReport {
+    /// Looks up one sweep point.
+    pub fn point(
+        &self,
+        code: CodeKind,
+        timeout_s: f64,
+        acceleration: f64,
+    ) -> Option<&FailureTracePoint> {
+        self.rows.iter().find(|r| {
+            r.code == code
+                && (r.detection_timeout_s - timeout_s).abs() < 1e-9
+                && (r.rate_acceleration - acceleration).abs() < 1e-3
+        })
+    }
+
+    /// The largest job slowdown across the sweep — the headline number
+    /// tracked in `BENCH_sim.json`.
+    pub fn headline_slowdown(&self) -> f64 {
+        self.rows.iter().map(|r| r.slowdown).fold(1.0, f64::max)
+    }
+
+    /// The largest repair∩job overlap across the sweep, in seconds.
+    pub fn max_repair_job_overlap_s(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.repair_job_overlap_s)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The failure-free measurement a sweep point is compared against.
+struct Baseline {
+    job_s: f64,
+    map_phase_s: f64,
+}
+
+/// A stable per-code seed discriminant. An FNV-style fold of the code
+/// *name* — name lengths collide ("pentagon" and "heptagon" are both eight
+/// bytes), and colliding seeds would make two codes replay the identical
+/// failure trace instead of independent draws.
+fn code_salt(code: CodeKind) -> u64 {
+    code.to_string()
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        })
+}
+
+/// Runs the trace-driven failure sweep for 2-rep and the three
+/// double-replicated array codes.
+///
+/// Each code writes a ~`target_tasks`-block file of `block_bytes` blocks
+/// onto the simulated 25-node cluster, measures the failure-free job once,
+/// then sweeps detection timeouts (fractions of the measured map phase) ×
+/// accelerated Poisson arrival rates. Failure counts are capped at the
+/// code's fault tolerance (at most 2; 1 for 2-rep) so every trace stays
+/// survivable — the cap is part of the report (`failures_injected`).
+///
+/// # Errors
+///
+/// Propagates file-system and engine errors (none are expected: traces are
+/// capped within tolerance).
+pub fn run_failure_trace(
+    block_bytes: usize,
+    target_tasks: usize,
+) -> Result<FailureTraceReport, DrcError> {
+    let codes = [
+        CodeKind::TWO_REP,
+        CodeKind::Pentagon,
+        CodeKind::Heptagon,
+        CodeKind::HeptagonLocal,
+    ];
+    // Detection timeouts as fractions of the measured failure-free map
+    // phase: the short one detects well within the phase, the long one
+    // keeps the scheduler blind for most of it.
+    let timeout_fracs = [0.1, 1.0];
+    // Mean Poisson arrivals inside the map window; the acceleration factor
+    // reported per row is whatever it takes to get there from the
+    // reliability model's real per-node rate.
+    let mean_arrivals = [1.0, 3.0];
+    let params = ReliabilityParams::default();
+
+    let mut rows = Vec::new();
+    for code in codes {
+        let baseline = run_window(code, block_bytes, target_tasks, None)?.0;
+        for &frac in &timeout_fracs {
+            for &arrivals in &mean_arrivals {
+                let timeout_s = frac * baseline.map_phase_s;
+                let (_, point) = run_window(
+                    code,
+                    block_bytes,
+                    target_tasks,
+                    Some(TracedConfig {
+                        baseline: &baseline,
+                        timeout_s,
+                        mean_arrivals: arrivals,
+                        params: &params,
+                    }),
+                )?;
+                rows.push(point.expect("traced window yields a point"));
+            }
+        }
+    }
+    Ok(FailureTraceReport {
+        block_bytes: block_bytes as u64,
+        target_tasks,
+        rows,
+    })
+}
+
+/// What a traced window needs beyond the failure-free setup.
+struct TracedConfig<'a> {
+    baseline: &'a Baseline,
+    timeout_s: f64,
+    mean_arrivals: f64,
+    params: &'a ReliabilityParams,
+}
+
+/// Executes one write → (trace? + job) window. Without a config this is the
+/// failure-free baseline; with one, the Poisson trace drives the file
+/// system's detection/auto-repair engine *and* the job's mid-run failure
+/// handling on the same shared `ClusterNet`.
+fn run_window(
+    code: CodeKind,
+    block_bytes: usize,
+    target_tasks: usize,
+    traced: Option<TracedConfig<'_>>,
+) -> Result<(Baseline, Option<FailureTracePoint>), DrcError> {
+    let mut spec = ClusterSpec::simulation_25(4);
+    spec.block_size_mb = (block_bytes as u64 / (1024 * 1024)).max(1);
+    let block_size = spec.block_size_bytes() as usize;
+    let mut fs = DistributedFileSystem::new(spec, 0xFA11 ^ code_salt(code));
+
+    let built = code.build()?;
+    let k = built.data_blocks();
+    let stripes = target_tasks.div_ceil(k).max(1);
+    let data: Vec<u8> = (0..stripes * k * block_size)
+        .map(|i| (i * 31 + 7) as u8)
+        .collect();
+    let id = fs.write_file("/failure-trace", &data, code)?;
+    fs.sync();
+    let meta = fs.namenode().file(id)?.clone();
+    let cluster = Cluster::new(fs.cluster().spec().clone());
+    let start = fs.now();
+
+    // The same job shape as the shuffle-contention experiment: short task
+    // overhead and map CPU, a quarter of the file's blocks, one reducer per
+    // node.
+    let job_blocks: Vec<_> = meta
+        .placement
+        .data_blocks()
+        .into_iter()
+        .take((target_tasks / 4).max(8))
+        .collect();
+    let job = JobSpec::new("failure-trace", job_blocks)
+        .with_task_overhead_s(0.01)?
+        .with_map_cpu_s_per_mb(0.005)?
+        .with_reduce_tasks(cluster.up_nodes().len());
+    let scheduler = SchedulerKind::Delay.build();
+
+    // Build (and schedule) the trace when this is a traced window.
+    let (trace, timeout, config) = match &traced {
+        Some(config) => {
+            // Arrivals land inside the job's (baseline) map window, which
+            // starts at `start`: generate on a zero-based horizon, then
+            // shift.
+            let horizon_s = config.baseline.map_phase_s;
+            let rate_per_hour = config.mean_arrivals / horizon_s * 3600.0 / cluster.len() as f64;
+            let acceleration = rate_per_hour / config.params.failure_rate_per_hour();
+            let max_failures = built.fault_tolerance().min(2);
+            // The seed mixes the code and the arrival rate but NOT the
+            // detection timeout: every timeout point of one (code, rate)
+            // pair replays the *same* trace, so the sweep isolates the
+            // effect of the blind window. The sample is conditioned on at
+            // least one arrival (an empty trace measures nothing) by
+            // deterministically re-drawing with a salted seed.
+            let base_seed = 0x7AACE ^ code_salt(code) ^ ((config.mean_arrivals as u64) << 16);
+            let mut zero_based = FailureTrace::new();
+            for salt in 0..64u64 {
+                let mut rng = ChaCha8Rng::seed_from_u64(base_seed ^ (salt << 32));
+                zero_based = FailureTrace::poisson(
+                    &cluster,
+                    rate_per_hour,
+                    horizon_s,
+                    max_failures,
+                    &mut rng,
+                );
+                if !zero_based.is_empty() {
+                    break;
+                }
+            }
+            let trace = FailureTrace::from_events(
+                zero_based
+                    .events()
+                    .iter()
+                    .map(|e| FailureEvent::at_ns(e.at_ns.saturating_add(start.0), e.kind))
+                    .collect(),
+            );
+            let timeout = SimDuration::from_secs_f64(config.timeout_s);
+            fs.set_detection_timeout(timeout);
+            fs.schedule_trace(&trace);
+            (trace, timeout, Some((acceleration, config.timeout_s)))
+        }
+        None => (FailureTrace::new(), SimDuration::ZERO, None),
+    };
+
+    // Drive the storage layer first (failures, detection, auto-repair on
+    // the shared net), then issue the job into the same virtual window —
+    // the repair-first ordering the contention experiments use.
+    let failures_injected = trace.nodes_taken_down(&cluster).len();
+    let repair_reports = fs.process_all_events()?;
+    let metrics = run_job_traced(
+        &job,
+        built.as_ref(),
+        &meta.placement,
+        &cluster,
+        scheduler.as_ref(),
+        &mut ChaCha8Rng::seed_from_u64(0x5EED ^ code_salt(code)),
+        JobSite {
+            net: fs.cluster_net(),
+            start,
+        },
+        FailureModel::new(&trace, timeout),
+    )?;
+
+    let baseline = Baseline {
+        job_s: metrics.job_time_s,
+        map_phase_s: metrics.map_phase_s,
+    };
+    let point = config.map(|(acceleration, timeout_s)| {
+        // Merge the storage and job timelines (same virtual epoch) to
+        // measure how long the auto-repair traffic and the job overlapped.
+        let mut combined = fs.timeline().clone();
+        for p in &metrics.timeline.phases {
+            combined.record(format!("job:{}", p.label), p.start, p.end, p.bytes);
+        }
+        FailureTracePoint {
+            code,
+            detection_timeout_s: timeout_s,
+            rate_acceleration: acceleration,
+            failures_injected,
+            baseline_job_s: traced
+                .as_ref()
+                .expect("config implies traced")
+                .baseline
+                .job_s,
+            traced_job_s: metrics.job_time_s,
+            slowdown: metrics.job_time_s
+                / traced
+                    .as_ref()
+                    .expect("config implies traced")
+                    .baseline
+                    .job_s,
+            tasks_reexecuted: metrics.tasks_reexecuted,
+            detection_lag_s: fs
+                .timeline()
+                .with_prefix(drc_sim::DETECTION_LAG_PREFIX)
+                .map(|p| p.duration().as_secs_f64())
+                .sum(),
+            auto_repair_passes: repair_reports.len(),
+            repair_network_bytes: repair_reports.iter().map(|r| r.network_bytes).sum(),
+            repair_job_overlap_s: combined.overlap("repair:", "job:").as_secs_f64(),
+        }
+    });
+    Ok((baseline, point))
+}
+
+impl std::fmt::Display for FailureTraceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut table = TextTable::new(
+            format!(
+                "Job slowdown under live failure traces ({} tasks, {} MiB blocks)",
+                self.target_tasks,
+                self.block_bytes / (1024 * 1024)
+            ),
+            &[
+                "Code",
+                "Detect (s)",
+                "Accel",
+                "Failures",
+                "Baseline (s)",
+                "Traced (s)",
+                "Slowdown",
+                "Re-exec",
+                "Lag (s)",
+                "Repair (MiB)",
+                "Repair∩job (s)",
+            ],
+        );
+        for r in &self.rows {
+            table.push_row(vec![
+                r.code.to_string(),
+                format!("{:.3}", r.detection_timeout_s),
+                format!("{:.1e}", r.rate_acceleration),
+                r.failures_injected.to_string(),
+                format!("{:.3}", r.baseline_job_s),
+                format!("{:.3}", r.traced_job_s),
+                format!("{:.2}x", r.slowdown),
+                r.tasks_reexecuted.to_string(),
+                format!("{:.3}", r.detection_lag_s),
+                format!("{:.1}", r.repair_network_bytes as f64 / (1024.0 * 1024.0)),
+                format!("{:.3}", r.repair_job_overlap_s),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_traces_slow_the_job_and_repair_overlaps_it() {
+        let report = run_failure_trace(1024 * 1024, 60).unwrap();
+        eprintln!("{report}");
+        // 4 codes x 2 timeouts x 2 rates.
+        assert_eq!(report.rows.len(), 16);
+        for row in &report.rows {
+            assert!(row.baseline_job_s > 0.0, "{}", row.code);
+            // Failure handling never meaningfully speeds the job up (a
+            // sub-percent wobble from shifted reducer placement is noise,
+            // not signal).
+            assert!(
+                row.slowdown > 0.99,
+                "{}: failures must not speed the job up (baseline {:.3}s, traced {:.3}s)",
+                row.code,
+                row.baseline_job_s,
+                row.traced_job_s
+            );
+            assert!(
+                row.failures_injected >= 1,
+                "{}: the accelerated rate must inject",
+                row.code
+            );
+            // Every injected failure is eventually detected (a pass runs
+            // even when the victim hosted no blocks of this file) and the
+            // blind window is on the record.
+            assert!(row.auto_repair_passes >= 1, "{}", row.code);
+            assert!(row.detection_lag_s > 0.0, "{}", row.code);
+        }
+        // Per code: some point must show real repair traffic overlapping
+        // the job on the shared substrate.
+        for code in [
+            CodeKind::TWO_REP,
+            CodeKind::Pentagon,
+            CodeKind::Heptagon,
+            CodeKind::HeptagonLocal,
+        ] {
+            let per_code: Vec<&FailureTracePoint> =
+                report.rows.iter().filter(|r| r.code == code).collect();
+            assert!(
+                per_code.iter().any(|r| r.repair_network_bytes > 0),
+                "{code}: some victim must host blocks and trigger repair traffic"
+            );
+            assert!(
+                per_code.iter().any(|r| r.repair_job_overlap_s > 0.0),
+                "{code}: auto-repair must overlap the job somewhere"
+            );
+        }
+        // The acceptance headline: detection-lag-dependent slowdown with
+        // auto-repair traffic overlapping the job on the shared substrate.
+        assert!(report.headline_slowdown() > 1.0);
+        assert!(report.max_repair_job_overlap_s() > 0.0);
+        // Slowdown is detection-lag-dependent: for each (code, rate), the
+        // long-timeout run is at least as slow as the short one, and
+        // strictly slower somewhere.
+        let mut strictly = 0usize;
+        for code in [
+            CodeKind::TWO_REP,
+            CodeKind::Pentagon,
+            CodeKind::Heptagon,
+            CodeKind::HeptagonLocal,
+        ] {
+            let per_code: Vec<&FailureTracePoint> =
+                report.rows.iter().filter(|r| r.code == code).collect();
+            for rate_idx in 0..2 {
+                let short = per_code[rate_idx];
+                let long = per_code[2 + rate_idx];
+                assert!(short.detection_timeout_s < long.detection_timeout_s);
+                assert!(
+                    long.slowdown >= short.slowdown - 1e-9,
+                    "{code}: longer blind windows must not speed the job up"
+                );
+                if long.slowdown > short.slowdown + 1e-9 {
+                    strictly += 1;
+                }
+            }
+        }
+        assert!(strictly > 0, "some point must show strict lag dependence");
+        let text = report.to_string();
+        assert!(text.contains("Slowdown"));
+        assert!(report
+            .point(
+                CodeKind::Pentagon,
+                report.rows[4].detection_timeout_s,
+                report.rows[4].rate_acceleration
+            )
+            .is_some());
+    }
+}

@@ -10,6 +10,7 @@
 //! | §5 extensions | [`encoding`], [`degraded_mr`] | encoding throughput; MapReduce under node failures |
 //! | substrate extension | [`overlap`] | repair / degraded-read overlap in virtual time on the event-driven HDFS |
 //! | substrate extension | [`shuffle_contention`] | job slowdown when the event-driven shuffle shares links with a concurrent repair pass |
+//! | substrate extension | [`failure_trace`] | detection-lag-dependent job slowdown and repair/job overlap under live Poisson failure traces |
 //!
 //! Every driver returns a serialisable result type with a `Display`
 //! implementation that prints a paper-style table, so the `repro` binary in
@@ -18,6 +19,7 @@
 
 pub mod degraded_mr;
 pub mod encoding;
+pub mod failure_trace;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

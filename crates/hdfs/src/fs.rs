@@ -34,6 +34,23 @@
 //! and fabric as a concurrent repair pass (the `shuffle_contention`
 //! experiment measures exactly that).
 //!
+//! # Trace-driven failures, detection and auto-repair
+//!
+//! Failures need not be static configuration: schedule a
+//! [`drc_cluster::FailureTrace`] with
+//! [`DistributedFileSystem::schedule_trace`] and drive it with
+//! [`DistributedFileSystem::process_events_until`]. Nodes fail-stop at their
+//! trace instants, the NameNode misses their heartbeats, and — one
+//! [`DistributedFileSystem::detection_timeout`] later — declares them dead
+//! and executes the enqueued repairs as timed events on the same shared
+//! [`ClusterNet`] everything else contends on. Failure intervals are
+//! half-open like [`Timeline`] phases: a node down at `t` and restored at
+//! `t'` is unavailable over `[t, t')`, and the detection-lag window
+//! `[t, t + timeout)` appears on the timeline as a `detection-lag:` phase.
+//! A trace with every failure at t = 0 processed under a zero detection
+//! timeout reproduces the static model (`fail_node_permanently` +
+//! [`DistributedFileSystem::repair_nodes`]) byte-for-byte.
+//!
 //! Byte accounting is independent of the virtual clock and of the worker
 //! pool's thread count: `DRC_SIM_THREADS=1` and a 32-thread run report
 //! identical network-byte numbers.
@@ -46,9 +63,11 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use drc_cluster::{Cluster, ClusterSpec, NodeId, PlacementMap, PlacementPolicy};
+use drc_cluster::{
+    Cluster, ClusterSpec, FailureEventKind, FailureTrace, NodeId, PlacementMap, PlacementPolicy,
+};
 use drc_codes::{CodeKind, ErasureCode, StripeEncoder};
-use drc_sim::{ClusterNet, EventQueue, SimTime, Timeline, VirtualClock};
+use drc_sim::{ClusterNet, EventQueue, Schedule, SimDuration, SimTime, Timeline, VirtualClock};
 
 use crate::block::BlockKey;
 use crate::datanode::DataNode;
@@ -90,6 +109,26 @@ pub struct RepairReport {
     pub completed_at: SimTime,
 }
 
+/// The default heartbeat detection timeout: the NameNode declares a silent
+/// node dead (and enqueues its repairs) this much virtual time after its
+/// heartbeats stop. Three seconds is the real HDFS heartbeat *interval*;
+/// the production dead-node interval (10.5 minutes) would dwarf the
+/// second-scale virtual experiments, so the simulated NameNode detects at
+/// heartbeat granularity. Configure per instance with
+/// [`DistributedFileSystem::set_detection_timeout`].
+pub const DEFAULT_DETECTION_TIMEOUT: SimDuration = SimDuration(3_000_000_000);
+
+/// A timed event the file system's failure engine executes: either a
+/// failure-trace event replayed at its instant, or the detection boundary
+/// of a silent node.
+#[derive(Debug, Clone, Copy)]
+enum FsEvent {
+    /// A [`FailureTrace`] event due at its trace instant.
+    Trace(FailureEventKind),
+    /// The detection timeout of a silent node elapses.
+    Detect(NodeId),
+}
+
 /// The simulated HDFS deployment.
 pub struct DistributedFileSystem {
     cluster: Cluster,
@@ -111,6 +150,15 @@ pub struct DistributedFileSystem {
     write_network_bytes: u64,
     read_network_bytes: u64,
     repair_network_bytes: u64,
+    /// The failure engine's pending timed events (trace events and
+    /// detection boundaries), drained by
+    /// [`DistributedFileSystem::process_events_until`].
+    events: EventQueue<FsEvent>,
+    /// How long after a node goes silent the NameNode declares it dead.
+    detection_timeout: SimDuration,
+    /// Every auto-repair pass the failure engine has executed, in detection
+    /// order.
+    auto_repairs: Vec<RepairReport>,
 }
 
 impl std::fmt::Debug for DistributedFileSystem {
@@ -145,6 +193,9 @@ impl DistributedFileSystem {
             write_network_bytes: 0,
             read_network_bytes: 0,
             repair_network_bytes: 0,
+            events: EventQueue::new(),
+            detection_timeout: DEFAULT_DETECTION_TIMEOUT,
+            auto_repairs: Vec::new(),
         }
     }
 
@@ -453,6 +504,7 @@ impl DistributedFileSystem {
     /// Marks a node as down (transient failure: its data stays on disk).
     pub fn fail_node(&mut self, node: NodeId) {
         self.cluster.set_down(node);
+        self.net.take_node_down(node);
     }
 
     /// Marks a node as permanently failed: it is down and its blocks are gone.
@@ -461,11 +513,222 @@ impl DistributedFileSystem {
         if let Some(dn) = self.datanodes.get(&node) {
             dn.wipe();
         }
+        self.net.take_node_down(node);
     }
 
     /// Brings a transiently-failed node back up (its data is intact).
     pub fn restore_node(&mut self, node: NodeId) {
         self.cluster.set_up(node);
+        self.net.restore_node(self.clock.now(), node);
+        self.namenode.heartbeat_restored(node);
+    }
+
+    /// How long after a node's heartbeats stop the NameNode declares it
+    /// dead and the failure engine launches the auto-repair.
+    pub fn detection_timeout(&self) -> SimDuration {
+        self.detection_timeout
+    }
+
+    /// Sets the heartbeat detection timeout (see
+    /// [`DEFAULT_DETECTION_TIMEOUT`]). A zero timeout detects failures the
+    /// instant they occur — the configuration under which a t = 0 trace
+    /// reproduces the old static failure model byte-for-byte.
+    ///
+    /// Detection always honours the timeout in force when the boundary
+    /// *fires*: raising the timeout pushes already-queued boundaries out
+    /// (they reschedule to `silent_since + new_timeout` instead of firing
+    /// early), while lowering it cannot accelerate a boundary that was
+    /// already queued further out — it takes effect at that boundary's
+    /// original instant at the earliest.
+    pub fn set_detection_timeout(&mut self, timeout: SimDuration) {
+        self.detection_timeout = timeout;
+    }
+
+    /// Schedules a failure trace for the engine to replay: every trace event
+    /// becomes a timed event at its instant, and every `NodeDown` (or
+    /// rack-burst member) additionally schedules its detection boundary one
+    /// [`DistributedFileSystem::detection_timeout`] later. Nothing executes
+    /// until [`DistributedFileSystem::process_events_until`] drains the
+    /// queue.
+    ///
+    /// Traces compose: scheduling a second trace merges its events into the
+    /// pending queue in time order. The past cannot be rewritten, though —
+    /// an event whose instant precedes what the engine has already
+    /// processed is clamped to the processing frontier and fires there
+    /// (the [`EventQueue`]'s documented clamp), so inject traces before
+    /// draining past their instants if exact timing matters.
+    pub fn schedule_trace(&mut self, trace: &FailureTrace) {
+        self.events.extend(
+            trace
+                .events()
+                .iter()
+                .map(|ev| Schedule::at(SimTime(ev.at_ns), FsEvent::Trace(ev.kind))),
+        );
+    }
+
+    /// The instant of the next pending failure-engine event, if any.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Number of pending failure-engine events (trace events plus detection
+    /// boundaries).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Every auto-repair pass the failure engine has executed so far, in
+    /// detection order.
+    pub fn auto_repair_reports(&self) -> &[RepairReport] {
+        &self.auto_repairs
+    }
+
+    /// Drives the failure engine up to (and including) `horizon`: replays
+    /// every due trace event, declares silent nodes dead once their
+    /// detection timeout elapses, and executes the enqueued repairs as
+    /// timed events contending on the shared [`ClusterNet`].
+    ///
+    /// Failure semantics:
+    ///
+    /// * `NodeDown` / `RackDown` — the nodes fail-stop and their disks are
+    ///   wiped (the repair-relevant permanent failure); the NameNode starts
+    ///   missing their heartbeats. The outage interval is half-open: the
+    ///   node is dark *at* the event instant.
+    /// * Detection — `detection_timeout` later, still-silent nodes are
+    ///   declared dead; a `detection-lag:node<N>` phase (zero bytes) records
+    ///   the blind window on the timeline when the lag is non-zero. All
+    ///   nodes detected at the same instant are repaired as **one batched
+    ///   pass** (exactly what [`DistributedFileSystem::repair_nodes`] would
+    ///   do for that set), so multi-node repair plans see the full failure
+    ///   pattern.
+    /// * `NodeUp` — the node rejoins (empty, unless a repair already
+    ///   re-provisioned it); a node that recovers before its detection
+    ///   boundary is never declared dead and no repair runs.
+    /// * `Slowdown` — the node's disk and NIC bandwidth are divided by the
+    ///   factor from that instant on.
+    ///
+    /// Returns the repair passes this call executed (also appended to
+    /// [`DistributedFileSystem::auto_repair_reports`]). The virtual clock is
+    /// *not* advanced: like every other operation, engine work issued here
+    /// overlaps whatever else is issued before the next
+    /// [`DistributedFileSystem::sync`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates internal repair errors; unrecoverable stripes are counted
+    /// in the reports, not returned as errors.
+    pub fn process_events_until(
+        &mut self,
+        horizon: SimTime,
+    ) -> Result<Vec<RepairReport>, HdfsError> {
+        let mut new_reports = Vec::new();
+        while let Some(at) = self.events.peek_time().filter(|&a| a <= horizon) {
+            // Drain everything due at this instant (the queue is sorted, so
+            // `pop_due(at)` yields exactly the events sharing it — plus any
+            // zero-timeout detection boundary a just-applied failure
+            // schedules back onto the same instant). Trace events apply as
+            // they pop; detection boundaries are *deferred* until the whole
+            // instant has drained, so a same-instant recovery cancels its
+            // node's detection regardless of queue insertion order (the
+            // half-open rule: a node serving again *at* its boundary is
+            // never declared dead — the same tie-break the MR engine's
+            // FailureState uses).
+            let mut boundaries: Vec<NodeId> = Vec::new();
+            while let Some((_, ev)) = self.events.pop_due(at) {
+                match ev {
+                    FsEvent::Trace(kind) => self.apply_trace_event(at, kind),
+                    FsEvent::Detect(node) => boundaries.push(node),
+                }
+            }
+            let mut detected: Vec<NodeId> = Vec::new();
+            for node in boundaries {
+                // A boundary for a node that recovered (or was already
+                // declared dead and repaired) is stale.
+                if self.cluster.is_up(node) || self.namenode.is_dead(node) {
+                    continue;
+                }
+                let Some(silent) = self.namenode.silent_since(node) else {
+                    continue;
+                };
+                let boundary = silent + self.detection_timeout;
+                if at >= boundary {
+                    self.namenode.declare_dead(node, at);
+                    if at > silent {
+                        self.timeline
+                            .record(drc_sim::detection_lag_label(node.0), silent, at, 0);
+                    }
+                    detected.push(node);
+                } else {
+                    // The detection timeout was raised after this boundary
+                    // was scheduled (or the node failed again): the node is
+                    // still silent, so push the boundary out instead of
+                    // dropping detection.
+                    self.events
+                        .schedule(Schedule::at(boundary, FsEvent::Detect(node)));
+                }
+            }
+            if !detected.is_empty() {
+                let report = self.repair_pass(&detected, at)?;
+                self.auto_repairs.push(report.clone());
+                new_reports.push(report);
+            }
+        }
+        Ok(new_reports)
+    }
+
+    /// Drives the failure engine until no pending event remains (including
+    /// the detection boundaries and repairs the drained events spawn).
+    ///
+    /// # Errors
+    ///
+    /// As [`DistributedFileSystem::process_events_until`].
+    pub fn process_all_events(&mut self) -> Result<Vec<RepairReport>, HdfsError> {
+        self.process_events_until(SimTime(u64::MAX))
+    }
+
+    /// Applies one failure-trace event at its instant.
+    fn apply_trace_event(&mut self, at: SimTime, kind: FailureEventKind) {
+        match kind {
+            FailureEventKind::NodeDown { node } => self.node_fail_stop(at, node),
+            FailureEventKind::RackDown { rack } => {
+                for node in self.cluster.nodes_in_rack(rack) {
+                    self.node_fail_stop(at, node);
+                }
+            }
+            FailureEventKind::NodeUp { node } => {
+                // Symmetric with `node_fail_stop`'s already-down guard: a
+                // recovery for a node that is already serving (e.g. an
+                // auto-repair re-provisioned it before the trace's own
+                // recovery instant) must not occupy its resources through
+                // `at` — that would phantom-delay every later I/O on a node
+                // that never stopped serving.
+                if self.cluster.is_up(node) {
+                    return;
+                }
+                self.cluster.set_up(node);
+                self.net.restore_node(at, node);
+                self.namenode.heartbeat_restored(node);
+            }
+            FailureEventKind::Slowdown { node, factor } => {
+                self.net.set_node_slowdown(node, factor);
+            }
+        }
+    }
+
+    /// One node fail-stops at `at`: its disk is wiped, its resources go
+    /// dark, its heartbeats stop, and its detection boundary is scheduled.
+    fn node_fail_stop(&mut self, at: SimTime, node: NodeId) {
+        if !self.cluster.is_up(node) {
+            return; // already down: a duplicate failure changes nothing
+        }
+        self.cluster.set_down(node);
+        if let Some(dn) = self.datanodes.get(&node) {
+            dn.wipe();
+        }
+        self.net.take_node_down(node);
+        self.namenode.heartbeat_lost(node, at);
+        self.events
+            .schedule_at(at + self.detection_timeout, FsEvent::Detect(node));
     }
 
     /// The RaidNode's repair pass: for every stripe that lost replicas on
@@ -483,12 +746,27 @@ impl DistributedFileSystem {
     ///
     /// Every repaired node in `replacements` is marked up again.
     ///
+    /// The failure engine's auto-repair queue executes exactly this pass
+    /// (via the shared internals) at each detection instant, so a manual
+    /// `repair_nodes` call and a trace-driven repair of the same failure
+    /// set move identical bytes.
+    ///
     /// # Errors
     ///
     /// Returns an error only for internal inconsistencies; unrecoverable
     /// stripes are *counted* in the report rather than failing the pass.
     pub fn repair_nodes(&mut self, replacements: &[NodeId]) -> Result<RepairReport, HdfsError> {
-        let issued = self.clock.now();
+        self.repair_pass(replacements, self.clock.now())
+    }
+
+    /// The repair pass shared by [`DistributedFileSystem::repair_nodes`]
+    /// (issued at the current clock) and the failure engine's auto-repair
+    /// queue (issued at the detection instant).
+    fn repair_pass(
+        &mut self,
+        replacements: &[NodeId],
+        issued: SimTime,
+    ) -> Result<RepairReport, HdfsError> {
         let mut report = RepairReport {
             issued_at: issued,
             completed_at: issued,
@@ -536,11 +814,12 @@ impl DistributedFileSystem {
                             continue;
                         }
                     };
-                let data_refs: Vec<Vec<u8>> = decoded.iter().map(|b| b.to_vec()).collect();
                 // Re-materialise missing blocks through the buffer-reusing
-                // encoder rather than re-allocating the whole coded stripe.
+                // encoder rather than re-allocating the whole coded stripe;
+                // the decoded blocks are borrowed in place (no per-block
+                // copy into fresh `Vec<u8>`s).
                 let k = code.data_blocks();
-                let parities = self.encoder.encode(code.as_ref(), &data_refs)?;
+                let parities = self.encoder.encode(code.as_ref(), &decoded)?;
                 let mut restored_any = false;
                 let mut stripe_done = decode_done;
                 for &local in &failed_local {
@@ -553,16 +832,13 @@ impl DistributedFileSystem {
                             .ok_or(HdfsError::DataNodeUnavailable { node: node.0 })?;
                         if !dn.contains(&key) {
                             let content = if block < k {
-                                data_refs[block].clone()
+                                // Cheap handle clone: the decoded block is
+                                // already reference-counted.
+                                decoded[block].clone()
                             } else {
-                                parities[block - k].clone()
+                                Bytes::from(parities[block - k].clone())
                             };
-                            let res = dn.store_timed(
-                                key,
-                                Bytes::from(content),
-                                decode_done,
-                                self.net.fabric(),
-                            );
+                            let res = dn.store_timed(key, content, decode_done, self.net.fabric());
                             stripe_done = stripe_done.max(res.end);
                             report.blocks_restored += 1;
                             restored_any = true;
@@ -585,6 +861,12 @@ impl DistributedFileSystem {
         self.repair_network_bytes += report.network_bytes;
         for &node in replacements {
             self.cluster.set_up(node);
+            // The replacement is re-provisioned and heartbeating again; the
+            // occupy-through-`issued` is a no-op for timing (nothing issues
+            // before `issued` after this) but keeps the availability signal
+            // honest for layers that only see the net.
+            self.net.restore_node(issued, node);
+            self.namenode.heartbeat_restored(node);
         }
         Ok(report)
     }
@@ -852,6 +1134,297 @@ mod tests {
             fs.stats().read_network_bytes - stats_before,
             "phase byte accounting must partition the stats counter"
         );
+    }
+
+    #[test]
+    fn t0_trace_with_zero_timeout_reproduces_the_static_repair() {
+        use drc_cluster::FailureScenario;
+        // Static path: permanent failures + caller-invoked repair.
+        let mut static_fs = DistributedFileSystem::new(tiny_spec(), 21);
+        let data = sample_data(9 * 1024 * 1024);
+        let id = static_fs
+            .write_file("/f", &data, CodeKind::Pentagon)
+            .unwrap();
+        let meta = static_fs.namenode().file(id).unwrap().clone();
+        let victims: Vec<NodeId> = meta.block_locations(0, 0).to_vec();
+        for &v in &victims {
+            static_fs.fail_node_permanently(v);
+        }
+        let static_report = static_fs.repair_nodes(&victims).unwrap();
+
+        // Trace path: the same failures at t = 0, detection timeout 0.
+        let mut traced_fs = DistributedFileSystem::new(tiny_spec(), 21);
+        let id2 = traced_fs
+            .write_file("/f", &data, CodeKind::Pentagon)
+            .unwrap();
+        assert_eq!(id, id2, "same seed, same namespace");
+        traced_fs.set_detection_timeout(SimDuration::ZERO);
+        traced_fs.schedule_trace(&FailureScenario::nodes(victims.clone()).to_trace());
+        let reports = traced_fs.process_all_events().unwrap();
+
+        // One batched pass, byte-for-byte equal to the static one.
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].network_bytes, static_report.network_bytes);
+        assert_eq!(reports[0].blocks_restored, static_report.blocks_restored);
+        assert_eq!(reports[0].stripes_repaired, static_report.stripes_repaired);
+        assert_eq!(traced_fs.stats(), static_fs.stats());
+        assert_eq!(traced_fs.auto_repair_reports().len(), 1);
+        assert_eq!(traced_fs.pending_events(), 0);
+        // Zero lag records no phantom detection-lag phase.
+        assert_eq!(
+            traced_fs.timeline().with_prefix("detection-lag:").count(),
+            0
+        );
+        assert_eq!(traced_fs.read_file(id2).unwrap(), data);
+    }
+
+    #[test]
+    fn detection_timeout_delays_the_auto_repair_and_records_the_lag() {
+        use drc_cluster::{FailureEvent, FailureEventKind, FailureTrace};
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 22);
+        let data = sample_data(9 * 1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
+        fs.sync();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        let victim = meta.placement.stripes()[0].nodes[1];
+
+        fs.set_detection_timeout(SimDuration::from_secs_f64(2.0));
+        let fail_at = fs.now() + SimDuration::from_secs_f64(1.0);
+        fs.schedule_trace(&FailureTrace::from_events(vec![FailureEvent {
+            at_ns: fail_at.0,
+            kind: FailureEventKind::NodeDown { node: victim },
+        }]));
+        assert_eq!(fs.next_event_at(), Some(fail_at));
+
+        // Before the horizon reaches the detection boundary nothing repairs,
+        // but the failure itself has been applied.
+        let before = fs.process_events_until(fail_at).unwrap();
+        assert!(before.is_empty());
+        assert!(!fs.cluster().is_up(victim));
+        assert!(!fs.namenode().is_dead(victim));
+        assert_eq!(fs.datanode(victim).unwrap().block_count(), 0, "wiped");
+
+        let detect_at = fail_at + SimDuration::from_secs_f64(2.0);
+        let reports = fs.process_all_events().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(
+            reports[0].issued_at, detect_at,
+            "repair waits for detection"
+        );
+        assert!(reports[0].completed_at > detect_at);
+        assert!(reports[0].network_bytes > 0);
+        // The blind window is on the timeline, half-open [fail, detect).
+        let lag = fs
+            .timeline()
+            .with_prefix("detection-lag:")
+            .next()
+            .expect("a detection-lag phase")
+            .clone();
+        assert_eq!(lag.start, fail_at);
+        assert_eq!(lag.end, detect_at);
+        assert_eq!(lag.bytes, 0);
+        // The node is re-provisioned and the data intact.
+        assert!(fs.cluster().is_up(victim));
+        assert!(!fs.namenode().is_dead(victim));
+        assert_eq!(fs.read_file(id).unwrap(), data);
+    }
+
+    #[test]
+    fn raising_the_timeout_after_scheduling_delays_detection_instead_of_dropping_it() {
+        use drc_cluster::{FailureEvent, FailureEventKind, FailureTrace};
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 26);
+        let data = sample_data(9 * 1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
+        fs.sync();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        let victim = meta.placement.stripes()[0].nodes[1];
+
+        // The failure is scheduled under a 1 s timeout …
+        fs.set_detection_timeout(SimDuration::from_secs_f64(1.0));
+        let fail_at = fs.now();
+        fs.schedule_trace(&FailureTrace::from_events(vec![FailureEvent {
+            at_ns: fail_at.0,
+            kind: FailureEventKind::NodeDown { node: victim },
+        }]));
+        // … and the timeout is raised before the boundary fires: detection
+        // must happen at the *new* boundary, not never.
+        fs.set_detection_timeout(SimDuration::from_secs_f64(4.0));
+        let reports = fs.process_all_events().unwrap();
+        assert_eq!(reports.len(), 1, "detection must not be dropped");
+        let detect_at = fail_at + SimDuration::from_secs_f64(4.0);
+        assert_eq!(reports[0].issued_at, detect_at);
+        let lag = fs
+            .timeline()
+            .with_prefix("detection-lag:")
+            .next()
+            .expect("a detection-lag phase")
+            .clone();
+        assert_eq!(lag.end, detect_at);
+        assert!(fs.cluster().is_up(victim));
+        assert_eq!(fs.read_file(id).unwrap(), data);
+    }
+
+    #[test]
+    fn recovery_before_the_detection_boundary_cancels_the_repair() {
+        use drc_cluster::{FailureEvent, FailureEventKind, FailureTrace};
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 23);
+        let data = sample_data(2 * 1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
+        fs.sync();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        let victim = meta.placement.stripes()[0].nodes[0];
+
+        fs.set_detection_timeout(SimDuration::from_secs_f64(5.0));
+        let fail_at = fs.now();
+        fs.schedule_trace(&FailureTrace::from_events(vec![
+            FailureEvent {
+                at_ns: fail_at.0,
+                kind: FailureEventKind::NodeDown { node: victim },
+            },
+            // The node is re-provisioned inside the detection window.
+            FailureEvent {
+                at_ns: (fail_at + SimDuration::from_secs_f64(1.0)).0,
+                kind: FailureEventKind::NodeUp { node: victim },
+            },
+        ]));
+        let reports = fs.process_all_events().unwrap();
+        assert!(reports.is_empty(), "a recovered node is never repaired");
+        assert!(fs.cluster().is_up(victim));
+        assert!(!fs.namenode().is_dead(victim));
+        assert_eq!(fs.timeline().with_prefix("detection-lag:").count(), 0);
+        // The node came back empty (fail-stop wiped it), so reads of its
+        // blocks go degraded — but the file survives.
+        assert_eq!(fs.read_file(id).unwrap(), data);
+    }
+
+    #[test]
+    fn rack_burst_detects_and_repairs_the_whole_rack_as_one_pass() {
+        use drc_cluster::{FailureEventKind, FailureTrace, RackId};
+        // Many small racks: losing one whole rack costs two nodes, which
+        // every double-replicated array code tolerates regardless of where
+        // the random placement put the stripes.
+        let mut spec = ClusterSpec::custom(24, 12, 4);
+        spec.block_size_mb = 1;
+        let mut fs = DistributedFileSystem::new(spec, 24);
+        let data = sample_data(9 * 1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::HeptagonLocal).unwrap();
+        fs.sync();
+        let rack = RackId(1);
+        let members = fs.cluster().nodes_in_rack(rack);
+        assert!(members.len() == 2);
+
+        fs.set_detection_timeout(SimDuration::from_secs_f64(0.5));
+        fs.schedule_trace(&FailureTrace::from_events(vec![
+            drc_cluster::FailureEvent::at_secs(
+                fs.now().as_secs_f64() + 0.25,
+                FailureEventKind::RackDown { rack },
+            ),
+        ]));
+        let reports = fs.process_all_events().unwrap();
+        // Both members fail and are detected at the same instant, so the
+        // correlated loss repairs as one batched pass.
+        assert_eq!(reports.len(), 1, "one pass for the whole burst");
+        assert_eq!(reports[0].unrecoverable_stripes, 0);
+        assert!(reports[0].network_bytes > 0);
+        for &n in &members {
+            assert!(fs.cluster().is_up(n), "repair re-provisioned {n}");
+        }
+        // One detection-lag phase per rack member.
+        assert_eq!(
+            fs.timeline().with_prefix("detection-lag:").count(),
+            members.len()
+        );
+        assert_eq!(fs.read_file(id).unwrap(), data);
+    }
+
+    #[test]
+    fn recovery_exactly_at_the_boundary_cancels_detection_even_for_composed_traces() {
+        use drc_cluster::{FailureEvent, FailureEventKind, FailureTrace};
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 28);
+        let data = sample_data(2 * 1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
+        fs.sync();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        let victim = meta.placement.stripes()[0].nodes[0];
+
+        fs.set_detection_timeout(SimDuration::from_secs_f64(2.0));
+        let fail_at = fs.now();
+        let boundary = fail_at + SimDuration::from_secs_f64(2.0);
+        // The failure is scheduled (queueing its Detect) *before* the
+        // recovery trace arrives with a NodeUp at the exact boundary
+        // instant: per the half-open rule the node is serving again at
+        // that instant and must never be declared dead, whatever the
+        // queue's insertion order.
+        fs.schedule_trace(&FailureTrace::from_events(vec![FailureEvent {
+            at_ns: fail_at.0,
+            kind: FailureEventKind::NodeDown { node: victim },
+        }]));
+        let early = fs.process_events_until(fail_at).unwrap();
+        assert!(early.is_empty());
+        fs.schedule_trace(&FailureTrace::from_events(vec![FailureEvent {
+            at_ns: boundary.0,
+            kind: FailureEventKind::NodeUp { node: victim },
+        }]));
+        let reports = fs.process_all_events().unwrap();
+        assert!(reports.is_empty(), "recovery at the boundary cancels");
+        assert!(fs.cluster().is_up(victim));
+        assert!(!fs.namenode().is_dead(victim));
+        assert_eq!(fs.timeline().with_prefix("detection-lag:").count(), 0);
+        assert_eq!(fs.read_file(id).unwrap(), data);
+    }
+
+    #[test]
+    fn nodeup_after_repair_does_not_phantom_occupy_the_node() {
+        use drc_cluster::{FailureEvent, FailureEventKind, FailureTrace};
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 27);
+        let data = sample_data(9 * 1024 * 1024);
+        let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
+        fs.sync();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        let victim = meta.placement.stripes()[0].nodes[1];
+
+        // Fail at now, detect quickly (auto-repair re-provisions the node),
+        // and let the trace's own recovery arrive much later: the stale
+        // NodeUp must be a no-op, not an occupy-until-60s on a node that
+        // has been serving since the repair.
+        fs.set_detection_timeout(SimDuration::from_secs_f64(0.5));
+        let fail_at = fs.now();
+        let late_up = fail_at + SimDuration::from_secs_f64(60.0);
+        fs.schedule_trace(&FailureTrace::from_events(vec![
+            FailureEvent {
+                at_ns: fail_at.0,
+                kind: FailureEventKind::NodeDown { node: victim },
+            },
+            FailureEvent {
+                at_ns: late_up.0,
+                kind: FailureEventKind::NodeUp { node: victim },
+            },
+        ]));
+        let reports = fs.process_all_events().unwrap();
+        assert_eq!(reports.len(), 1, "the repair beat the trace's recovery");
+        assert!(fs.cluster().is_up(victim));
+        let io = fs.cluster_net().node(victim);
+        assert!(
+            io.disk.next_free() < late_up && io.nic.next_free() < late_up,
+            "a stale NodeUp must not occupy the node through its instant"
+        );
+        assert_eq!(fs.read_file(id).unwrap(), data);
+    }
+
+    #[test]
+    fn slowdown_events_stretch_the_node_io() {
+        use drc_cluster::{FailureEvent, FailureEventKind, FailureTrace};
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 25);
+        let node = NodeId(3);
+        fs.schedule_trace(&FailureTrace::from_events(vec![FailureEvent::at_secs(
+            1.0,
+            FailureEventKind::Slowdown { node, factor: 4.0 },
+        )]));
+        let reports = fs.process_all_events().unwrap();
+        assert!(reports.is_empty(), "a slowdown is not a failure");
+        assert!(fs.cluster().is_up(node), "the node stays up");
+        assert_eq!(fs.cluster_net().node(node).disk.slowdown(), 4.0);
+        assert_eq!(fs.cluster_net().node(node).nic.slowdown(), 4.0);
     }
 
     #[test]

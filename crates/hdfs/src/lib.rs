@@ -52,5 +52,5 @@ mod namenode;
 pub use block::BlockKey;
 pub use datanode::DataNode;
 pub use error::HdfsError;
-pub use fs::{DistributedFileSystem, FsStats, RepairReport};
+pub use fs::{DistributedFileSystem, FsStats, RepairReport, DEFAULT_DETECTION_TIMEOUT};
 pub use namenode::{FileId, FileMetadata, NameNode};

@@ -1,4 +1,14 @@
-//! The simulated NameNode: the file namespace and the block→location map.
+//! The simulated NameNode: the file namespace, the block→location map and
+//! heartbeat-based liveness detection.
+//!
+//! Failure *detection* is distinct from failure *occurrence*: a node that
+//! fail-stops at virtual instant `t` only stops heartbeating at `t`; the
+//! NameNode declares it dead once a configurable timeout has elapsed without
+//! a heartbeat (the file-system facade drives that as a timed event). The
+//! window `[t, t + timeout)` is the **detection lag** — half-open, like every
+//! interval on the substrate's `Timeline`: the node is silent *at* `t` and
+//! declared dead *at* `t + timeout`, at which instant repairs are already
+//! being enqueued.
 
 use std::collections::BTreeMap;
 
@@ -65,12 +75,19 @@ impl FileMetadata {
     }
 }
 
-/// The file namespace plus block-location bookkeeping.
+/// The file namespace plus block-location and liveness bookkeeping.
 #[derive(Debug, Default)]
 pub struct NameNode {
     files: BTreeMap<FileId, FileMetadata>,
     by_name: BTreeMap<String, FileId>,
     next_id: u64,
+    /// Nodes whose heartbeats stopped, keyed to the instant of the first
+    /// missed heartbeat. Cleared when the node heartbeats again or is
+    /// declared dead and repaired.
+    silent_since: BTreeMap<NodeId, SimTime>,
+    /// Nodes declared dead (detection timeout elapsed), keyed to the
+    /// detection instant.
+    dead_since: BTreeMap<NodeId, SimTime>,
 }
 
 impl NameNode {
@@ -174,6 +191,43 @@ impl NameNode {
         self.files.is_empty()
     }
 
+    /// Records that `node`'s heartbeats stopped arriving at `at` (the
+    /// node failed, but the NameNode does not *know* yet — detection only
+    /// happens once the timeout elapses). A node already silent keeps its
+    /// original silence instant.
+    pub fn heartbeat_lost(&mut self, node: NodeId, at: SimTime) {
+        self.silent_since.entry(node).or_insert(at);
+    }
+
+    /// Records that `node` is heartbeating again (it recovered, or a repair
+    /// re-provisioned it): it is no longer silent nor dead.
+    pub fn heartbeat_restored(&mut self, node: NodeId) {
+        self.silent_since.remove(&node);
+        self.dead_since.remove(&node);
+    }
+
+    /// The instant `node` went silent, if its heartbeats are still missing.
+    pub fn silent_since(&self, node: NodeId) -> Option<SimTime> {
+        self.silent_since.get(&node).copied()
+    }
+
+    /// Declares `node` dead at `at` (its detection timeout elapsed with no
+    /// heartbeat). Repairs for its blocks are now enqueueable.
+    pub fn declare_dead(&mut self, node: NodeId, at: SimTime) {
+        self.dead_since.entry(node).or_insert(at);
+    }
+
+    /// Returns `true` if the NameNode has declared `node` dead (and no
+    /// heartbeat or repair has revived it since).
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead_since.contains_key(&node)
+    }
+
+    /// The nodes currently declared dead, in id order.
+    pub fn dead_nodes(&self) -> Vec<NodeId> {
+        self.dead_since.keys().copied().collect()
+    }
+
     /// Every block key (of every file) whose replica set includes `node` —
     /// the NameNode's answer to "which blocks did we lose when this node
     /// died?".
@@ -270,6 +324,26 @@ mod tests {
         assert_eq!(keys.len(), 8);
         assert!(keys.iter().all(|k| k.stripe == 0 && k.block < 9));
         assert_eq!(meta.block_locations(0, 0).len(), 2);
+    }
+
+    #[test]
+    fn heartbeat_lifecycle_tracks_silence_and_death() {
+        let mut nn = NameNode::new();
+        let n = NodeId(4);
+        assert_eq!(nn.silent_since(n), None);
+        assert!(!nn.is_dead(n));
+        nn.heartbeat_lost(n, SimTime(100));
+        // A repeated loss keeps the original silence instant.
+        nn.heartbeat_lost(n, SimTime(500));
+        assert_eq!(nn.silent_since(n), Some(SimTime(100)));
+        nn.declare_dead(n, SimTime(700));
+        assert!(nn.is_dead(n));
+        assert_eq!(nn.dead_nodes(), vec![n]);
+        // A heartbeat (recovery or repair) clears both states.
+        nn.heartbeat_restored(n);
+        assert_eq!(nn.silent_since(n), None);
+        assert!(!nn.is_dead(n));
+        assert!(nn.dead_nodes().is_empty());
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Property-based tests on the simulated file system: write/read round-trips
-//! survive any tolerated failure pattern, and repairs restore full redundancy.
+//! survive any tolerated failure pattern, repairs restore full redundancy,
+//! and the trace-driven failure engine is byte-identical at every worker
+//! pool width.
 
-use drc_cluster::ClusterSpec;
+use drc_cluster::{ClusterSpec, FailureEvent, FailureEventKind, FailureTrace};
 use drc_codes::CodeKind;
-use drc_hdfs::DistributedFileSystem;
+use drc_hdfs::{DistributedFileSystem, RepairReport};
+use drc_sim::SimDuration;
 use proptest::prelude::*;
 
 fn paper_code() -> impl Strategy<Value = CodeKind> {
@@ -86,5 +89,54 @@ proptest! {
         }
         let _ = degraded.read_file(id).unwrap();
         prop_assert!(degraded.stats().read_network_bytes >= healthy_bytes);
+    }
+
+    /// The trace-driven failure engine (timed fail-stops, heartbeat
+    /// detection, batched auto-repair) is byte-identical at worker-pool
+    /// widths 1 and 4: traffic counters, repair reports and the virtual
+    /// timeline never depend on `DRC_SIM_THREADS`.
+    #[test]
+    fn trace_driven_auto_repair_is_thread_count_invariant(
+        code in paper_code(),
+        size_kb in 512usize..2048,
+        fail_ms in 0u64..2000,
+        timeout_ms in 0u64..1000,
+        seed in any::<u64>(),
+    ) {
+        let run = |threads: usize| -> (Vec<u8>, _, Vec<RepairReport>, _) {
+            rayon::with_num_threads(threads, || {
+                let mut fs = DistributedFileSystem::new(tiny_spec(), seed);
+                let data: Vec<u8> = (0..size_kb * 1024)
+                    .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15).to_le_bytes()[i % 8])
+                    .collect();
+                let id = fs.write_file("/trace/prop", &data, code).unwrap();
+                fs.sync();
+                let built = code.build().unwrap();
+                let meta = fs.namenode().file(id).unwrap().clone();
+                let tolerance = built.fault_tolerance().min(2);
+                let victims =
+                    meta.placement.stripes()[0].nodes[..tolerance].to_vec();
+                fs.set_detection_timeout(SimDuration(timeout_ms * 1_000_000));
+                let at = fs.now() + SimDuration(fail_ms * 1_000_000);
+                fs.schedule_trace(&FailureTrace::from_events(
+                    victims
+                        .iter()
+                        .map(|&node| FailureEvent::at_ns(
+                            at.0,
+                            FailureEventKind::NodeDown { node },
+                        ))
+                        .collect(),
+                ));
+                let reports = fs.process_all_events().unwrap();
+                let back = fs.read_file(id).unwrap();
+                (back, fs.stats(), reports, fs.timeline().clone())
+            })
+        };
+        let (data_1, stats_1, reports_1, timeline_1) = run(1);
+        let (data_4, stats_4, reports_4, timeline_4) = run(4);
+        prop_assert_eq!(data_1, data_4);
+        prop_assert_eq!(stats_1, stats_4);
+        prop_assert_eq!(reports_1, reports_4);
+        prop_assert_eq!(timeline_1, timeline_4);
     }
 }

@@ -62,7 +62,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use drc_cluster::{Cluster, NodeId, PlacementMap};
+use drc_cluster::{Cluster, FailureEventKind, FailureTrace, NodeId, PlacementMap};
 use drc_codes::ErasureCode;
 use drc_sim::{ClusterNet, Resource, SimDuration, SimTime, Timeline, Transfer};
 
@@ -111,6 +111,36 @@ pub struct JobSite<'a> {
     pub start: SimTime,
 }
 
+/// The failure model a traced job execution consumes: *when* nodes fail or
+/// recover ([`FailureTrace`], absolute virtual instants on the same epoch as
+/// the job's [`JobSite::start`]) and how long the NameNode takes to notice
+/// ([`FailureModel::detection_timeout`]).
+///
+/// The engine interprets the trace's liveness events only (`NodeDown`,
+/// `RackDown`, `NodeUp`); `Slowdown` events belong to the substrate and are
+/// applied by whichever layer owns the [`ClusterNet`] (the file system's
+/// failure engine), so a shared trace is never applied twice.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureModel<'a> {
+    /// The timed failure events, on the job's virtual epoch.
+    pub trace: &'a FailureTrace,
+    /// How long after a node fail-stops the scheduler learns about it. A
+    /// failed attempt only resolves (and its task becomes re-schedulable)
+    /// at the detection boundary — the mechanism that makes job slowdown
+    /// detection-lag-dependent.
+    pub detection_timeout: SimDuration,
+}
+
+impl<'a> FailureModel<'a> {
+    /// A model over `trace` with the given detection timeout.
+    pub fn new(trace: &'a FailureTrace, detection_timeout: SimDuration) -> Self {
+        FailureModel {
+            trace,
+            detection_timeout,
+        }
+    }
+}
+
 /// Measurements from one simulated job execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobMetrics {
@@ -138,6 +168,10 @@ pub struct JobMetrics {
     pub local_map_tasks: usize,
     /// Number of map tasks that needed a degraded read (no live replica).
     pub degraded_reads: usize,
+    /// Map-task attempts lost to mid-job node failures and executed again
+    /// on surviving nodes (zero unless the job ran under a
+    /// [`FailureModel`] whose trace fired during the map phase).
+    pub tasks_reexecuted: usize,
     /// Per-phase virtual-time record: one `map:wave<i>` phase per scheduling
     /// wave (plus a `degraded-read:wave<i>` span when reconstruction traffic
     /// was in flight), a `shuffle:fetch` phase covering the reducer fetch
@@ -241,6 +275,221 @@ pub fn run_job_on(
     rng: &mut dyn RngCore,
     site: JobSite<'_>,
 ) -> Result<JobMetrics, MapReduceError> {
+    let empty = FailureTrace::new();
+    run_job_traced(
+        job,
+        code,
+        placement,
+        cluster,
+        scheduler,
+        rng,
+        site,
+        FailureModel::new(&empty, SimDuration::ZERO),
+    )
+}
+
+/// The liveness the engine tracks while consuming a [`FailureModel`]:
+/// which nodes have *actually* fail-stopped (and when), and which of those
+/// the scheduler has *detected* (and therefore stopped scheduling onto).
+/// Between a fail-stop and its detection boundary the two views disagree —
+/// that window is exactly where attempts are lost and re-executed.
+struct FailureState {
+    /// Liveness events expanded from the trace (`true` = down), sorted.
+    events: Vec<(SimTime, bool, NodeId)>,
+    /// Index of the first event not yet applied.
+    cursor: usize,
+    /// Fail-stopped nodes and their failure instants.
+    actual_down: BTreeMap<NodeId, SimTime>,
+    /// Fail-stopped nodes whose detection boundary has passed.
+    detected: BTreeSet<NodeId>,
+    /// Every node that ever fail-stopped during the job: its disk was
+    /// wiped, so its replicas stay unreadable even after a `NodeUp`
+    /// re-admits the node for task execution (the engine does not model
+    /// the storage layer's repairs restoring them mid-job).
+    wiped: BTreeSet<NodeId>,
+    /// Detection lag: boundary = failure instant + timeout.
+    timeout: SimDuration,
+}
+
+impl FailureState {
+    fn new(model: &FailureModel<'_>, cluster: &Cluster) -> Self {
+        let mut events: Vec<(SimTime, bool, NodeId)> = Vec::new();
+        for ev in model.trace.events() {
+            let at = SimTime(ev.at_ns);
+            match ev.kind {
+                FailureEventKind::NodeDown { node } => events.push((at, true, node)),
+                FailureEventKind::RackDown { rack } => {
+                    for node in cluster.nodes_in_rack(rack) {
+                        events.push((at, true, node));
+                    }
+                }
+                FailureEventKind::NodeUp { node } => events.push((at, false, node)),
+                // Substrate-level: the layer owning the ClusterNet applies
+                // slowdowns; the engine only consumes liveness.
+                FailureEventKind::Slowdown { .. } => {}
+            }
+        }
+        events.sort_by_key(|&(at, _, _)| at);
+        FailureState {
+            events,
+            cursor: 0,
+            actual_down: BTreeMap::new(),
+            detected: BTreeSet::new(),
+            wiped: BTreeSet::new(),
+            timeout: model.timeout(),
+        }
+    }
+
+    /// Advances the model to `t`, interleaving trace events and detection
+    /// boundaries **in time order** — the same strict replay the storage
+    /// engine's event queue does, so detection never depends on where the
+    /// job's wave boundaries happen to fall. A recovery at or before a
+    /// node's boundary cancels its detection; a recovery after it does not
+    /// (the node was already declared dead). Crossed boundaries mark the
+    /// scheduler's `view` down and put each non-zero blind window on the
+    /// timeline as a `detection-lag:` phase (half-open
+    /// `[failure, boundary)`, zero bytes).
+    fn advance(&mut self, t: SimTime, view: &mut Cluster, timeline: &mut Timeline) {
+        loop {
+            let next_event = (self.cursor < self.events.len())
+                .then(|| self.events[self.cursor].0)
+                .filter(|&at| at <= t);
+            let next_boundary = self
+                .actual_down
+                .iter()
+                .filter(|(node, _)| !self.detected.contains(node))
+                .map(|(&node, &down_at)| (down_at + self.timeout, node))
+                .min()
+                .filter(|&(boundary, _)| boundary <= t);
+            match (next_event, next_boundary) {
+                // Same-instant ties go to the trace event, matching the
+                // storage engine's FIFO queue: a node restored *at* its
+                // boundary is serving again at that instant (half-open
+                // outage) and is never declared dead.
+                (Some(event_at), Some((boundary, node))) if boundary < event_at => {
+                    self.cross_boundary(node, boundary, view, timeline);
+                }
+                (Some(_), _) => self.apply_next_event(view),
+                (None, Some((boundary, node))) => {
+                    self.cross_boundary(node, boundary, view, timeline);
+                }
+                (None, None) => break,
+            }
+        }
+    }
+
+    /// Applies the next trace event to the actual-liveness map.
+    fn apply_next_event(&mut self, view: &mut Cluster) {
+        let (at, down, node) = self.events[self.cursor];
+        self.cursor += 1;
+        if down {
+            if view.is_up(node) && !self.actual_down.contains_key(&node) {
+                self.actual_down.insert(node, at);
+                self.wiped.insert(node);
+            }
+        } else {
+            self.actual_down.remove(&node);
+            self.detected.remove(&node);
+            view.set_up(node);
+        }
+    }
+
+    /// Crosses one node's detection boundary: the scheduler finally sees it
+    /// as dead.
+    fn cross_boundary(
+        &mut self,
+        node: NodeId,
+        boundary: SimTime,
+        view: &mut Cluster,
+        timeline: &mut Timeline,
+    ) {
+        let down_at = self.actual_down[&node];
+        self.detected.insert(node);
+        view.set_down(node);
+        if boundary > down_at {
+            timeline.record(drc_sim::detection_lag_label(node.0), down_at, boundary, 0);
+        }
+    }
+
+    /// Returns `true` if `node` can serve a replica read right now: it is
+    /// up in the scheduler's view, has not silently fail-stopped, and was
+    /// never wiped by an earlier fail-stop (a `NodeUp` re-admits the node
+    /// for task execution, but it comes back with an empty disk).
+    fn replica_alive(&self, node: NodeId, view: &Cluster) -> bool {
+        view.is_up(node) && !self.wiped.contains(&node)
+    }
+
+    /// When the scheduler gives up on an attempt lost to `node`'s fail-stop
+    /// at `fail_at`: the detection boundary — or earlier, if the node
+    /// rejoins first (a rejoining node immediately reports the attempt
+    /// gone, so a recovery that cancels detection never stretches the job
+    /// by a blind window that ends in nothing).
+    fn attempt_resolution(&self, node: NodeId, fail_at: SimTime) -> SimTime {
+        let boundary = fail_at + self.timeout;
+        self.events[self.cursor..]
+            .iter()
+            .find(|&&(at, down, n)| !down && n == node && at >= fail_at)
+            .map(|&(at, _, _)| at.min(boundary))
+            .unwrap_or(boundary)
+    }
+
+    /// The instant `node` fail-stops, if an attempt in the window ending at
+    /// `end` would be lost to it: either the node is already silently down
+    /// (its past failure instant is returned), or the first not-yet-applied
+    /// down event for it falls before `end`.
+    fn first_failure_before(&self, node: NodeId, end: SimTime) -> Option<SimTime> {
+        if let Some(&down_at) = self.actual_down.get(&node) {
+            return Some(down_at);
+        }
+        self.events[self.cursor..]
+            .iter()
+            .find(|&&(at, down, n)| down && n == node && at < end)
+            .map(|&(at, _, _)| at)
+    }
+}
+
+impl FailureModel<'_> {
+    fn timeout(&self) -> SimDuration {
+        self.detection_timeout
+    }
+}
+
+/// Runs `job` like [`run_job_on`], additionally consuming a timed failure
+/// model *mid-job*:
+///
+/// * a node that fail-stops takes every map attempt running (or scheduled)
+///   on it with it — the attempt resolves at the node's **detection
+///   boundary** (failure instant + [`FailureModel::detection_timeout`]) and
+///   the task re-executes on a surviving node in a later wave
+///   ([`JobMetrics::tasks_reexecuted`] counts the lost attempts),
+/// * during the blind window the scheduler keeps scheduling onto the dead
+///   node (its view is stale) and reads treat the node's replicas as
+///   unreachable: reads issued after the failure go degraded exactly as if
+///   the replica set had shrunk,
+/// * each non-zero blind window appears on [`JobMetrics::timeline`] as a
+///   `detection-lag:node<N>` phase (half-open `[failure, boundary)`),
+/// * `NodeUp` events re-admit nodes (for scheduling and reads) from their
+///   instant on; `Slowdown` events are ignored here — they belong to the
+///   layer that owns the shared [`ClusterNet`].
+///
+/// An empty trace makes this byte- and time-identical to [`run_job_on`]
+/// (the differential tests lock that).
+///
+/// # Errors
+///
+/// As [`run_job`], plus [`MapReduceError::UnreadableBlock`] when failures
+/// push a block past its code's tolerance.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_traced(
+    job: &JobSpec,
+    code: &dyn ErasureCode,
+    placement: &PlacementMap,
+    cluster: &Cluster,
+    scheduler: &dyn TaskScheduler,
+    rng: &mut dyn RngCore,
+    site: JobSite<'_>,
+    failures: FailureModel<'_>,
+) -> Result<JobMetrics, MapReduceError> {
     let spec = cluster.spec();
     let block_mb = spec.block_size_mb as f64;
     let block_bytes = spec.block_size_bytes();
@@ -262,12 +511,14 @@ pub fn run_job_on(
     // Map slots as unit-capacity virtual-time resources, one per slot: a
     // task's duration is *consumed* as a reservation, so slot contention and
     // wave pipelining fall out of the substrate instead of hand-rolled
-    // availability arrays.
-    let node_slots: BTreeMap<NodeId, Vec<Resource>> = cluster
-        .up_nodes()
-        .into_iter()
-        .map(|n| (n, (0..slots).map(|_| Resource::new(0.0)).collect()))
-        .collect();
+    // availability arrays. Populated lazily so nodes revived by `NodeUp`
+    // events mid-job get slots too.
+    let mut node_slots: BTreeMap<NodeId, Vec<Resource>> = BTreeMap::new();
+    // The scheduler's view of the cluster: it learns about fail-stops only
+    // at their detection boundaries, while `failure_state` tracks the truth.
+    let mut view = cluster.clone();
+    let mut failure_state = FailureState::new(&failures, cluster);
+    let mut tasks_reexecuted = 0usize;
     // The shared LAN fabric of the execution site: aggregate remote traffic
     // queues through it at cluster-wide bandwidth, behind whatever other
     // traffic (repairs, degraded reads) already reserved it.
@@ -284,7 +535,11 @@ pub fn run_job_on(
     let mut degraded_reads = 0usize;
 
     while !pending.is_empty() {
-        let graph = TaskNodeGraph::build(&pending, placement, cluster);
+        // Everything that happened up to this wave's start is now in force;
+        // boundaries crossed mean the scheduler finally sees those nodes as
+        // dead.
+        failure_state.advance(wave_start, &mut view, &mut timeline);
+        let graph = TaskNodeGraph::build(&pending, placement, &view);
         let capacities: BTreeMap<NodeId, usize> =
             graph.nodes().iter().map(|&n| (n, slots)).collect();
         let assignment: Assignment = scheduler.assign(&graph, &capacities, rng);
@@ -293,32 +548,59 @@ pub fn run_job_on(
                 reason: "scheduler made no progress (no capacity available)".to_string(),
             });
         }
-        let assigned_ids: BTreeSet<usize> = assignment.iter().map(|a| a.task.0).collect();
+        // Tasks whose attempt completes this wave; failed attempts stay
+        // pending and re-execute after their node's detection boundary.
+        let mut completed_ids: BTreeSet<usize> = BTreeSet::new();
         let mut wave_network_bytes = 0u64;
         let mut wave_degraded_bytes = 0u64;
         let mut wave_end = wave_start;
 
         for a in assignment.iter() {
             let task = pending[a.task.0];
-            // Read cost.
-            let (read_s, remote_bytes, degraded_bytes) = if a.local {
-                (block_mb / spec.disk_bandwidth_mbps, 0u64, 0u64)
+            // An attempt on a node that already fail-stopped (silently —
+            // detected nodes are out of the graph) is lost outright: it
+            // resolves when the scheduler gives up on the node and the task
+            // becomes re-schedulable.
+            if let Some(fail_at) = failure_state.first_failure_before(a.node, wave_start) {
+                let resolve = failure_state
+                    .attempt_resolution(a.node, fail_at)
+                    .max(wave_start);
+                wave_end = wave_end.max(resolve);
+                tasks_reexecuted += 1;
+                continue;
+            }
+            // Read cost: replicas on *actually* down nodes (detected or
+            // not) cannot serve, so reads issued after a failure go
+            // degraded even inside the blind window. A "local" assignment
+            // is only truly local if the node's replica survived — a
+            // wiped-then-revived node is back for task execution, but the
+            // scheduler's placement edge points at data its fail-stop
+            // destroyed, so the read falls through to the remote/degraded
+            // path like any other dead replica.
+            let local = a.local && failure_state.replica_alive(a.node, &view);
+            let (read_s, remote_bytes, degraded_bytes, degraded) = if local {
+                (block_mb / spec.disk_bandwidth_mbps, 0u64, 0u64, false)
             } else {
                 // Which stripe-local nodes are down for this block's stripe?
                 let stripe_nodes = &placement.stripes()[task.block.stripe].nodes;
                 let down_local: BTreeSet<usize> = stripe_nodes
                     .iter()
                     .enumerate()
-                    .filter(|(_, n)| !cluster.is_up(**n))
+                    .filter(|(_, n)| !failure_state.replica_alive(**n, &view))
                     .map(|(i, _)| i)
                     .collect();
                 let replicas_alive = placement
                     .block_locations(task.block)
                     .iter()
-                    .any(|n| cluster.is_up(*n));
+                    .any(|n| failure_state.replica_alive(*n, &view));
                 if replicas_alive {
                     // Plain remote read of one block.
-                    (block_mb / spec.network_bandwidth_mbps, block_bytes, 0u64)
+                    (
+                        block_mb / spec.network_bandwidth_mbps,
+                        block_bytes,
+                        0u64,
+                        false,
+                    )
                 } else {
                     // Degraded read: rebuild from the code's plan.
                     let plan = code
@@ -328,33 +610,51 @@ pub fn run_job_on(
                             source,
                         })?;
                     let bytes = plan.network_blocks as u64 * block_bytes;
-                    degraded_reads += 1;
                     (
                         plan.network_blocks as f64 * block_mb / spec.network_bandwidth_mbps,
                         0u64,
                         bytes,
+                        true,
                     )
                 }
             };
-            if a.local {
-                local_map_tasks += 1;
-            }
-            remote_input_bytes += remote_bytes;
-            degraded_read_bytes += degraded_bytes;
-            wave_network_bytes += remote_bytes + degraded_bytes;
-            wave_degraded_bytes += degraded_bytes;
 
             let run_s = job.task_overhead_s() + read_s + block_mb * job.map_cpu_s_per_mb();
             // Consume the task's duration on the earliest-free slot of the
             // assigned node.
             let slot_times = node_slots
-                .get(&a.node)
-                .expect("assignment only uses up nodes");
+                .entry(a.node)
+                .or_insert_with(|| (0..slots).map(|_| Resource::new(0.0)).collect());
             let slot = slot_times
                 .iter()
                 .min_by_key(|s| s.next_free())
                 .expect("at least one slot per node");
             let res = slot.reserve_for(wave_start, SimDuration::from_secs_f64(run_s));
+
+            // A fail-stop inside the attempt's window kills it mid-run: the
+            // slot time is burnt, nothing is read or produced, and the task
+            // resolves (for rescheduling) once the scheduler gives up on
+            // the node.
+            if let Some(fail_at) = failure_state.first_failure_before(a.node, res.end) {
+                let resolve = failure_state
+                    .attempt_resolution(a.node, fail_at)
+                    .max(wave_start);
+                wave_end = wave_end.max(resolve);
+                tasks_reexecuted += 1;
+                continue;
+            }
+
+            if local {
+                local_map_tasks += 1;
+            }
+            if degraded {
+                degraded_reads += 1;
+            }
+            remote_input_bytes += remote_bytes;
+            degraded_read_bytes += degraded_bytes;
+            wave_network_bytes += remote_bytes + degraded_bytes;
+            wave_degraded_bytes += degraded_bytes;
+            completed_ids.insert(a.task.0);
             wave_end = wave_end.max(res.end);
         }
         // The cluster's LAN is shared: if the wave's remote reads exceed what
@@ -384,11 +684,12 @@ pub fn run_job_on(
         map_phase_end = map_phase_end.max(wave_end);
         wave_index += 1;
 
-        // Remove assigned tasks; renumber the remainder for the next wave.
+        // Remove completed tasks (lost attempts stay pending and re-execute
+        // once their node's death is detected); renumber for the next wave.
         pending = pending
             .iter()
             .enumerate()
-            .filter(|(i, _)| !assigned_ids.contains(i))
+            .filter(|(i, _)| !completed_ids.contains(i))
             .map(|(_, t)| *t)
             .collect();
         for (i, t) in pending.iter_mut().enumerate() {
@@ -396,6 +697,9 @@ pub fn run_job_on(
         }
         wave_start = map_phase_end;
     }
+    // Failures that landed during the final wave (or detection boundaries
+    // crossed by its end) are in force before reducers are placed.
+    failure_state.advance(map_phase_end, &mut view, &mut timeline);
 
     // ---- Shuffle + reduce phase -------------------------------------------
     //
@@ -405,7 +709,10 @@ pub fn run_job_on(
     // node crosses the network.
     let input_bytes = job.map_tasks().len() as u64 * block_bytes;
     let map_output_bytes = scale_bytes(input_bytes, job.shuffle_ratio(), "map output")?;
-    let up = cluster.up_nodes();
+    // Reducers land on the nodes the scheduler believes are up at the end
+    // of the map phase (identical to the caller's cluster when no trace
+    // event fired).
+    let up = view.up_nodes();
     let n_up = up.len().max(1);
     let network_fraction = 1.0 - 1.0 / n_up as f64;
     let shuffle_bytes = scale_bytes(map_output_bytes, network_fraction, "shuffle volume")?;
@@ -511,6 +818,7 @@ pub fn run_job_on(
         map_tasks: job.map_tasks().len(),
         local_map_tasks,
         degraded_reads,
+        tasks_reexecuted,
         timeline,
         shuffle_contention,
     })
@@ -860,6 +1168,366 @@ mod tests {
         // The map phase never touches NICs, so the whole delay is reduce-side.
         assert!((busy.map_phase_s - idle.map_phase_s).abs() < 1e-9);
         assert!(busy.reduce_phase_s > idle.reduce_phase_s);
+    }
+
+    #[test]
+    fn t0_trace_with_zero_timeout_matches_the_static_failure_model() {
+        use drc_cluster::FailureScenario;
+        // Static path: the cluster starts with the victims down. Traced
+        // path: a healthy cluster plus a t = 0 trace under a zero detection
+        // timeout. The two must produce identical metrics, timeline
+        // included.
+        for kind in [CodeKind::Pentagon, CodeKind::Heptagon] {
+            let code = kind.build().unwrap();
+            let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+            let mut rng = ChaCha8Rng::seed_from_u64(31);
+            let placement = PlacementMap::place(
+                code.as_ref(),
+                &cluster,
+                3,
+                PlacementPolicy::Random,
+                &mut rng,
+            )
+            .unwrap();
+            let victims: Vec<NodeId> = placement
+                .block_locations(drc_cluster::GlobalBlockId {
+                    stripe: 0,
+                    block: 0,
+                })
+                .to_vec();
+            let job = JobSpec::new("diff", placement.data_blocks()).with_reduce_tasks(6);
+
+            let mut down_cluster = cluster.clone();
+            for &v in &victims {
+                down_cluster.set_down(v);
+            }
+            let mut rng_a = ChaCha8Rng::seed_from_u64(77);
+            let net_a = drc_sim::ClusterNet::new(cluster.spec());
+            let static_metrics = run_job_on(
+                &job,
+                code.as_ref(),
+                &placement,
+                &down_cluster,
+                &DelayScheduler::default(),
+                &mut rng_a,
+                JobSite {
+                    net: &net_a,
+                    start: SimTime::ZERO,
+                },
+            )
+            .unwrap();
+
+            let trace = FailureScenario::nodes(victims).to_trace();
+            let mut rng_b = ChaCha8Rng::seed_from_u64(77);
+            let net_b = drc_sim::ClusterNet::new(cluster.spec());
+            let traced_metrics = run_job_traced(
+                &job,
+                code.as_ref(),
+                &placement,
+                &cluster,
+                &DelayScheduler::default(),
+                &mut rng_b,
+                JobSite {
+                    net: &net_b,
+                    start: SimTime::ZERO,
+                },
+                FailureModel::new(&trace, SimDuration::ZERO),
+            )
+            .unwrap();
+
+            assert_eq!(static_metrics, traced_metrics, "{kind}");
+            assert_eq!(traced_metrics.tasks_reexecuted, 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn mid_job_failure_reexecutes_tasks_and_slowdown_grows_with_detection_lag() {
+        use drc_cluster::{FailureEvent, FailureEventKind, FailureTrace};
+        let code = CodeKind::Pentagon.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::simulation_25(2));
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            6,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
+        let job = JobSpec::new("failing", placement.data_blocks()).with_reduce_tasks(8);
+        let run = |trace: &FailureTrace, timeout_s: f64| {
+            let net = drc_sim::ClusterNet::new(cluster.spec());
+            let mut rng = ChaCha8Rng::seed_from_u64(43);
+            run_job_traced(
+                &job,
+                code.as_ref(),
+                &placement,
+                &cluster,
+                &DelayScheduler::default(),
+                &mut rng,
+                JobSite {
+                    net: &net,
+                    start: SimTime::ZERO,
+                },
+                FailureModel::new(trace, SimDuration::from_secs_f64(timeout_s)),
+            )
+            .unwrap()
+        };
+
+        let healthy = run(&FailureTrace::new(), 1.0);
+        assert_eq!(healthy.tasks_reexecuted, 0);
+
+        // Fail a node that certainly runs tasks (every node hosts blocks at
+        // this load) a little into the map phase.
+        let fail_at = healthy.map_phase_s * 0.25;
+        let victim = NodeId(5);
+        let trace = FailureTrace::from_events(vec![FailureEvent::at_secs(
+            fail_at,
+            FailureEventKind::NodeDown { node: victim },
+        )]);
+        let short = run(&trace, 0.5);
+        let long = run(&trace, 5.0);
+        for (label, m) in [("short", &short), ("long", &long)] {
+            assert!(
+                m.tasks_reexecuted >= 1,
+                "{label}: tasks on the dead node must re-execute"
+            );
+            assert!(
+                m.map_phase_s >= healthy.map_phase_s,
+                "{label}: lost attempts never shorten the map phase"
+            );
+            let lag = m
+                .timeline
+                .with_prefix("detection-lag:")
+                .next()
+                .expect("a detection-lag phase");
+            // The trace instant is rounded to the nearest nanosecond.
+            assert!((lag.start.as_secs_f64() - fail_at).abs() < 1e-9);
+            assert_eq!(lag.bytes, 0);
+        }
+        // The blind window is the mechanism: with a detection timeout long
+        // enough that lost attempts resolve after the healthy wave ends,
+        // the map phase (and with it the job) strictly stretches, and a
+        // 10x longer timeout stretches it further.
+        assert!(
+            long.map_phase_s > healthy.map_phase_s,
+            "the blind window must extend the map phase (healthy {:.3}s, long {:.3}s)",
+            healthy.map_phase_s,
+            long.map_phase_s
+        );
+        assert!(
+            long.map_phase_s > short.map_phase_s && long.job_time_s > short.job_time_s,
+            "detection lag must translate into job slowdown (short {:.3}s/{:.3}s, long {:.3}s/{:.3}s)",
+            short.map_phase_s,
+            short.job_time_s,
+            long.map_phase_s,
+            long.job_time_s
+        );
+        // Byte accounting stays exact: totals still partition.
+        assert_eq!(
+            short.network_traffic_bytes,
+            short.remote_input_bytes + short.degraded_read_bytes + short.shuffle_bytes
+        );
+    }
+
+    #[test]
+    fn detection_depends_on_event_order_not_on_when_the_engine_looks() {
+        use drc_cluster::{FailureEvent, FailureEventKind, FailureTrace};
+        let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+        let node = NodeId(9);
+        let t = |s: f64| SimTime::ZERO + SimDuration::from_secs_f64(s);
+        let state_after = |up_at_s: f64, advance_to_s: f64| {
+            let trace = FailureTrace::from_events(vec![
+                FailureEvent::at_secs(1.0, FailureEventKind::NodeDown { node }),
+                FailureEvent::at_secs(up_at_s, FailureEventKind::NodeUp { node }),
+            ]);
+            let model = FailureModel::new(&trace, SimDuration::from_secs_f64(2.0));
+            let mut state = FailureState::new(&model, &cluster);
+            let mut view = cluster.clone();
+            let mut timeline = Timeline::new();
+            state.advance(t(advance_to_s), &mut view, &mut timeline);
+            (state, view, timeline)
+        };
+
+        // Recovery *after* the boundary (down@1s, boundary@3s, up@5s): one
+        // big advance to 6s must still cross the boundary — detection is
+        // replayed in time order, not sampled at the advance instant.
+        let (state, view, timeline) = state_after(5.0, 6.0);
+        let lag = timeline
+            .with_prefix("detection-lag:")
+            .next()
+            .expect("the boundary was crossed before the recovery");
+        assert_eq!(lag.start, t(1.0));
+        assert_eq!(lag.end, t(3.0));
+        // The NodeUp then re-admitted the node for tasks — but its wiped
+        // replicas stay unreadable.
+        assert!(view.is_up(node));
+        assert!(!state.replica_alive(node, &view));
+
+        // Recovery exactly *at* the boundary (half-open outage: serving
+        // again at 3s) cancels detection entirely.
+        let (_, view, timeline) = state_after(3.0, 6.0);
+        assert!(view.is_up(node));
+        assert_eq!(timeline.with_prefix("detection-lag:").count(), 0);
+    }
+
+    #[test]
+    fn a_quick_rejoin_resolves_lost_attempts_before_the_detection_boundary() {
+        use drc_cluster::{FailureEvent, FailureEventKind, FailureTrace};
+        // A node hosting map tasks blips out for one second under an
+        // enormous detection timeout: the lost attempts must resolve when
+        // the node rejoins, not five minutes later at a boundary the
+        // recovery cancelled.
+        let code = CodeKind::Pentagon.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::simulation_25(2));
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            6,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
+        let job = JobSpec::new("blip", placement.data_blocks()).with_reduce_tasks(8);
+        let run = |trace: &FailureTrace| {
+            let net = drc_sim::ClusterNet::new(cluster.spec());
+            let mut rng = ChaCha8Rng::seed_from_u64(43);
+            run_job_traced(
+                &job,
+                code.as_ref(),
+                &placement,
+                &cluster,
+                &DelayScheduler::default(),
+                &mut rng,
+                JobSite {
+                    net: &net,
+                    start: SimTime::ZERO,
+                },
+                FailureModel::new(trace, SimDuration::from_secs_f64(300.0)),
+            )
+            .unwrap()
+        };
+        let healthy = run(&FailureTrace::new());
+        let fail_at = healthy.map_phase_s * 0.25;
+        let victim = NodeId(5);
+        let blip = FailureTrace::from_events(vec![
+            FailureEvent::at_secs(fail_at, FailureEventKind::NodeDown { node: victim }),
+            FailureEvent::at_secs(fail_at + 1.0, FailureEventKind::NodeUp { node: victim }),
+        ]);
+        let m = run(&blip);
+        assert!(m.tasks_reexecuted >= 1, "the blip must cost an attempt");
+        assert!(
+            m.map_phase_s < healthy.map_phase_s + 30.0,
+            "a 1 s blip must not stretch the map phase by the 300 s blind \
+             window (healthy {:.3}s, blipped {:.3}s)",
+            healthy.map_phase_s,
+            m.map_phase_s
+        );
+        // The recovery cancelled detection, so no blind-window phase.
+        assert_eq!(m.timeline.with_prefix("detection-lag:").count(), 0);
+    }
+
+    #[test]
+    fn local_assignments_on_wiped_then_revived_nodes_read_degraded() {
+        use drc_cluster::{FailureEvent, FailureEventKind, FailureTrace};
+        // Every replica holder of block 0 fail-stops at t = 0 (zero
+        // detection timeout) and is revived immediately after: the nodes
+        // are back for scheduling — the delay scheduler will happily place
+        // the task "locally" on one of them — but their disks are empty,
+        // so the read must be a degraded reconstruction, never a local hit.
+        let code = CodeKind::Pentagon.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            1,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
+        let block = drc_cluster::GlobalBlockId {
+            stripe: 0,
+            block: 0,
+        };
+        let mut events: Vec<FailureEvent> = Vec::new();
+        for &node in placement.block_locations(block) {
+            events.push(FailureEvent::at_ns(0, FailureEventKind::NodeDown { node }));
+            events.push(FailureEvent::at_ns(1, FailureEventKind::NodeUp { node }));
+        }
+        let trace = FailureTrace::from_events(events);
+        let job = JobSpec::new("revived", vec![block]);
+        let net = drc_sim::ClusterNet::new(cluster.spec());
+        let metrics = run_job_traced(
+            &job,
+            code.as_ref(),
+            &placement,
+            &cluster,
+            &DelayScheduler::default(),
+            &mut rng,
+            JobSite {
+                net: &net,
+                start: SimTime::ZERO + SimDuration::from_secs_f64(1.0),
+            },
+            FailureModel::new(&trace, SimDuration::ZERO),
+        )
+        .unwrap();
+        assert_eq!(metrics.local_map_tasks, 0, "wiped data cannot be local");
+        assert_eq!(metrics.degraded_reads, 1);
+        assert_eq!(metrics.degraded_read_bytes, 3 * 128 * 1024 * 1024);
+        assert_eq!(metrics.tasks_reexecuted, 0, "the nodes are alive again");
+    }
+
+    #[test]
+    fn reads_after_an_undetected_failure_go_degraded() {
+        use drc_cluster::{FailureEvent, FailureEventKind, FailureTrace};
+        // Both replicas of block 0 fail at t = 0 with a *large* detection
+        // timeout: the scheduler still believes they are up, but the reads
+        // must go degraded immediately (a silent node serves nothing).
+        let code = CodeKind::Pentagon.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+        let mut rng = ChaCha8Rng::seed_from_u64(51);
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            1,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
+        let block = drc_cluster::GlobalBlockId {
+            stripe: 0,
+            block: 0,
+        };
+        let victims: Vec<NodeId> = placement.block_locations(block).to_vec();
+        let trace = FailureTrace::from_events(
+            victims
+                .iter()
+                .map(|&node| FailureEvent::at_ns(0, FailureEventKind::NodeDown { node }))
+                .collect(),
+        );
+        // Only the failed block is read, from elsewhere: the job's single
+        // task cannot land on a victim or the attempt would just die.
+        let job = JobSpec::new("blind-degraded", vec![block]);
+        let net = drc_sim::ClusterNet::new(cluster.spec());
+        let metrics = run_job_traced(
+            &job,
+            code.as_ref(),
+            &placement,
+            &cluster,
+            &DelayScheduler::default(),
+            &mut rng,
+            JobSite {
+                net: &net,
+                start: SimTime::ZERO,
+            },
+            FailureModel::new(&trace, SimDuration::from_secs_f64(1e6)),
+        )
+        .unwrap();
+        assert_eq!(metrics.degraded_reads, 1);
+        assert_eq!(metrics.degraded_read_bytes, 3 * 128 * 1024 * 1024);
+        assert_eq!(metrics.local_map_tasks, 0);
     }
 
     #[test]

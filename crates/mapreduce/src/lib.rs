@@ -46,7 +46,9 @@ mod locality;
 mod scheduler;
 
 pub use assignment::{Assignment, TaskAssignment};
-pub use engine::{run_job, run_job_on, JobMetrics, JobSite, LinkContention};
+pub use engine::{
+    run_job, run_job_on, run_job_traced, FailureModel, JobMetrics, JobSite, LinkContention,
+};
 pub use error::MapReduceError;
 pub use graph::{TaskNodeGraph, TaskVertex};
 pub use job::{JobSpec, MapTask, TaskId};

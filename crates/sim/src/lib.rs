@@ -9,12 +9,16 @@
 //!   ordering and accumulation are exactly deterministic,
 //! * [`VirtualClock`] — the per-simulation clock operations advance,
 //! * [`EventQueue`] — a time-ordered queue with deterministic FIFO
-//!   tie-breaking, the execution core every timed subsystem drains,
+//!   tie-breaking, the execution core every timed subsystem drains;
+//!   [`Schedule::at`] pairs instants with payloads so plans (failure
+//!   traces) can be described before any queue executes them,
 //! * [`Resource`] — a bandwidth server (disk, NIC, shared LAN fabric) whose
 //!   reservations serialise contending transfers; lock-free so shared
 //!   components (DataNodes) can reserve through `&self`,
 //! * [`ClusterNet`] — per-node disk + NIC resources and the shared fabric,
-//!   built from [`drc_cluster::ClusterSpec`] bandwidth figures,
+//!   built from [`drc_cluster::ClusterSpec`] bandwidth figures, with a
+//!   per-node [`NodeState`] availability signal so timed failure/recovery
+//!   events can take a node's resources dark and restore them mid-run,
 //! * [`Transfer`] — sequences one operation's acquisition of several pipes
 //!   plus the fabric and reports per-link wait time, so layers that share
 //!   the fabric (shuffle, repair, degraded reads) can attribute their
@@ -65,10 +69,11 @@ mod resource;
 mod time;
 mod timeline;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, Schedule};
 pub use net::{
-    fabric, pull_from, push_to, transfer_between, ClusterNet, NodeIo, Transfer, TransferOutcome,
+    fabric, pull_from, push_to, transfer_between, ClusterNet, NodeIo, NodeState, Transfer,
+    TransferOutcome,
 };
 pub use resource::{Reservation, Resource};
 pub use time::{SimDuration, SimTime, VirtualClock};
-pub use timeline::{Phase, Timeline};
+pub use timeline::{detection_lag_label, Phase, Timeline, DETECTION_LAG_PREFIX};

@@ -34,6 +34,11 @@ impl Reservation {
 /// The free-time cursor is an `AtomicU64`, so components shared behind
 /// `&self` (DataNodes, the fabric) can reserve without locks.
 ///
+/// A resource can be **slowed down** ([`Resource::set_slowdown`]): a factor
+/// of 2.0 halves the effective bandwidth from that point on, 1.0 restores
+/// nominal speed. Failure traces use this for degraded-but-alive nodes
+/// (a failing disk, a congested uplink).
+///
 /// # Example
 ///
 /// ```
@@ -45,10 +50,18 @@ impl Reservation {
 /// assert_eq!(a.end.as_secs_f64(), 1.0);
 /// assert_eq!(b.start, a.end); // queued behind the first read
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Resource {
     bandwidth_mib_s: f64,
     next_free: AtomicU64,
+    /// Bandwidth divisor (f64 bits): 1.0 = nominal, 2.0 = half speed.
+    slowdown: AtomicU64,
+}
+
+impl Default for Resource {
+    fn default() -> Self {
+        Resource::new(0.0)
+    }
 }
 
 impl Resource {
@@ -59,17 +72,38 @@ impl Resource {
         Resource {
             bandwidth_mib_s,
             next_free: AtomicU64::new(0),
+            slowdown: AtomicU64::new(1.0f64.to_bits()),
         }
     }
 
-    /// The modeled bandwidth in MiB/s.
+    /// The modeled nominal bandwidth in MiB/s (before any slowdown).
     pub fn bandwidth_mib_s(&self) -> f64 {
         self.bandwidth_mib_s
     }
 
-    /// The service time for `bytes` at this resource's bandwidth.
+    /// The current slowdown factor (1.0 when running at nominal speed).
+    pub fn slowdown(&self) -> f64 {
+        f64::from_bits(self.slowdown.load(Ordering::Acquire))
+    }
+
+    /// Divides the effective bandwidth by `factor` for every reservation
+    /// made from now on (already-granted windows are unchanged). A factor
+    /// of 1.0 restores nominal speed; non-finite or non-positive factors
+    /// are treated as 1.0 so a degenerate trace cannot stall a resource
+    /// forever.
+    pub fn set_slowdown(&self, factor: f64) {
+        let factor = if factor.is_finite() && factor > 0.0 {
+            factor
+        } else {
+            1.0
+        };
+        self.slowdown.store(factor.to_bits(), Ordering::Release);
+    }
+
+    /// The service time for `bytes` at this resource's effective (slowdown-
+    /// adjusted) bandwidth.
     pub fn service_time(&self, bytes: u64) -> SimDuration {
-        SimDuration::for_bytes(bytes, self.bandwidth_mib_s)
+        SimDuration::for_bytes(bytes, self.bandwidth_mib_s / self.slowdown())
     }
 
     /// When the resource is next idle.
@@ -106,9 +140,11 @@ impl Resource {
         self.next_free.fetch_max(end.0, Ordering::AcqRel);
     }
 
-    /// Forgets all reservations (a fresh resource at the epoch).
+    /// Forgets all reservations and any slowdown (a fresh resource at the
+    /// epoch, at nominal speed).
     pub fn reset(&self) {
         self.next_free.store(0, Ordering::Release);
+        self.slowdown.store(1.0f64.to_bits(), Ordering::Release);
     }
 }
 
@@ -144,6 +180,30 @@ mod tests {
         assert_eq!(r.next_free(), SimTime(42));
         r.reset();
         assert_eq!(r.next_free(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn slowdown_scales_service_time_and_reset_clears_it() {
+        let r = Resource::new(100.0);
+        assert_eq!(r.slowdown(), 1.0);
+        r.set_slowdown(2.0);
+        assert_eq!(r.slowdown(), 2.0);
+        // 100 MiB at an effective 50 MiB/s take two seconds.
+        let res = r.reserve_bytes(SimTime::ZERO, 100 << 20);
+        assert_eq!(res.duration().as_secs_f64(), 2.0);
+        // Restoring nominal speed only affects future reservations.
+        r.set_slowdown(1.0);
+        let healthy = r.reserve_bytes(SimTime::ZERO, 100 << 20);
+        assert_eq!(healthy.duration().as_secs_f64(), 1.0);
+        assert_eq!(healthy.start, res.end);
+        // Degenerate factors never stall the resource.
+        r.set_slowdown(f64::NAN);
+        assert_eq!(r.slowdown(), 1.0);
+        r.set_slowdown(-3.0);
+        assert_eq!(r.slowdown(), 1.0);
+        r.set_slowdown(4.0);
+        r.reset();
+        assert_eq!(r.slowdown(), 1.0);
     }
 
     #[test]

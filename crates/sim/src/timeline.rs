@@ -5,6 +5,19 @@ use serde::{Deserialize, Serialize};
 
 use crate::time::{SimDuration, SimTime};
 
+/// The label prefix both failure engines (the simulated HDFS's
+/// detection/auto-repair queue and the MapReduce engine's traced execution)
+/// use for blind-window phases, so experiments matching
+/// [`Timeline::with_prefix`] see the same spans whichever layer recorded
+/// them.
+pub const DETECTION_LAG_PREFIX: &str = "detection-lag:";
+
+/// The canonical label of one node's detection blind window — the phase
+/// covering `[failure, detection boundary)` with zero bytes.
+pub fn detection_lag_label(node_index: usize) -> String {
+    format!("{DETECTION_LAG_PREFIX}node{node_index}")
+}
+
 /// One labelled span of virtual time (a write pass, a repair, a degraded
 /// read, a map wave, …) plus the bytes it moved.
 ///

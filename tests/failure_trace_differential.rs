@@ -1,0 +1,215 @@
+//! Differential tests locking the trace-driven failure engine to the old
+//! static failure model: a `FailureTrace` with every failure at t = 0,
+//! processed under a zero detection timeout, must reproduce the static
+//! scenario's results **byte-for-byte** — traffic counters, repair bytes
+//! and job metrics — for every `CodeKind`.
+//!
+//! The static path is `fail_node_permanently` + caller-invoked
+//! `repair_nodes` (storage) and a cluster whose victims start down
+//! (MapReduce). The traced path starts healthy and replays the same
+//! failures through the detection/auto-repair engine. Virtual *timings* may
+//! differ (the two paths issue events in different orders); the bytes may
+//! not.
+
+use drc_core::cluster::{Cluster, ClusterSpec, FailureScenario, NodeId};
+use drc_core::codes::CodeKind;
+use drc_core::hdfs::DistributedFileSystem;
+use drc_core::mapreduce::{
+    run_job_on, run_job_traced, FailureModel, JobSite, JobSpec, SchedulerKind,
+};
+use drc_core::sim::{SimDuration, SimTime};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Every code kind the registry evaluates.
+fn all_codes() -> Vec<CodeKind> {
+    vec![
+        CodeKind::TWO_REP,
+        CodeKind::THREE_REP,
+        CodeKind::Pentagon,
+        CodeKind::Heptagon,
+        CodeKind::HeptagonLocal,
+        CodeKind::RAID_M_10_9,
+        CodeKind::RAID_M_12_11,
+        CodeKind::ReedSolomon {
+            data: 10,
+            parity: 4,
+        },
+    ]
+}
+
+fn small_cluster() -> ClusterSpec {
+    let mut spec = ClusterSpec::simulation_25(4);
+    spec.block_size_mb = 1;
+    spec
+}
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i.wrapping_mul(2654435761) >> 8) as u8)
+        .collect()
+}
+
+/// Storage layer: write → fail → repair → read, on the static path and on
+/// the t = 0 trace path, must move identical bytes for every code kind.
+#[test]
+fn t0_trace_reproduces_static_repair_bytes_for_every_code_kind() {
+    for kind in all_codes() {
+        let code = kind.build().unwrap();
+        let victims_of = |fs: &DistributedFileSystem, id| {
+            let meta = fs.namenode().file(id).unwrap().clone();
+            let tolerance = code.fault_tolerance().min(2);
+            meta.placement.stripes()[0].nodes[..tolerance].to_vec()
+        };
+        let data = payload(5 * 1024 * 1024 + 77);
+
+        // Static path.
+        let mut static_fs = DistributedFileSystem::new(small_cluster(), 4021);
+        let id = static_fs.write_file("/diff", &data, kind).unwrap();
+        let victims: Vec<NodeId> = victims_of(&static_fs, id);
+        for &v in &victims {
+            static_fs.fail_node_permanently(v);
+        }
+        let static_report = static_fs.repair_nodes(&victims).unwrap();
+        assert_eq!(static_fs.read_file(id).unwrap(), data, "{kind}");
+
+        // Traced path: identical seed, failures arrive as a t = 0 trace
+        // under a zero detection timeout.
+        let mut traced_fs = DistributedFileSystem::new(small_cluster(), 4021);
+        let id2 = traced_fs.write_file("/diff", &data, kind).unwrap();
+        assert_eq!(id, id2, "{kind}: same seed, same namespace");
+        assert_eq!(victims, victims_of(&traced_fs, id2), "{kind}");
+        traced_fs.set_detection_timeout(SimDuration::ZERO);
+        traced_fs.schedule_trace(&FailureScenario::nodes(victims.clone()).to_trace());
+        let reports = traced_fs.process_all_events().unwrap();
+        assert_eq!(reports.len(), 1, "{kind}: one batched auto-repair pass");
+        assert_eq!(traced_fs.read_file(id2).unwrap(), data, "{kind}");
+
+        // Byte-for-byte: the repair report and every traffic counter.
+        let auto = &reports[0];
+        assert_eq!(auto.network_bytes, static_report.network_bytes, "{kind}");
+        assert_eq!(
+            auto.blocks_restored, static_report.blocks_restored,
+            "{kind}"
+        );
+        assert_eq!(
+            auto.stripes_repaired, static_report.stripes_repaired,
+            "{kind}"
+        );
+        assert_eq!(
+            auto.unrecoverable_stripes, static_report.unrecoverable_stripes,
+            "{kind}"
+        );
+        assert_eq!(traced_fs.stats(), static_fs.stats(), "{kind}");
+    }
+}
+
+/// Storage layer, detection semantics: a *large* detection timeout means no
+/// repair runs, and the degraded reads of the trace path cost exactly what
+/// the static path's degraded reads cost.
+#[test]
+fn undetected_t0_trace_reproduces_static_degraded_read_bytes() {
+    for kind in all_codes() {
+        let code = kind.build().unwrap();
+        let data = payload(3 * 1024 * 1024 + 11);
+
+        let mut static_fs = DistributedFileSystem::new(small_cluster(), 777);
+        let id = static_fs.write_file("/deg", &data, kind).unwrap();
+        let meta = static_fs.namenode().file(id).unwrap().clone();
+        let tolerance = code.fault_tolerance().min(2);
+        let victims: Vec<NodeId> = meta.placement.stripes()[0].nodes[..tolerance].to_vec();
+        for &v in &victims {
+            static_fs.fail_node_permanently(v);
+        }
+        assert_eq!(static_fs.read_file(id).unwrap(), data, "{kind}");
+
+        let mut traced_fs = DistributedFileSystem::new(small_cluster(), 777);
+        let id2 = traced_fs.write_file("/deg", &data, kind).unwrap();
+        // Detection far in the future: the failure engine applies the
+        // fail-stops but never repairs inside this window.
+        traced_fs.set_detection_timeout(SimDuration::from_secs_f64(1e6));
+        traced_fs.schedule_trace(&FailureScenario::nodes(victims).to_trace());
+        let reports = traced_fs.process_events_until(traced_fs.now()).unwrap();
+        assert!(reports.is_empty(), "{kind}: nothing detected yet");
+        assert_eq!(traced_fs.read_file(id2).unwrap(), data, "{kind}");
+
+        assert_eq!(traced_fs.stats(), static_fs.stats(), "{kind}");
+        assert!(traced_fs.auto_repair_reports().is_empty(), "{kind}");
+    }
+}
+
+/// MapReduce layer: `run_job_traced` with the t = 0 trace and zero timeout
+/// must equal `run_job_on` with the victims statically down — the full
+/// `JobMetrics`, timeline included — for every code kind.
+#[test]
+fn t0_trace_reproduces_static_job_metrics_for_every_code_kind() {
+    use drc_core::cluster::{PlacementMap, PlacementPolicy};
+    for kind in all_codes() {
+        let code = kind.build().unwrap();
+        let cluster = Cluster::new(small_cluster());
+        let mut rng = ChaCha8Rng::seed_from_u64(91);
+        let stripes = 40usize.div_ceil(code.data_blocks());
+        let placement = PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            stripes,
+            PlacementPolicy::Random,
+            &mut rng,
+        )
+        .unwrap();
+        // Fail as many hosts of data block 0 as the code tolerates.
+        let block = drc_core::cluster::GlobalBlockId {
+            stripe: 0,
+            block: 0,
+        };
+        let tolerance = code.fault_tolerance().min(2);
+        let locations = placement.block_locations(block);
+        let victims: Vec<NodeId> = locations[..tolerance.min(locations.len())].to_vec();
+        let job = JobSpec::new("differential", placement.data_blocks()).with_reduce_tasks(7);
+        let scheduler = SchedulerKind::Delay.build();
+
+        let mut down_cluster = cluster.clone();
+        for &v in &victims {
+            down_cluster.set_down(v);
+        }
+        let net_a = drc_core::sim::ClusterNet::new(cluster.spec());
+        let mut rng_a = ChaCha8Rng::seed_from_u64(17);
+        let static_metrics = run_job_on(
+            &job,
+            code.as_ref(),
+            &placement,
+            &down_cluster,
+            scheduler.as_ref(),
+            &mut rng_a,
+            JobSite {
+                net: &net_a,
+                start: SimTime::ZERO,
+            },
+        )
+        .unwrap();
+
+        let trace = FailureScenario::nodes(victims).to_trace();
+        let net_b = drc_core::sim::ClusterNet::new(cluster.spec());
+        let mut rng_b = ChaCha8Rng::seed_from_u64(17);
+        let traced_metrics = run_job_traced(
+            &job,
+            code.as_ref(),
+            &placement,
+            &cluster,
+            scheduler.as_ref(),
+            &mut rng_b,
+            JobSite {
+                net: &net_b,
+                start: SimTime::ZERO,
+            },
+            FailureModel::new(&trace, SimDuration::ZERO),
+        )
+        .unwrap();
+
+        assert_eq!(
+            static_metrics, traced_metrics,
+            "{kind}: t0 trace with zero timeout must equal the static model"
+        );
+        assert_eq!(traced_metrics.tasks_reexecuted, 0, "{kind}");
+    }
+}
