@@ -1,6 +1,7 @@
-//! Event-driven substrate and shard-parallel encode benchmarks.
+//! Event-driven substrate, shard-parallel encode and metadata-plane
+//! benchmarks.
 //!
-//! Four groups:
+//! Five groups:
 //!
 //! * `sim_stripe_encode` — production stripe-encode throughput (the
 //!   HDFS-RAID write path: `StripeEncoder` over `encode_into`) at one worker
@@ -13,7 +14,16 @@
 //!   `std::thread::scope` spawn the old pool paid (the baseline the pool
 //!   must beat for the lowered `PAR_MIN_LEN` to make sense),
 //! * `sim_substrate` — the discrete-event machinery itself (event queue
-//!   churn, timed cluster transfers), in operations per second.
+//!   churn, timed cluster transfers), in operations per second,
+//! * `metadata` — the placement index at datacenter scale (a 1000-node
+//!   2-rep placement of 500k blocks): point lookups and full reverse
+//!   repair scans per second on the compact backend.
+//!
+//! `repro` mode additionally stamps `meta_bytes_per_block` (and its
+//! map-reference baseline) measured with a counting global allocator —
+//! resident bytes the index build actually held onto, per distinct block —
+//! plus the lookup and repair-scan rates, all gated or tracked by
+//! `check_speedup`.
 //!
 //! Run with a `repro` argument (`cargo bench -p drc_bench --bench
 //! sim_throughput -- repro`) to emit `BENCH_sim.json`: provenance (git SHA,
@@ -28,12 +38,92 @@
 //! the `check_speedup` gate tell that apart from a real multi-core
 //! measurement; only multi-core hosts show the real scaling.
 
-use criterion::{criterion_group, Criterion, Throughput};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
 
-use drc_cluster::{ClusterSpec, NodeId};
+use criterion::{criterion_group, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use drc_cluster::{
+    Cluster, ClusterSpec, GlobalBlockId, IndexKind, NodeId, PlacementMap, PlacementPolicy,
+};
 use drc_codes::{CodeKind, StripeEncoder};
 use drc_gf::kernel;
 use drc_sim::{ClusterNet, EventQueue, SimTime};
+
+// ---------------------------------------------------------------------------
+// Counting allocator: the `meta_bytes_per_block` headline reports bytes the
+// allocator actually handed out for the placement index, not the index's own
+// (floor-estimate) accounting. Same thread-marker pattern as the gf crate's
+// alloc_free test: only the registered thread's traffic counts, so criterion
+// timers and the rayon pool cannot skew the measurement.
+// ---------------------------------------------------------------------------
+
+struct CountingAllocator;
+
+/// Net live bytes allocated by the measured thread (signed: frees of
+/// pre-registration memory would otherwise underflow).
+static LIVE_BYTES: AtomicIsize = AtomicIsize::new(0);
+/// Marker address of the thread whose allocations are counted (0 = none).
+static MEASURED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// A per-thread address identifying the thread inside `alloc` without
+    /// allocating (const-initialised TLS never lazily allocates).
+    static THREAD_MARKER: u8 = const { 0 };
+}
+
+fn on_measured_thread() -> bool {
+    THREAD_MARKER
+        .try_with(|m| m as *const u8 as usize)
+        .map(|addr| MEASURED.load(Ordering::Relaxed) == addr)
+        .unwrap_or(false)
+}
+
+fn measure_this_thread() {
+    THREAD_MARKER.with(|m| MEASURED.store(m as *const u8 as usize, Ordering::Relaxed));
+}
+
+fn unmeasure_thread() {
+    MEASURED.store(0, Ordering::Relaxed);
+}
+
+fn live_bytes() -> isize {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+// `unsafe` is required by the GlobalAlloc contract; the allocator itself
+// only forwards to the system allocator.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if on_measured_thread() {
+            LIVE_BYTES.fetch_add(layout.size() as isize, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if on_measured_thread() {
+            LIVE_BYTES.fetch_sub(layout.size() as isize, Ordering::Relaxed);
+        }
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if on_measured_thread() {
+            LIVE_BYTES.fetch_add(
+                new_size as isize - layout.size() as isize,
+                Ordering::Relaxed,
+            );
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 /// Shard/block size for the encode benches: large enough that the parallel
 /// split engages (several `PAR_MIN_LEN`s per worker).
@@ -182,12 +272,88 @@ fn bench_substrate(c: &mut Criterion) {
     group.finish();
 }
 
+/// The metadata-plane headline configuration: 2-rep (the paper's baseline
+/// and the worst arena bytes/block ratio of the built-in codes) over a
+/// datacenter cluster. `(nodes, stripes, lookups)`.
+const META_CONFIG: (usize, usize, usize) = (1000, 500_000, 200_000);
+
+/// Builds a 2-rep placement of the headline size on the given backend,
+/// returning it plus the allocator-measured resident bytes of the build.
+fn build_meta_placement(index: IndexKind) -> (PlacementMap, isize) {
+    let (nodes, stripes, _) = META_CONFIG;
+    let code = CodeKind::TWO_REP.build().expect("code builds");
+    let cluster = Cluster::new(ClusterSpec::datacenter(nodes));
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_2014);
+    measure_this_thread();
+    let before = live_bytes();
+    let placement = drc_cluster::with_index_kind(index, || {
+        PlacementMap::place(
+            code.as_ref(),
+            &cluster,
+            stripes,
+            PlacementPolicy::RoundRobin,
+            &mut rng,
+        )
+    })
+    .expect("placement fits the datacenter cluster");
+    let resident = live_bytes() - before;
+    unmeasure_thread();
+    assert!(resident > 0, "a fresh index must hold live memory");
+    (placement, resident)
+}
+
+/// One pass of the point-lookup workload: a Weyl sequence over the block
+/// space, summing replica-list lengths so the lookups cannot be elided.
+fn meta_lookup_pass(placement: &PlacementMap, lookups: usize) -> usize {
+    let stripes = placement.stripe_count();
+    let distinct = placement.distinct_blocks_per_stripe();
+    let mut replica_sum = 0usize;
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for _ in 0..lookups {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let stripe = (x >> 32) as usize % stripes;
+        let block = (x as u32) as usize % distinct;
+        replica_sum += placement
+            .locations(GlobalBlockId::new(stripe, block))
+            .expect("in-range block")
+            .len();
+    }
+    replica_sum
+}
+
+/// One pass of the repair-scan workload: every node's reverse index walked
+/// in full, exactly as a repair pass planning that node's loss would.
+fn meta_scan_pass(placement: &PlacementMap) -> usize {
+    let mut scanned = 0usize;
+    for node in 0..placement.node_universe() {
+        placement
+            .for_each_block_on_node(NodeId(node), |_| scanned += 1)
+            .expect("in-universe node");
+    }
+    scanned
+}
+
+fn bench_metadata(c: &mut Criterion) {
+    let (_, _, lookups) = META_CONFIG;
+    let (placement, _) = build_meta_placement(IndexKind::Compact);
+    let mut group = c.benchmark_group("metadata");
+    group.throughput(Throughput::Elements(lookups as u64));
+    group.bench_function("lookups", |b| {
+        b.iter(|| meta_lookup_pass(&placement, lookups))
+    });
+    let total_blocks = placement.stripe_count() * placement.distinct_blocks_per_stripe();
+    group.throughput(Throughput::Elements(total_blocks as u64));
+    group.bench_function("repair_scan", |b| b.iter(|| meta_scan_pass(&placement)));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_stripe_encode,
     bench_reconstruct,
     bench_pool_dispatch,
-    bench_substrate
+    bench_substrate,
+    bench_metadata
 );
 
 // ---------------------------------------------------------------------------
@@ -258,6 +424,33 @@ fn repro() {
             .map(|(n, s)| (n, serde_json::Value::Float(s)))
             .collect()
     };
+
+    // Metadata-plane headlines: allocator-measured resident bytes per block
+    // for both index backends on the same 10M-block-class placement, plus
+    // query rates on the compact (default) backend. The bytes are
+    // deterministic layout properties; the rates are wall-clock and tracked
+    // as advisories.
+    let (meta_nodes, meta_stripes, meta_lookups) = META_CONFIG;
+    let (map_placement, map_resident) = build_meta_placement(IndexKind::Map);
+    let meta_blocks = map_placement.stripe_count() * map_placement.distinct_blocks_per_stripe();
+    drop(map_placement);
+    let (placement, compact_resident) = build_meta_placement(IndexKind::Compact);
+    let meta_bytes_per_block = compact_resident as f64 / meta_blocks as f64;
+    let meta_bytes_per_block_map = map_resident as f64 / meta_blocks as f64;
+    let started = std::time::Instant::now();
+    let replica_sum = meta_lookup_pass(&placement, meta_lookups);
+    let meta_lookups_per_s = meta_lookups as f64 / started.elapsed().as_secs_f64().max(1e-9);
+    assert!(replica_sum > 0, "lookups must observe real replica lists");
+    let started = std::time::Instant::now();
+    let scanned = meta_scan_pass(&placement);
+    let meta_scan_per_s = scanned as f64 / started.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(
+        scanned,
+        2 * meta_stripes,
+        "2-rep stores two replicas/stripe"
+    );
+    assert_eq!(meta_nodes, placement.node_universe());
+    drop(placement);
 
     let points = thread_points();
     let multi = *points.last().expect("at least one thread point");
@@ -351,6 +544,26 @@ fn repro() {
         (
             "failure_trace_repair_job_overlap_s".to_string(),
             serde_json::Value::Float(failure.max_repair_job_overlap_s()),
+        ),
+        (
+            "meta_blocks".to_string(),
+            serde_json::Value::UInt(meta_blocks as u64),
+        ),
+        (
+            "meta_bytes_per_block".to_string(),
+            serde_json::Value::Float(meta_bytes_per_block),
+        ),
+        (
+            "meta_bytes_per_block_map".to_string(),
+            serde_json::Value::Float(meta_bytes_per_block_map),
+        ),
+        (
+            "meta_lookups_per_s".to_string(),
+            serde_json::Value::Float(meta_lookups_per_s),
+        ),
+        (
+            "meta_repair_scan_blocks_per_s".to_string(),
+            serde_json::Value::Float(meta_scan_per_s),
         ),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serializable");

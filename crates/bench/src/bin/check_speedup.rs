@@ -27,7 +27,11 @@
 //! contention headlines (`shuffle_contention_slowdown`,
 //! `failure_trace_slowdown`, `failure_trace_repair_job_overlap_s`) are
 //! checked unconditionally — they are deterministic on any host, so a
-//! missing or non-positive headline always fails.
+//! missing or non-positive headline always fails. The metadata-plane size
+//! headline (`meta_bytes_per_block`, a deterministic layout property) is
+//! likewise enforced unconditionally against
+//! [`META_MAX_BYTES_PER_BLOCK`]; the metadata query *rates* are wall-clock
+//! and only advisory.
 //!
 //! Exit status: 0 on pass, advisory or skip; 1 on a missing/malformed JSON,
 //! a broken virtual-time headline, or an enforced speedup below the floor.
@@ -36,6 +40,13 @@ use drc_bench::{json_f64, json_lookup, SIM_BENCH_JSON_PATH};
 
 /// Minimum acceptable multi-thread stripe-encode speedup.
 const MIN_SPEEDUP: f64 = 1.5;
+
+/// Ceiling on allocator-measured resident bytes per block for the compact
+/// placement index. The arena layout lands at ~16 B/block for 2-rep and
+/// below 5 B/block for the paper codes, so 64 B leaves generous headroom
+/// while still catching a regression back to per-block `Vec` storage
+/// (the map-based reference measures >100 B/block).
+const META_MAX_BYTES_PER_BLOCK: f64 = 64.0;
 
 /// Bench-host CPU count from which the floor is enforced rather than
 /// advisory. Set above the 2–4 shared vCPUs of standard CI runners, whose
@@ -104,6 +115,40 @@ fn main() {
                 );
                 failed = true;
             }
+        }
+    }
+    // The metadata-plane size headline is a deterministic layout property
+    // (allocator-measured resident bytes per block of the compact placement
+    // index), so it is enforced unconditionally on any host. The query-rate
+    // headlines are wall-clock and therefore advisory: missing or
+    // non-positive values WARN without failing the build.
+    match json_lookup(&doc, "meta_bytes_per_block").and_then(json_f64) {
+        Some(v) if v > 0.0 && v <= META_MAX_BYTES_PER_BLOCK => {
+            println!(
+                "OK:   meta_bytes_per_block = {v:.1} B (ceiling {META_MAX_BYTES_PER_BLOCK} B)"
+            );
+        }
+        Some(v) => {
+            eprintln!(
+                "FAIL: meta_bytes_per_block = {v:.1} B — the compact placement \
+                 index must stay within {META_MAX_BYTES_PER_BLOCK} B per block"
+            );
+            failed = true;
+        }
+        None => {
+            eprintln!(
+                "FAIL: `meta_bytes_per_block` missing from {SIM_BENCH_JSON_PATH} \
+                 (stale snapshot? re-run `cargo bench -p drc_bench --bench \
+                 sim_throughput -- repro`)"
+            );
+            failed = true;
+        }
+    }
+    for name in ["meta_lookups_per_s", "meta_repair_scan_blocks_per_s"] {
+        match json_lookup(&doc, name).and_then(json_f64) {
+            Some(v) if v > 0.0 => println!("OK:   {name} = {v:.3e} (advisory)"),
+            Some(v) => println!("WARN: {name} = {v:.3e} — expected a positive rate"),
+            None => println!("WARN: `{name}` missing from {SIM_BENCH_JSON_PATH}"),
         }
     }
     if failed {

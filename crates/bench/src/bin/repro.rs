@@ -4,7 +4,8 @@
 //! repro [--experiment <name>] [--effort quick|full] [--json <path>]
 //!
 //!   <name> ∈ { table1, repair_bw, fig3, fig4, fig5, encoding, degraded_mr,
-//!              overlap, shuffle_contention, failure_trace, all }
+//!              overlap, shuffle_contention, failure_trace, metadata_scale,
+//!              all }
 //! ```
 //!
 //! With no arguments every experiment runs at `quick` effort and the
@@ -28,9 +29,9 @@ use std::process::ExitCode;
 use drc_bench::{parse_effort, provenance, EXPERIMENTS};
 use drc_core::experiments::{
     degraded_mr::run_degraded_mr, encoding::run_encoding, failure_trace::run_failure_trace,
-    fig3::run_fig3, fig4::run_fig4, fig5::run_fig5, overlap::run_overlap,
-    repair_bandwidth::run_repair_bandwidth, shuffle_contention::run_shuffle_contention,
-    table1::run_table1, Effort,
+    fig3::run_fig3, fig4::run_fig4, fig5::run_fig5, metadata_scale::run_metadata_scale,
+    overlap::run_overlap, repair_bandwidth::run_repair_bandwidth,
+    shuffle_contention::run_shuffle_contention, table1::run_table1, Effort,
 };
 use drc_core::reliability::ReliabilityParams;
 use drc_core::DrcError;
@@ -167,6 +168,14 @@ fn run(options: &Options) -> Result<BTreeMap<String, serde_json::Value>, DrcErro
         println!("{report}\n");
         results.insert(
             "failure_trace".to_string(),
+            serde_json::to_value(&report).expect("serializable"),
+        );
+    }
+    if wanted("metadata_scale") {
+        let report = run_metadata_scale(options.effort)?;
+        println!("{report}\n");
+        results.insert(
+            "metadata_scale".to_string(),
             serde_json::to_value(&report).expect("serializable"),
         );
     }

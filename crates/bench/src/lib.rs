@@ -41,6 +41,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "overlap",
     "shuffle_contention",
     "failure_trace",
+    "metadata_scale",
 ];
 
 /// Quick-effort configuration of the `failure_trace` experiment,
@@ -138,12 +139,13 @@ mod tests {
 
     #[test]
     fn experiment_list_is_complete() {
-        assert_eq!(EXPERIMENTS.len(), 10);
+        assert_eq!(EXPERIMENTS.len(), 11);
         assert!(EXPERIMENTS.contains(&"table1"));
         assert!(EXPERIMENTS.contains(&"fig5"));
         assert!(EXPERIMENTS.contains(&"overlap"));
         assert!(EXPERIMENTS.contains(&"shuffle_contention"));
         assert!(EXPERIMENTS.contains(&"failure_trace"));
+        assert!(EXPERIMENTS.contains(&"metadata_scale"));
     }
 
     #[test]

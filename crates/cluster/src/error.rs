@@ -16,6 +16,14 @@ pub enum ClusterError {
         /// Nodes available in the cluster.
         available: usize,
     },
+    /// A block id does not exist in a placement (stripe or stripe-local
+    /// block index out of range).
+    UnknownBlock {
+        /// Stripe index of the offending block id.
+        stripe: usize,
+        /// Stripe-local distinct-block index of the offending block id.
+        block: usize,
+    },
     /// A placement request was invalid (e.g. zero stripes).
     InvalidPlacement {
         /// Explanation of the problem.
@@ -31,6 +39,9 @@ impl fmt::Display for ClusterError {
                 f,
                 "stripe needs {needed} nodes but only {available} are available"
             ),
+            ClusterError::UnknownBlock { stripe, block } => {
+                write!(f, "unknown block (stripe {stripe}, block {block})")
+            }
             ClusterError::InvalidPlacement { reason } => write!(f, "invalid placement: {reason}"),
         }
     }
@@ -49,6 +60,10 @@ mod tests {
             ClusterError::InsufficientNodes {
                 needed: 20,
                 available: 9,
+            },
+            ClusterError::UnknownBlock {
+                stripe: 99,
+                block: 1,
             },
             ClusterError::InvalidPlacement {
                 reason: "zero stripes".into(),

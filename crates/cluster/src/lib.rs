@@ -9,7 +9,10 @@
 //! * [`Cluster`] — runtime node state (rack membership, liveness),
 //! * [`PlacementMap`] — mapping of erasure-code stripes onto cluster nodes,
 //!   preserving the array-code property that all blocks of one stripe-local
-//!   node land on the same cluster node (Fig. 2),
+//!   node land on the same cluster node (Fig. 2), backed by a pluggable
+//!   [`BlockIndex`] (the default [`CompactIndex`] stores a placement as one
+//!   flat arena of `u32` node ids — a few bytes per block, which is what
+//!   allows 1000-node / 10M-block experiments),
 //! * [`FailureScenario`] — static failure injection for degraded-mode
 //!   experiments (every failure in force for the whole run),
 //! * [`FailureTrace`] — timed failure injection: a sorted sequence of
@@ -45,12 +48,17 @@
 
 mod error;
 mod failure;
+pub mod index;
 mod placement;
 mod spec;
 mod topology;
 
 pub use error::ClusterError;
 pub use failure::{FailureEvent, FailureEventKind, FailureScenario, FailureTrace};
-pub use placement::{GlobalBlockId, PlacementMap, PlacementPolicy, StripePlacement};
+pub use index::{
+    with_index_kind, BlockIndex, CodeShape, CompactIndex, GlobalBlockId, IndexKind, MapIndex,
+    NodeList, PlacementIndex,
+};
+pub use placement::{PlacementMap, PlacementPolicy};
 pub use spec::ClusterSpec;
 pub use topology::{Cluster, NodeId, RackId};

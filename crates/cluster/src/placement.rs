@@ -8,8 +8,12 @@
 //! double-replication codes), and how many blocks of the same stripe pile up
 //! on a single node (four for the pentagon, six for the heptagon, one for
 //! RAID+m and replication) — which is what drives map-task locality.
-
-use std::collections::BTreeMap;
+//!
+//! Storage-wise a [`PlacementMap`] is a thin facade over a pluggable
+//! [`BlockIndex`] backend (see [`crate::index`]); the default
+//! [`IndexKind::Compact`] backend stores the whole placement as one flat
+//! arena of `u32` node ids, a few bytes per block, which is what lets the
+//! `metadata_scale` experiment run 10M-block placements.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -17,27 +21,11 @@ use serde::{Deserialize, Serialize};
 
 use drc_codes::ErasureCode;
 
+use crate::index::{ArenaBuilder, BlockIndex, CodeShape, IndexKind, NodeList, PlacementIndex};
 use crate::topology::{Cluster, NodeId};
 use crate::ClusterError;
 
-/// Identifier of a distinct coded block across a whole placement: the stripe
-/// index plus the stripe-local distinct-block index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct GlobalBlockId {
-    /// Index of the stripe within the placement.
-    pub stripe: usize,
-    /// Distinct-block index within the stripe.
-    pub block: usize,
-}
-
-/// The mapping of one stripe's code nodes onto cluster nodes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct StripePlacement {
-    /// Stripe index.
-    pub stripe: usize,
-    /// `nodes[i]` is the cluster node hosting stripe-local node `i`.
-    pub nodes: Vec<NodeId>,
-}
+pub use crate::index::GlobalBlockId;
 
 /// How stripes are mapped onto cluster nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -49,7 +37,8 @@ pub enum PlacementPolicy {
     #[default]
     Random,
     /// Stripe `s` uses nodes `s*L, s*L+1, ...` modulo the cluster size —
-    /// deterministic and perfectly balanced; useful for tests and debugging.
+    /// deterministic and perfectly balanced; useful for tests, debugging and
+    /// datacenter-scale placements (no per-stripe shuffle of the node pool).
     RoundRobin,
 }
 
@@ -72,17 +61,12 @@ pub enum PlacementPolicy {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PlacementMap {
-    code_name: String,
-    data_blocks_per_stripe: usize,
-    stripes: Vec<StripePlacement>,
-    /// block -> cluster nodes holding a replica.
-    locations: BTreeMap<GlobalBlockId, Vec<NodeId>>,
-    /// cluster node -> blocks it stores.
-    per_node: BTreeMap<NodeId, Vec<GlobalBlockId>>,
+    index: PlacementIndex,
 }
 
 impl PlacementMap {
-    /// Places `stripes` stripes of `code` onto the *up* nodes of `cluster`.
+    /// Places `stripes` stripes of `code` onto the *up* nodes of `cluster`,
+    /// indexed by the backend [`IndexKind::current`] selects.
     ///
     /// With [`PlacementPolicy::Random`], each stripe's code nodes are mapped
     /// to distinct cluster nodes chosen uniformly at random; if the cluster
@@ -102,6 +86,26 @@ impl PlacementMap {
         policy: PlacementPolicy,
         rng: &mut R,
     ) -> Result<Self, ClusterError> {
+        Self::place_with_index(code, cluster, stripes, policy, IndexKind::current(), rng)
+    }
+
+    /// [`PlacementMap::place`] with an explicit index backend.
+    ///
+    /// The backend never affects placement decisions: the RNG is consumed
+    /// identically and every query answers identically, so experiments are
+    /// byte-for-byte reproducible under either backend.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PlacementMap::place`].
+    pub fn place_with_index<R: Rng + ?Sized>(
+        code: &dyn ErasureCode,
+        cluster: &Cluster,
+        stripes: usize,
+        policy: PlacementPolicy,
+        kind: IndexKind,
+        rng: &mut R,
+    ) -> Result<Self, ClusterError> {
         if stripes == 0 {
             return Err(ClusterError::InvalidPlacement {
                 reason: "at least one stripe is required".to_string(),
@@ -114,47 +118,29 @@ impl PlacementMap {
                 available: up.len(),
             });
         }
-        let mut placements = Vec::with_capacity(stripes);
+        let shape = CodeShape::of(code);
+        let mut builder = ArenaBuilder::new(code.name().to_string(), shape, stripes, cluster.len());
+        // One scratch row reused across stripes: placing 10M stripes must not
+        // make 10M transient allocations.
+        let mut scratch: Vec<NodeId> = Vec::with_capacity(code.node_count());
         for stripe in 0..stripes {
-            let nodes = match policy {
-                PlacementPolicy::Random => Self::random_stripe_nodes(code, cluster, &up, rng),
-                PlacementPolicy::RoundRobin => (0..code.node_count())
-                    .map(|i| up[(stripe * code.node_count() + i) % up.len()])
-                    .collect(),
-            };
-            placements.push(StripePlacement { stripe, nodes });
-        }
-        Ok(Self::from_stripes(code, placements))
-    }
-
-    /// Builds the lookup maps from explicit per-stripe node assignments.
-    fn from_stripes(code: &dyn ErasureCode, stripes: Vec<StripePlacement>) -> Self {
-        let mut locations: BTreeMap<GlobalBlockId, Vec<NodeId>> = BTreeMap::new();
-        let mut per_node: BTreeMap<NodeId, Vec<GlobalBlockId>> = BTreeMap::new();
-        for sp in &stripes {
-            for block in 0..code.distinct_blocks() {
-                let id = GlobalBlockId {
-                    stripe: sp.stripe,
-                    block,
-                };
-                let nodes: Vec<NodeId> = code
-                    .block_locations(block)
-                    .iter()
-                    .map(|&local| sp.nodes[local])
-                    .collect();
-                for &n in &nodes {
-                    per_node.entry(n).or_default().push(id);
+            match policy {
+                PlacementPolicy::Random => {
+                    scratch = Self::random_stripe_nodes(code, cluster, &up, rng);
                 }
-                locations.insert(id, nodes);
+                PlacementPolicy::RoundRobin => {
+                    scratch.clear();
+                    scratch.extend(
+                        (0..code.node_count())
+                            .map(|i| up[(stripe * code.node_count() + i) % up.len()]),
+                    );
+                }
             }
+            builder.push_stripe(&scratch);
         }
-        PlacementMap {
-            code_name: code.name().to_string(),
-            data_blocks_per_stripe: code.data_blocks(),
-            stripes,
-            locations,
-            per_node,
-        }
+        Ok(PlacementMap {
+            index: builder.finish(kind),
+        })
     }
 
     fn random_stripe_nodes<R: Rng + ?Sized>(
@@ -217,54 +203,172 @@ impl PlacementMap {
         pool
     }
 
+    /// Which index backend this placement uses.
+    pub fn index_kind(&self) -> IndexKind {
+        self.index.kind()
+    }
+
+    /// The index backend as a trait object.
+    pub fn index(&self) -> &dyn BlockIndex {
+        self.index.as_dyn()
+    }
+
     /// Name of the code this placement was built for.
     pub fn code_name(&self) -> &str {
-        &self.code_name
+        self.index.as_dyn().code_name()
     }
 
     /// Number of stripes placed.
     pub fn stripe_count(&self) -> usize {
-        self.stripes.len()
+        self.index.as_dyn().stripe_count()
     }
 
     /// Number of data blocks per stripe of the underlying code.
     pub fn data_blocks_per_stripe(&self) -> usize {
-        self.data_blocks_per_stripe
+        self.index.as_dyn().shape().data_blocks()
+    }
+
+    /// Number of distinct blocks (data and parity) per stripe.
+    pub fn distinct_blocks_per_stripe(&self) -> usize {
+        self.index.as_dyn().shape().distinct_blocks()
+    }
+
+    /// The code's arity: cluster nodes spanned by one stripe.
+    pub fn arity(&self) -> usize {
+        self.index.as_dyn().shape().arity()
     }
 
     /// Total number of *data* blocks across all stripes.
     pub fn data_block_count(&self) -> usize {
-        self.stripe_count() * self.data_blocks_per_stripe
+        self.stripe_count() * self.data_blocks_per_stripe()
     }
 
-    /// The per-stripe node assignments.
-    pub fn stripes(&self) -> &[StripePlacement] {
-        &self.stripes
+    /// Number of cluster nodes the placement was built against; node ids
+    /// `0..node_universe()` are valid query arguments.
+    pub fn node_universe(&self) -> usize {
+        self.index.as_dyn().node_universe()
     }
 
-    /// The cluster nodes holding a replica of the given block.
+    /// The cluster nodes holding a replica of `block`, in the code's replica
+    /// order.
     ///
-    /// Returns an empty slice for unknown blocks.
-    pub fn block_locations(&self, block: GlobalBlockId) -> &[NodeId] {
-        self.locations.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownBlock`] for a stripe or block index out of
+    /// range — unknown ids are an error, not an empty answer.
+    pub fn locations(&self, block: GlobalBlockId) -> Result<NodeList, ClusterError> {
+        self.index.as_dyn().locations(block)
     }
 
-    /// All blocks (data and parity) stored on the given cluster node.
-    pub fn blocks_on_node(&self, node: NodeId) -> &[GlobalBlockId] {
-        self.per_node.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    /// The cluster nodes hosting stripe `stripe`'s local nodes, in local
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownBlock`] if the stripe index is out of range.
+    pub fn stripe_hosts(&self, stripe: usize) -> Result<NodeList, ClusterError> {
+        self.index.as_dyn().stripe_hosts(stripe)
     }
 
-    /// Iterates over every data block together with its replica locations.
-    pub fn iter_data_blocks(&self) -> impl Iterator<Item = (GlobalBlockId, &[NodeId])> {
-        self.locations
-            .iter()
-            .filter(|(id, _)| id.block < self.data_blocks_per_stripe)
-            .map(|(id, nodes)| (*id, nodes.as_slice()))
+    /// All blocks (data and parity) stored on `node`, in ascending
+    /// `(stripe, block)` order.
+    ///
+    /// Allocates the answer; repair-style scans should prefer
+    /// [`PlacementMap::for_each_block_on_node`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownNode`] if `node` is outside the placement's
+    /// node universe. A valid node storing nothing yields an empty vector.
+    pub fn blocks_on_node(&self, node: NodeId) -> Result<Vec<GlobalBlockId>, ClusterError> {
+        let mut blocks = Vec::new();
+        self.index
+            .as_dyn()
+            .for_each_block_on_node(node, &mut |id| blocks.push(id))?;
+        Ok(blocks)
     }
 
-    /// The set of data blocks, in deterministic order.
+    /// Calls `f` with every block (data and parity) stored on `node`, in
+    /// ascending `(stripe, block)` order, without allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownNode`] if `node` is outside the placement's
+    /// node universe.
+    pub fn for_each_block_on_node(
+        &self,
+        node: NodeId,
+        mut f: impl FnMut(GlobalBlockId),
+    ) -> Result<(), ClusterError> {
+        self.index.as_dyn().for_each_block_on_node(node, &mut f)
+    }
+
+    /// Calls `f` with every `(stripe, local)` pair hosted by `node`, in
+    /// ascending stripe order — the granularity repair works at.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownNode`] if `node` is outside the placement's
+    /// node universe.
+    pub fn for_each_stripe_on_node(
+        &self,
+        node: NodeId,
+        mut f: impl FnMut(usize, usize),
+    ) -> Result<(), ClusterError> {
+        self.index.as_dyn().for_each_stripe_on_node(node, &mut f)
+    }
+
+    /// Number of blocks stored on `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownNode`] if `node` is outside the placement's
+    /// node universe.
+    pub fn node_block_count(&self, node: NodeId) -> Result<usize, ClusterError> {
+        self.index.as_dyn().node_block_count(node)
+    }
+
+    /// Re-homes stripe `stripe`'s local node `local` onto cluster node `to`,
+    /// updating both lookup directions. Returns the previous host.
+    ///
+    /// # Errors
+    ///
+    /// See [`BlockIndex::remap_stripe_host`].
+    pub fn remap_stripe_host(
+        &mut self,
+        stripe: usize,
+        local: usize,
+        to: NodeId,
+    ) -> Result<NodeId, ClusterError> {
+        self.index.as_dyn_mut().remap_stripe_host(stripe, local, to)
+    }
+
+    /// Iterates over every data block together with its replica locations,
+    /// in ascending `(stripe, block)` order.
+    pub fn iter_data_blocks(&self) -> impl Iterator<Item = (GlobalBlockId, NodeList)> + '_ {
+        let data = self.data_blocks_per_stripe();
+        (0..self.stripe_count()).flat_map(move |stripe| {
+            (0..data).map(move |block| {
+                let id = GlobalBlockId::new(stripe, block);
+                let nodes = self
+                    .locations(id)
+                    .expect("data blocks of placed stripes are valid ids");
+                (id, nodes)
+            })
+        })
+    }
+
+    /// The set of data blocks, in deterministic `(stripe, block)` order.
     pub fn data_blocks(&self) -> Vec<GlobalBlockId> {
-        self.iter_data_blocks().map(|(id, _)| id).collect()
+        let data = self.data_blocks_per_stripe();
+        (0..self.stripe_count())
+            .flat_map(|stripe| (0..data).map(move |block| GlobalBlockId::new(stripe, block)))
+            .collect()
+    }
+
+    /// Estimated heap bytes resident in the index backend.
+    pub fn heap_bytes(&self) -> usize {
+        self.index.as_dyn().heap_bytes()
     }
 }
 
@@ -327,13 +431,14 @@ mod tests {
             &mut rng(3),
         )
         .unwrap();
-        for sp in placement.stripes() {
+        for stripe in 0..placement.stripe_count() {
+            let hosts = placement.stripe_hosts(stripe).unwrap();
             let mut seen = std::collections::BTreeSet::new();
-            for &n in &sp.nodes {
+            for &n in &hosts {
                 assert!(cluster.is_up(n), "placed on a down node");
                 assert!(seen.insert(n), "node reused within a stripe");
             }
-            assert_eq!(sp.nodes.len(), 7);
+            assert_eq!(hosts.len(), 7);
         }
     }
 
@@ -370,25 +475,24 @@ mod tests {
             &mut rng(5),
         )
         .unwrap();
-        for sp in placement.stripes() {
+        for stripe in 0..placement.stripe_count() {
+            let hosts = placement.stripe_hosts(stripe).unwrap();
             for local in 0..code.node_count() {
-                let host = sp.nodes[local];
+                let host = hosts[local];
                 for &block in code.node_blocks(local) {
-                    let id = GlobalBlockId {
-                        stripe: sp.stripe,
-                        block,
-                    };
-                    assert!(placement.block_locations(id).contains(&host));
+                    let id = GlobalBlockId::new(stripe, block);
+                    assert!(placement.locations(id).unwrap().contains(&host));
                 }
             }
         }
         // Each cluster node used by a stripe stores exactly 4 of its blocks.
-        let sp = &placement.stripes()[0];
-        for &node in &sp.nodes {
+        let hosts = placement.stripe_hosts(0).unwrap();
+        for &node in &hosts {
             let count = placement
                 .blocks_on_node(node)
+                .unwrap()
                 .iter()
-                .filter(|b| b.stripe == 0)
+                .filter(|b| b.stripe() == 0)
                 .count();
             assert_eq!(count, 4);
         }
@@ -406,8 +510,9 @@ mod tests {
             &mut rng(17),
         )
         .unwrap();
-        for sp in placement.stripes() {
-            let rack_of = |local: usize| cluster.rack_of(sp.nodes[local]).unwrap();
+        for stripe in 0..placement.stripe_count() {
+            let hosts = placement.stripe_hosts(stripe).unwrap();
+            let rack_of = |local: usize| cluster.rack_of(hosts[local]).unwrap();
             // All of heptagon 0 in one rack, all of heptagon 1 in another,
             // the global node in a third.
             let r0 = rack_of(0);
@@ -438,20 +543,83 @@ mod tests {
         assert_eq!(placement.data_blocks_per_stripe(), 1);
         assert_eq!(placement.data_block_count(), 12);
         assert_eq!(placement.data_blocks().len(), 12);
-        // Unknown blocks have no locations.
-        assert!(placement
-            .block_locations(GlobalBlockId {
+        assert_eq!(placement.node_universe(), 9);
+        // Unknown ids are errors, not silently empty answers.
+        assert_eq!(
+            placement.locations(GlobalBlockId::new(99, 0)),
+            Err(ClusterError::UnknownBlock {
                 stripe: 99,
                 block: 0
             })
-            .is_empty());
-        assert!(placement.blocks_on_node(NodeId(999)).is_empty());
+        );
+        assert_eq!(
+            placement.locations(GlobalBlockId::new(0, 7)),
+            Err(ClusterError::UnknownBlock {
+                stripe: 0,
+                block: 7
+            })
+        );
+        assert_eq!(
+            placement.blocks_on_node(NodeId(999)),
+            Err(ClusterError::UnknownNode { node: 999 })
+        );
+        assert!(placement.stripe_hosts(12).is_err());
         // Total stored blocks across nodes = stripes * stored blocks per stripe.
         let stored: usize = cluster
             .nodes()
-            .map(|n| placement.blocks_on_node(n).len())
+            .map(|n| placement.node_block_count(n).unwrap())
             .sum();
         assert_eq!(stored, 12 * 2);
+    }
+
+    #[test]
+    fn remap_updates_both_directions() {
+        for kind in [IndexKind::Map, IndexKind::Compact] {
+            let code = CodeKind::Pentagon.build().unwrap();
+            let cluster = Cluster::new(ClusterSpec::simulation_25(4));
+            let mut placement = PlacementMap::place_with_index(
+                code.as_ref(),
+                &cluster,
+                3,
+                PlacementPolicy::RoundRobin,
+                kind,
+                &mut rng(7),
+            )
+            .unwrap();
+            let hosts = placement.stripe_hosts(1).unwrap();
+            let old = hosts[2];
+            let target = cluster
+                .nodes()
+                .find(|n| !hosts.contains(n))
+                .expect("a node outside the stripe exists");
+            // Remapping onto a node already in the stripe is rejected.
+            assert!(matches!(
+                placement.remap_stripe_host(1, 2, hosts[0]),
+                Err(ClusterError::InvalidPlacement { .. })
+            ));
+            assert_eq!(placement.remap_stripe_host(1, 2, target), Ok(old));
+            // Idempotent: remapping onto the current host is a no-op.
+            assert_eq!(placement.remap_stripe_host(1, 2, target), Ok(target));
+            assert_eq!(placement.stripe_hosts(1).unwrap()[2], target);
+            // Every block of local 2 moved; the old host no longer lists them.
+            for &block in code.node_blocks(2) {
+                let id = GlobalBlockId::new(1, block);
+                let locs = placement.locations(id).unwrap();
+                assert!(locs.contains(&target), "{kind:?}: {id:?} not on target");
+                assert!(!locs.contains(&old), "{kind:?}: {id:?} still on old host");
+            }
+            let on_old = placement.blocks_on_node(old).unwrap();
+            assert!(on_old
+                .iter()
+                .all(|b| b.stripe() != 1 || !code.node_blocks(2).contains(&b.block())));
+            // The reverse scan stays sorted.
+            let on_target = placement.blocks_on_node(target).unwrap();
+            assert!(on_target.windows(2).all(|w| w[0] < w[1]));
+            // Out-of-range arguments fail loudly.
+            assert!(placement.remap_stripe_host(99, 0, target).is_err());
+            assert!(placement.remap_stripe_host(0, 99, target).is_err());
+            assert!(placement.remap_stripe_host(0, 0, NodeId(999)).is_err());
+        }
     }
 
     #[test]
@@ -475,5 +643,37 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backends_consume_the_rng_identically() {
+        let code = CodeKind::Heptagon.build().unwrap();
+        let cluster = Cluster::new(ClusterSpec::simulation_25(2));
+        let map = PlacementMap::place_with_index(
+            code.as_ref(),
+            &cluster,
+            6,
+            PlacementPolicy::Random,
+            IndexKind::Map,
+            &mut rng(42),
+        )
+        .unwrap();
+        let compact = PlacementMap::place_with_index(
+            code.as_ref(),
+            &cluster,
+            6,
+            PlacementPolicy::Random,
+            IndexKind::Compact,
+            &mut rng(42),
+        )
+        .unwrap();
+        assert_eq!(map.index_kind(), IndexKind::Map);
+        assert_eq!(compact.index_kind(), IndexKind::Compact);
+        for stripe in 0..6 {
+            assert_eq!(
+                map.stripe_hosts(stripe).unwrap(),
+                compact.stripe_hosts(stripe).unwrap()
+            );
+        }
     }
 }

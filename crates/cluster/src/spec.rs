@@ -116,6 +116,25 @@ impl ClusterSpec {
         }
     }
 
+    /// A datacenter-scale cluster for the metadata-plane experiments:
+    /// `data_nodes` server-class nodes spread over racks of 40, with the
+    /// set-up-2 per-node hardware. Node counts of 1000+ are the intended
+    /// range; placement and indexing stay O(blocks), not O(nodes × blocks).
+    pub fn datacenter(data_nodes: usize) -> Self {
+        ClusterSpec {
+            name: format!("datacenter ({data_nodes} nodes)"),
+            data_nodes,
+            racks: data_nodes.div_ceil(40).max(1),
+            map_slots_per_node: 4,
+            reduce_slots_per_node: 2,
+            cores_per_node: 4,
+            block_size_mb: 128,
+            disk_bandwidth_mbps: 160.0,
+            network_bandwidth_mbps: 110.0,
+            ram_gb: 24,
+        }
+    }
+
     /// Total map slots in the cluster (the denominator of the paper's *load*
     /// definition in §3.2).
     pub fn total_map_slots(&self) -> usize {
@@ -187,6 +206,15 @@ mod tests {
             assert_eq!(s.tasks_for_load(100.0), 25 * mu);
             assert_eq!(s.tasks_for_load(50.0), 25 * mu / 2);
         }
+    }
+
+    #[test]
+    fn datacenter_scales_racks_with_nodes() {
+        let s = ClusterSpec::datacenter(1000);
+        assert_eq!(s.data_nodes, 1000);
+        assert_eq!(s.racks, 25);
+        assert_eq!(s.total_map_slots(), 4000);
+        assert_eq!(ClusterSpec::datacenter(1).racks, 1);
     }
 
     #[test]

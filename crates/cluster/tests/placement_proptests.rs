@@ -41,20 +41,24 @@ proptest! {
         prop_assert_eq!(placement.stripe_count(), stripes);
         prop_assert_eq!(placement.data_block_count(), stripes * built.data_blocks());
 
-        for sp in placement.stripes() {
-            prop_assert_eq!(sp.nodes.len(), built.node_count());
-            let unique: std::collections::BTreeSet<_> = sp.nodes.iter().collect();
-            prop_assert_eq!(unique.len(), sp.nodes.len(), "stripe reuses a node");
+        for stripe in 0..placement.stripe_count() {
+            let hosts = placement.stripe_hosts(stripe).unwrap();
+            prop_assert_eq!(hosts.len(), built.node_count());
+            let unique: std::collections::BTreeSet<_> = hosts.iter().collect();
+            prop_assert_eq!(unique.len(), hosts.len(), "stripe reuses a node");
         }
         // Forward/reverse consistency and replica counts.
         for (id, locations) in placement.iter_data_blocks() {
-            prop_assert_eq!(locations.len(), built.block_locations(id.block).len());
-            for &node in locations {
-                prop_assert!(placement.blocks_on_node(node).contains(&id));
+            prop_assert_eq!(locations.len(), built.block_locations(id.block()).len());
+            for &node in &locations {
+                prop_assert!(placement.blocks_on_node(node).unwrap().contains(&id));
             }
         }
         // Total stored replicas match the code's stored block count.
-        let stored: usize = cluster.nodes().map(|n| placement.blocks_on_node(n).len()).sum();
+        let stored: usize = cluster
+            .nodes()
+            .map(|n| placement.node_block_count(n).unwrap())
+            .sum();
         prop_assert_eq!(stored, stripes * built.stored_blocks());
     }
 
@@ -75,8 +79,8 @@ proptest! {
         let result = PlacementMap::place(code.as_ref(), &cluster, 5, PlacementPolicy::Random, &mut rng);
         if cluster.up_nodes().len() >= code.node_count() {
             let placement = result.unwrap();
-            for sp in placement.stripes() {
-                for n in &sp.nodes {
+            for stripe in 0..placement.stripe_count() {
+                for n in &placement.stripe_hosts(stripe).unwrap() {
                     prop_assert!(cluster.is_up(*n));
                 }
             }

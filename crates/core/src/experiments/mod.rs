@@ -11,6 +11,7 @@
 //! | substrate extension | [`overlap`] | repair / degraded-read overlap in virtual time on the event-driven HDFS |
 //! | substrate extension | [`shuffle_contention`] | job slowdown when the event-driven shuffle shares links with a concurrent repair pass |
 //! | substrate extension | [`failure_trace`] | detection-lag-dependent job slowdown and repair/job overlap under live Poisson failure traces |
+//! | substrate extension | [`metadata_scale`] | placement-index bytes/block and query rates at 1000 nodes / 10M blocks |
 //!
 //! Every driver returns a serialisable result type with a `Display`
 //! implementation that prints a paper-style table, so the `repro` binary in
@@ -23,6 +24,7 @@ pub mod failure_trace;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod metadata_scale;
 pub mod overlap;
 pub mod repair_bandwidth;
 pub mod shuffle_contention;

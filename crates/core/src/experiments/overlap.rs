@@ -132,7 +132,7 @@ fn run_failure_window(
 
     // Lose both replicas of data block 0 of stripe 0.
     let meta = fs.namenode().file(id)?.clone();
-    let victims: Vec<NodeId> = meta.block_locations(0, 0).to_vec();
+    let victims: Vec<NodeId> = meta.block_locations(0, 0)?.to_vec();
     for &v in &victims {
         fs.fail_node_permanently(v);
     }

@@ -183,7 +183,7 @@ fn run_window(
     // tolerates only one failure, so its map task falls back to the
     // surviving replica (a plain remote read) and its row measures pure
     // repair-vs-shuffle link contention.
-    let victims: Vec<NodeId> = meta.block_locations(0, 0)[..failed].to_vec();
+    let victims: Vec<NodeId> = meta.block_locations(0, 0)?[..failed].to_vec();
     for &v in &victims {
         fs.fail_node_permanently(v);
     }

@@ -1,0 +1,143 @@
+//! Index-backend differential over the paper experiments: every
+//! deterministic experiment must produce **byte-identical** serialised
+//! output whether the placements underneath run on the map-based reference
+//! index or the compact arena index. The index is a lookup structure — it
+//! must never change what the simulation computes.
+//!
+//! `encoding` reports wall-clock throughput, so it is compared structurally
+//! (codes, sizes, byte counts) rather than byte-for-byte;
+//! `metadata_scale` measures the backends themselves and is exercised by
+//! its own unit tests instead.
+//!
+//! One `#[test]` per experiment keeps failures attributable and lets the
+//! harness run them in parallel.
+
+use drc_core::cluster::{
+    with_index_kind, Cluster, ClusterSpec, IndexKind, PlacementMap, PlacementPolicy,
+};
+use drc_core::codes::CodeKind;
+use drc_core::experiments::degraded_mr::run_degraded_mr;
+use drc_core::experiments::encoding::run_encoding;
+use drc_core::experiments::failure_trace::run_failure_trace;
+use drc_core::experiments::fig3::run_fig3;
+use drc_core::experiments::fig4::run_fig4;
+use drc_core::experiments::fig5::run_fig5;
+use drc_core::experiments::overlap::run_overlap;
+use drc_core::experiments::repair_bandwidth::run_repair_bandwidth;
+use drc_core::experiments::shuffle_contention::run_shuffle_contention;
+use drc_core::experiments::table1::run_table1;
+use drc_core::experiments::Effort;
+use drc_core::reliability::ReliabilityParams;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Runs `f` under each backend in turn and returns both serialised results.
+fn under_both<T: serde::Serialize>(f: impl Fn() -> T) -> (String, String) {
+    let run = |kind| {
+        with_index_kind(kind, || {
+            serde_json::to_string(&f()).expect("experiment output serialises")
+        })
+    };
+    (run(IndexKind::Map), run(IndexKind::Compact))
+}
+
+/// Asserts byte-identical serialised output under both backends.
+fn assert_identical<T: serde::Serialize>(name: &str, f: impl Fn() -> T) {
+    let (map, compact) = under_both(f);
+    assert_eq!(map, compact, "{name}: output depends on the index backend");
+}
+
+/// The scoped override must actually steer placement construction on this
+/// thread — otherwise every comparison below would trivially pass by
+/// comparing Compact against Compact.
+#[test]
+fn override_reaches_placement_construction() {
+    let code = CodeKind::TWO_REP.build().unwrap();
+    let cluster = Cluster::new(ClusterSpec::custom(10, 2, 4));
+    for kind in [IndexKind::Map, IndexKind::Compact] {
+        let placement = with_index_kind(kind, || {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            PlacementMap::place(
+                code.as_ref(),
+                &cluster,
+                2,
+                PlacementPolicy::Random,
+                &mut rng,
+            )
+            .unwrap()
+        });
+        assert_eq!(placement.index_kind(), kind);
+    }
+}
+
+#[test]
+fn table1_is_index_invariant() {
+    assert_identical("table1", || {
+        run_table1(&ReliabilityParams::default()).unwrap()
+    });
+}
+
+#[test]
+fn repair_bw_is_index_invariant() {
+    assert_identical("repair_bw", || run_repair_bandwidth().unwrap());
+}
+
+#[test]
+fn fig3_is_index_invariant() {
+    assert_identical("fig3", || run_fig3(Effort::Quick).unwrap());
+}
+
+#[test]
+fn fig4_is_index_invariant() {
+    assert_identical("fig4", || run_fig4(Effort::Quick).unwrap());
+}
+
+#[test]
+fn fig5_is_index_invariant() {
+    assert_identical("fig5", || run_fig5(Effort::Quick).unwrap());
+}
+
+#[test]
+fn degraded_mr_is_index_invariant() {
+    assert_identical("degraded_mr", || run_degraded_mr(Effort::Quick).unwrap());
+}
+
+#[test]
+fn overlap_is_index_invariant() {
+    // The quick-effort parameters of the repro binary.
+    assert_identical("overlap", || run_overlap(1024 * 1024, 2).unwrap());
+}
+
+#[test]
+fn shuffle_contention_is_index_invariant() {
+    assert_identical("shuffle_contention", || {
+        run_shuffle_contention(1024 * 1024, 100).unwrap()
+    });
+}
+
+#[test]
+fn failure_trace_is_index_invariant() {
+    // Matches `drc_bench::FAILURE_TRACE_QUICK` (core cannot depend on the
+    // bench crate).
+    assert_identical("failure_trace", || {
+        run_failure_trace(1024 * 1024, 60).unwrap()
+    });
+}
+
+/// `encoding` measures wall-clock throughput, so only its deterministic
+/// structure is compared: code list, block/stripe sizes, and the exact
+/// data/parity byte counts per code.
+#[test]
+fn encoding_structure_is_index_invariant() {
+    let run = |kind| with_index_kind(kind, || run_encoding(256 * 1024, 2).unwrap());
+    let map = run(IndexKind::Map);
+    let compact = run(IndexKind::Compact);
+    assert_eq!(map.block_bytes, compact.block_bytes);
+    assert_eq!(map.stripes, compact.stripes);
+    assert_eq!(map.rows.len(), compact.rows.len());
+    for (m, c) in map.rows.iter().zip(&compact.rows) {
+        assert_eq!(m.code, c.code);
+        assert_eq!(m.stripe_data_bytes, c.stripe_data_bytes, "{}", m.code);
+        assert_eq!(m.stripe_parity_bytes, c.stripe_parity_bytes, "{}", m.code);
+    }
+}

@@ -322,7 +322,7 @@ impl DistributedFileSystem {
                 } else {
                     Bytes::from(parities[block_index - k].clone())
                 };
-                for &node in meta.block_locations(stripe, block_index) {
+                for &node in &meta.block_locations(stripe, block_index)? {
                     self.write_network_bytes += content.len() as u64;
                     bytes_moved += content.len() as u64;
                     let dn = self
@@ -416,7 +416,7 @@ impl DistributedFileSystem {
     ) -> Result<(Bytes, SimTime), HdfsError> {
         let key = BlockKey::new(meta.id, stripe, block);
         // Fast path: any up replica.
-        for &node in meta.block_locations(stripe, block) {
+        for &node in &meta.block_locations(stripe, block)? {
             if !self.cluster.is_up(node) {
                 continue;
             }
@@ -429,7 +429,7 @@ impl DistributedFileSystem {
         }
         // Degraded read: plan with the code, then execute by decoding.
         let code = self.code(meta.code)?;
-        let stripe_nodes = &meta.placement.stripes()[stripe].nodes;
+        let stripe_nodes = meta.placement.stripe_hosts(stripe)?;
         // A stripe-local node is unusable if it is down or has lost every
         // block of this stripe (a wiped, not-yet-repaired node).
         let down_local: BTreeSet<usize> = stripe_nodes
@@ -479,7 +479,7 @@ impl DistributedFileSystem {
                 break;
             }
             let key = BlockKey::new(meta.id, stripe, block);
-            for &node in meta.block_locations(stripe, block) {
+            for &node in &meta.block_locations(stripe, block)? {
                 if !self.cluster.is_up(node) {
                     continue;
                 }
@@ -779,21 +779,25 @@ impl DistributedFileSystem {
         let files: Vec<FileMetadata> = self.namenode.iter().cloned().collect();
         for meta in files {
             let code = self.code(meta.code)?;
-            for stripe in 0..meta.stripes {
-                let stripe_nodes = meta.placement.stripes()[stripe].nodes.clone();
-                // Which stripe-local nodes lost their replicas?
-                let failed_local: BTreeSet<usize> = stripe_nodes
-                    .iter()
-                    .enumerate()
-                    .filter(|(local, node)| {
-                        replaced.contains(node)
-                            && self.missing_any_block(&meta, stripe, *local, **node, code.as_ref())
-                    })
-                    .map(|(local, _)| local)
-                    .collect();
-                if failed_local.is_empty() {
-                    continue;
+            // Scan each replaced node's reverse index instead of walking
+            // every stripe of every file: the planning work is proportional
+            // to the blocks the failed nodes actually hosted, which is what
+            // keeps repair viable against 10M-block placements.
+            let mut failed: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+            for &node in &replaced {
+                if node.0 >= meta.placement.node_universe() {
+                    continue; // this file's placement never saw the node
                 }
+                meta.placement
+                    .for_each_stripe_on_node(node, |stripe, local| {
+                        if self.missing_any_block(&meta, stripe, local, node, code.as_ref()) {
+                            failed.entry(stripe).or_default().insert(local);
+                        }
+                    })
+                    .map_err(HdfsError::from)?;
+            }
+            for (stripe, failed_local) in failed {
+                let stripe_nodes = meta.placement.stripe_hosts(stripe)?;
                 let plan = match code.repair_plan(&failed_local) {
                     Ok(p) => p,
                     Err(_) => {
@@ -962,7 +966,7 @@ mod tests {
         let data = sample_data(2 * 1024 * 1024);
         let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
         let meta = fs.namenode().file(id).unwrap().clone();
-        let victim = meta.block_locations(0, 0)[0];
+        let victim = meta.block_locations(0, 0).unwrap()[0];
         fs.fail_node(victim);
         assert_eq!(fs.read_file(id).unwrap(), data);
     }
@@ -973,7 +977,7 @@ mod tests {
         let data = sample_data(9 * 1024 * 1024);
         let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
         let meta = fs.namenode().file(id).unwrap().clone();
-        for &node in meta.block_locations(0, 0) {
+        for &node in &meta.block_locations(0, 0).unwrap() {
             fs.fail_node(node);
         }
         let before = fs.stats().read_network_bytes;
@@ -988,7 +992,7 @@ mod tests {
         let data = sample_data(1024 * 1024);
         let id = fs.write_file("/f", &data, CodeKind::TWO_REP).unwrap();
         let meta = fs.namenode().file(id).unwrap().clone();
-        for &node in meta.block_locations(0, 0) {
+        for &node in &meta.block_locations(0, 0).unwrap() {
             fs.fail_node(node);
         }
         assert!(matches!(
@@ -1003,7 +1007,7 @@ mod tests {
         let data = sample_data(9 * 1024 * 1024);
         let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
         let meta = fs.namenode().file(id).unwrap().clone();
-        let victim = meta.placement.stripes()[0].nodes[2];
+        let victim = meta.placement.stripe_hosts(0).unwrap()[2];
         let blocks_before = fs.datanode(victim).unwrap().block_count();
         assert!(blocks_before > 0);
         fs.fail_node_permanently(victim);
@@ -1028,10 +1032,8 @@ mod tests {
         let data = sample_data(9 * 1024 * 1024);
         let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
         let meta = fs.namenode().file(id).unwrap().clone();
-        let victims = [
-            meta.placement.stripes()[0].nodes[0],
-            meta.placement.stripes()[0].nodes[1],
-        ];
+        let hosts = meta.placement.stripe_hosts(0).unwrap();
+        let victims = [hosts[0], hosts[1]];
         for &v in &victims {
             fs.fail_node_permanently(v);
         }
@@ -1048,7 +1050,7 @@ mod tests {
         let data = sample_data(1024 * 1024);
         let id = fs.write_file("/f", &data, CodeKind::TWO_REP).unwrap();
         let meta = fs.namenode().file(id).unwrap().clone();
-        let victims: Vec<NodeId> = meta.block_locations(0, 0).to_vec();
+        let victims: Vec<NodeId> = meta.block_locations(0, 0).unwrap().to_vec();
         for &v in &victims {
             fs.fail_node_permanently(v);
         }
@@ -1115,7 +1117,7 @@ mod tests {
         // Degraded single-block read: the reconstruction bytes live on the
         // degraded-read phase; the read phase itself carries none, and the
         // two prefixes together equal the stats counter delta.
-        for &node in meta.block_locations(0, 0) {
+        for &node in &meta.block_locations(0, 0).unwrap() {
             fs.fail_node(node);
         }
         let stats_before = fs.stats().read_network_bytes;
@@ -1146,7 +1148,7 @@ mod tests {
             .write_file("/f", &data, CodeKind::Pentagon)
             .unwrap();
         let meta = static_fs.namenode().file(id).unwrap().clone();
-        let victims: Vec<NodeId> = meta.block_locations(0, 0).to_vec();
+        let victims: Vec<NodeId> = meta.block_locations(0, 0).unwrap().to_vec();
         for &v in &victims {
             static_fs.fail_node_permanently(v);
         }
@@ -1186,7 +1188,7 @@ mod tests {
         let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
         fs.sync();
         let meta = fs.namenode().file(id).unwrap().clone();
-        let victim = meta.placement.stripes()[0].nodes[1];
+        let victim = meta.placement.stripe_hosts(0).unwrap()[1];
 
         fs.set_detection_timeout(SimDuration::from_secs_f64(2.0));
         let fail_at = fs.now() + SimDuration::from_secs_f64(1.0);
@@ -1237,7 +1239,7 @@ mod tests {
         let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
         fs.sync();
         let meta = fs.namenode().file(id).unwrap().clone();
-        let victim = meta.placement.stripes()[0].nodes[1];
+        let victim = meta.placement.stripe_hosts(0).unwrap()[1];
 
         // The failure is scheduled under a 1 s timeout …
         fs.set_detection_timeout(SimDuration::from_secs_f64(1.0));
@@ -1272,7 +1274,7 @@ mod tests {
         let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
         fs.sync();
         let meta = fs.namenode().file(id).unwrap().clone();
-        let victim = meta.placement.stripes()[0].nodes[0];
+        let victim = meta.placement.stripe_hosts(0).unwrap()[0];
 
         fs.set_detection_timeout(SimDuration::from_secs_f64(5.0));
         let fail_at = fs.now();
@@ -1345,7 +1347,7 @@ mod tests {
         let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
         fs.sync();
         let meta = fs.namenode().file(id).unwrap().clone();
-        let victim = meta.placement.stripes()[0].nodes[0];
+        let victim = meta.placement.stripe_hosts(0).unwrap()[0];
 
         fs.set_detection_timeout(SimDuration::from_secs_f64(2.0));
         let fail_at = fs.now();
@@ -1381,7 +1383,7 @@ mod tests {
         let id = fs.write_file("/f", &data, CodeKind::Pentagon).unwrap();
         fs.sync();
         let meta = fs.namenode().file(id).unwrap().clone();
-        let victim = meta.placement.stripes()[0].nodes[1];
+        let victim = meta.placement.stripe_hosts(0).unwrap()[1];
 
         // Fail at now, detect quickly (auto-repair re-provisions the node),
         // and let the trace's own recovery arrive much later: the stale
@@ -1436,7 +1438,7 @@ mod tests {
         let meta = fs.namenode().file(id).unwrap().clone();
         // Lose both replicas of data block 0 of stripe 0: reads of that
         // block must go degraded until the RaidNode repairs the nodes.
-        let victims: Vec<NodeId> = meta.block_locations(0, 0).to_vec();
+        let victims: Vec<NodeId> = meta.block_locations(0, 0).unwrap().to_vec();
         for &v in &victims {
             fs.fail_node_permanently(v);
         }

@@ -11,10 +11,11 @@
 //! being enqueued.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use drc_cluster::{NodeId, PlacementMap};
+use drc_cluster::{NodeId, NodeList, PlacementMap};
 use drc_codes::CodeKind;
 use drc_sim::SimTime;
 
@@ -46,8 +47,9 @@ pub struct FileMetadata {
     /// The virtual instant the file's write was issued (the event-driven
     /// substrate's clock; writes before the substrate existed read as zero).
     pub created_at: SimTime,
-    /// The stripe→cluster-node placement.
-    pub placement: PlacementMap,
+    /// The stripe→cluster-node placement, shared (the engine clones file
+    /// metadata freely; at 10M blocks the placement must not be deep-copied).
+    pub placement: Arc<PlacementMap>,
 }
 
 impl FileMetadata {
@@ -58,9 +60,16 @@ impl FileMetadata {
     }
 
     /// The cluster nodes holding a replica of the given block.
-    pub fn block_locations(&self, stripe: usize, block: usize) -> &[NodeId] {
-        self.placement
-            .block_locations(drc_cluster::GlobalBlockId { stripe, block })
+    ///
+    /// # Errors
+    ///
+    /// Returns the placement's [`drc_cluster::ClusterError::UnknownBlock`]
+    /// (wrapped in [`HdfsError::Cluster`]) for out-of-range indices —
+    /// unknown blocks are an error, never an empty location list.
+    pub fn block_locations(&self, stripe: usize, block: usize) -> Result<NodeList, HdfsError> {
+        Ok(self
+            .placement
+            .locations(drc_cluster::GlobalBlockId::new(stripe, block))?)
     }
 
     /// The keys of the data blocks that carry file content, in file order.
@@ -130,7 +139,7 @@ impl NameNode {
             stripes: placement.stripe_count(),
             data_blocks_per_stripe,
             created_at,
-            placement,
+            placement: Arc::new(placement),
         };
         self.files.insert(id, meta);
         self.by_name.insert(name.to_string(), id);
@@ -231,16 +240,25 @@ impl NameNode {
     /// Every block key (of every file) whose replica set includes `node` —
     /// the NameNode's answer to "which blocks did we lose when this node
     /// died?".
+    ///
+    /// A node no placement knows about (outside every file's node universe)
+    /// hosts nothing by definition, so it reports an empty answer rather
+    /// than an error — the NameNode outlives any single cluster size.
     pub fn blocks_on_node(&self, node: NodeId) -> Vec<BlockKey> {
         let mut out = Vec::new();
         for meta in self.files.values() {
-            for gb in meta.placement.blocks_on_node(node) {
-                out.push(BlockKey {
-                    file: meta.id,
-                    stripe: gb.stripe,
-                    block: gb.block,
-                });
+            if node.0 >= meta.placement.node_universe() {
+                continue;
             }
+            meta.placement
+                .for_each_block_on_node(node, |gb| {
+                    out.push(BlockKey {
+                        file: meta.id,
+                        stripe: gb.stripe(),
+                        block: gb.block(),
+                    });
+                })
+                .expect("node is inside this placement's universe");
         }
         out
     }
@@ -323,7 +341,8 @@ mod tests {
         let keys = meta.content_block_keys();
         assert_eq!(keys.len(), 8);
         assert!(keys.iter().all(|k| k.stripe == 0 && k.block < 9));
-        assert_eq!(meta.block_locations(0, 0).len(), 2);
+        assert_eq!(meta.block_locations(0, 0).unwrap().len(), 2);
+        assert!(meta.block_locations(99, 0).is_err());
     }
 
     #[test]
@@ -350,7 +369,7 @@ mod tests {
     fn blocks_on_node_reports_all_files() {
         let mut nn = NameNode::new();
         let p = placement(3);
-        let node = p.stripes()[0].nodes[0];
+        let node = p.stripe_hosts(0).unwrap()[0];
         nn.register("/x", 100, 10, CodeKind::Pentagon, 9, SimTime::ZERO, p)
             .unwrap();
         let blocks = nn.blocks_on_node(node);

@@ -50,7 +50,7 @@ proptest! {
         let meta = fs.namenode().file(id).unwrap().clone();
         let stripe = which % meta.stripes;
         let tolerance = built.fault_tolerance();
-        let victims: Vec<_> = meta.placement.stripes()[stripe].nodes[..tolerance].to_vec();
+        let victims: Vec<_> = meta.placement.stripe_hosts(stripe).unwrap()[..tolerance].to_vec();
         for &v in &victims {
             fs.fail_node_permanently(v);
         }
@@ -83,7 +83,7 @@ proptest! {
         let built = code.build().unwrap();
         let meta = degraded.namenode().file(id).unwrap().clone();
         let victims: Vec<_> =
-            meta.placement.stripes()[0].nodes[..built.fault_tolerance()].to_vec();
+            meta.placement.stripe_hosts(0).unwrap()[..built.fault_tolerance()].to_vec();
         for &v in &victims {
             degraded.fail_node(v);
         }
@@ -115,7 +115,7 @@ proptest! {
                 let meta = fs.namenode().file(id).unwrap().clone();
                 let tolerance = built.fault_tolerance().min(2);
                 let victims =
-                    meta.placement.stripes()[0].nodes[..tolerance].to_vec();
+                    meta.placement.stripe_hosts(0).unwrap()[..tolerance].to_vec();
                 fs.set_detection_timeout(SimDuration(timeout_ms * 1_000_000));
                 let at = fs.now() + SimDuration(fail_ms * 1_000_000);
                 fs.schedule_trace(&FailureTrace::from_events(

@@ -495,12 +495,9 @@ pub fn run_job_traced(
     let block_bytes = spec.block_size_bytes();
 
     for task in job.map_tasks() {
-        if placement.block_locations(task.block).is_empty() {
+        if let Err(e) = placement.locations(task.block) {
             return Err(MapReduceError::InvalidConfig {
-                reason: format!(
-                    "task block {:?} is not present in the placement",
-                    task.block
-                ),
+                reason: format!("task block {:?} is not in the placement: {e}", task.block),
             });
         }
     }
@@ -582,7 +579,7 @@ pub fn run_job_traced(
                 (block_mb / spec.disk_bandwidth_mbps, 0u64, 0u64, false)
             } else {
                 // Which stripe-local nodes are down for this block's stripe?
-                let stripe_nodes = &placement.stripes()[task.block.stripe].nodes;
+                let stripe_nodes = placement.stripe_hosts(task.block.stripe())?;
                 let down_local: BTreeSet<usize> = stripe_nodes
                     .iter()
                     .enumerate()
@@ -590,7 +587,7 @@ pub fn run_job_traced(
                     .map(|(i, _)| i)
                     .collect();
                 let replicas_alive = placement
-                    .block_locations(task.block)
+                    .locations(task.block)?
                     .iter()
                     .any(|n| failure_state.replica_alive(*n, &view));
                 if replicas_alive {
@@ -604,7 +601,7 @@ pub fn run_job_traced(
                 } else {
                     // Degraded read: rebuild from the code's plan.
                     let plan = code
-                        .degraded_read_plan(task.block.block, &down_local)
+                        .degraded_read_plan(task.block.block(), &down_local)
                         .map_err(|source| MapReduceError::UnreadableBlock {
                             block: task.block,
                             source,
@@ -948,11 +945,8 @@ mod tests {
         )
         .unwrap();
         // Take both hosts of data block 0 of stripe 0 down.
-        let block = drc_cluster::GlobalBlockId {
-            stripe: 0,
-            block: 0,
-        };
-        for &n in placement.block_locations(block) {
+        let block = drc_cluster::GlobalBlockId::new(0, 0);
+        for &n in &placement.locations(block).unwrap() {
             cluster.set_down(n);
         }
         let job = JobSpec::new("degraded", vec![block]);
@@ -983,11 +977,8 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let block = drc_cluster::GlobalBlockId {
-            stripe: 0,
-            block: 0,
-        };
-        for &n in placement.block_locations(block) {
+        let block = drc_cluster::GlobalBlockId::new(0, 0);
+        for &n in &placement.locations(block).unwrap() {
             cluster.set_down(n);
         }
         let job = JobSpec::new("doomed", vec![block]);
@@ -1015,13 +1006,7 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let job = JobSpec::new(
-            "bogus",
-            vec![drc_cluster::GlobalBlockId {
-                stripe: 7,
-                block: 0,
-            }],
-        );
+        let job = JobSpec::new("bogus", vec![drc_cluster::GlobalBlockId::new(7, 0)]);
         assert!(matches!(
             run_job(
                 &job,
@@ -1190,10 +1175,8 @@ mod tests {
             )
             .unwrap();
             let victims: Vec<NodeId> = placement
-                .block_locations(drc_cluster::GlobalBlockId {
-                    stripe: 0,
-                    block: 0,
-                })
+                .locations(drc_cluster::GlobalBlockId::new(0, 0))
+                .unwrap()
                 .to_vec();
             let job = JobSpec::new("diff", placement.data_blocks()).with_reduce_tasks(6);
 
@@ -1447,12 +1430,9 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let block = drc_cluster::GlobalBlockId {
-            stripe: 0,
-            block: 0,
-        };
+        let block = drc_cluster::GlobalBlockId::new(0, 0);
         let mut events: Vec<FailureEvent> = Vec::new();
-        for &node in placement.block_locations(block) {
+        for &node in &placement.locations(block).unwrap() {
             events.push(FailureEvent::at_ns(0, FailureEventKind::NodeDown { node }));
             events.push(FailureEvent::at_ns(1, FailureEventKind::NodeUp { node }));
         }
@@ -1496,11 +1476,8 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let block = drc_cluster::GlobalBlockId {
-            stripe: 0,
-            block: 0,
-        };
-        let victims: Vec<NodeId> = placement.block_locations(block).to_vec();
+        let block = drc_cluster::GlobalBlockId::new(0, 0);
+        let victims: Vec<NodeId> = placement.locations(block).unwrap().to_vec();
         let trace = FailureTrace::from_events(
             victims
                 .iter()
@@ -1559,11 +1536,8 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let block = drc_cluster::GlobalBlockId {
-            stripe: 0,
-            block: 0,
-        };
-        for &n in placement.block_locations(block) {
+        let block = drc_cluster::GlobalBlockId::new(0, 0);
+        for &n in &placement.locations(block).unwrap() {
             cluster.set_down(n);
         }
         let job = JobSpec::new("degraded", vec![block]);

@@ -36,7 +36,8 @@ impl fmt::Display for MapReduceError {
             MapReduceError::UnreadableBlock { block, source } => write!(
                 f,
                 "block (stripe {}, block {}) cannot be read: {source}",
-                block.stripe, block.block
+                block.stripe(),
+                block.block()
             ),
         }
     }
@@ -82,10 +83,7 @@ mod tests {
         let e: MapReduceError = CodeError::UnequalBlockLengths.into();
         assert!(e.source().is_some());
         let e = MapReduceError::UnreadableBlock {
-            block: GlobalBlockId {
-                stripe: 0,
-                block: 1,
-            },
+            block: GlobalBlockId::new(0, 1),
             source: CodeError::UnequalBlockLengths,
         };
         assert!(e.to_string().contains("stripe 0"));

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use drc_cluster::{Cluster, GlobalBlockId, NodeId, PlacementMap};
+use drc_cluster::{Cluster, GlobalBlockId, NodeId, NodeList, PlacementMap};
 
 use crate::job::{MapTask, TaskId};
 
@@ -36,7 +36,7 @@ pub struct TaskVertex {
     /// The block the task reads.
     pub block: GlobalBlockId,
     /// Up cluster nodes holding a replica of the block (the task's edges).
-    pub local_nodes: Vec<NodeId>,
+    pub local_nodes: NodeList,
 }
 
 impl TaskNodeGraph {
@@ -48,12 +48,13 @@ impl TaskNodeGraph {
             nodes.iter().map(|&n| (n, Vec::new())).collect();
         let mut vertices = Vec::with_capacity(tasks.len());
         for task in tasks {
-            let local_nodes: Vec<NodeId> = placement
-                .block_locations(task.block)
-                .iter()
-                .copied()
-                .filter(|n| cluster.is_up(*n))
-                .collect();
+            // The engine validates every job block against the placement up
+            // front, so an unknown block here (graphs are also built from
+            // raw task lists in tests) simply gets no edges and runs remote.
+            let local_nodes: NodeList = placement
+                .locations(task.block)
+                .map(|locs| locs.iter().copied().filter(|n| cluster.is_up(*n)).collect())
+                .unwrap_or_default();
             for &n in &local_nodes {
                 node_tasks.entry(n).or_default().push(task.id);
             }
@@ -175,7 +176,7 @@ mod tests {
         // whether the parity edge is incident).
         let (cluster, placement, tasks) = setup(CodeKind::Pentagon, 1);
         let graph = TaskNodeGraph::build(&tasks, &placement, &cluster);
-        let used: Vec<NodeId> = placement.stripes()[0].nodes.clone();
+        let used: Vec<NodeId> = placement.stripe_hosts(0).unwrap().to_vec();
         for &node in &used {
             let d = graph.node_degree(node);
             assert!(d == 3 || d == 4, "degree {d}");
@@ -194,7 +195,7 @@ mod tests {
     #[test]
     fn down_nodes_drop_out_of_the_graph() {
         let (mut cluster, placement, tasks) = setup(CodeKind::TWO_REP, 30);
-        let victim = placement.block_locations(tasks[0].block)[0];
+        let victim = placement.locations(tasks[0].block).unwrap()[0];
         cluster.set_down(victim);
         let graph = TaskNodeGraph::build(&tasks, &placement, &cluster);
         assert_eq!(graph.nodes().len(), 24);

@@ -30,7 +30,7 @@ pub struct MapTask {
 /// use drc_mapreduce::JobSpec;
 ///
 /// let blocks: Vec<GlobalBlockId> = (0..10)
-///     .map(|i| GlobalBlockId { stripe: i, block: 0 })
+///     .map(|i| GlobalBlockId::new(i, 0))
 ///     .collect();
 /// let job = JobSpec::new("terasort", blocks)
 ///     .with_shuffle_ratio(1.0)
@@ -185,12 +185,7 @@ mod tests {
     use super::*;
 
     fn blocks(n: usize) -> Vec<GlobalBlockId> {
-        (0..n)
-            .map(|i| GlobalBlockId {
-                stripe: i / 3,
-                block: i % 3,
-            })
-            .collect()
+        (0..n).map(|i| GlobalBlockId::new(i / 3, i % 3)).collect()
     }
 
     #[test]

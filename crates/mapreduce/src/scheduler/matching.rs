@@ -236,10 +236,7 @@ mod tests {
         .unwrap();
         // Both stripes land on node 0 and node 1 respectively under round-robin;
         // craft tasks referencing stripe 0's block twice to force contention.
-        let block = GlobalBlockId {
-            stripe: 0,
-            block: 0,
-        };
+        let block = GlobalBlockId::new(0, 0);
         let tasks = vec![
             MapTask {
                 id: TaskId(0),

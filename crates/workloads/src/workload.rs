@@ -185,7 +185,7 @@ mod tests {
         );
         // Every task's block exists in the placement.
         for task in w.job.map_tasks() {
-            assert!(!w.placement.block_locations(task.block).is_empty());
+            assert!(w.placement.locations(task.block).is_ok());
         }
     }
 

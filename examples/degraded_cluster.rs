@@ -39,7 +39,7 @@ fn main() -> Result<(), DrcError> {
 
     // Kill three nodes hosting the heptagon-local file (its full tolerance).
     let meta = fs.namenode().file(hl_file)?.clone();
-    let victims: Vec<_> = meta.placement.stripes()[0].nodes[0..3].to_vec();
+    let victims: Vec<_> = meta.placement.stripe_hosts(0).unwrap()[0..3].to_vec();
     for &v in &victims {
         fs.fail_node_permanently(v);
     }

@@ -43,7 +43,7 @@ fn hdfs_full_lifecycle_for_every_paper_code() {
 
         // Tolerate `fault_tolerance` permanent failures of stripe nodes.
         let tolerance = code.fault_tolerance();
-        let victims: Vec<NodeId> = meta.placement.stripes()[0].nodes[..tolerance].to_vec();
+        let victims: Vec<NodeId> = meta.placement.stripe_hosts(0).unwrap()[..tolerance].to_vec();
         for &v in &victims {
             fs.fail_node_permanently(v);
         }
@@ -107,7 +107,7 @@ fn transient_failures_trigger_degraded_reads_with_partial_parity_cost() {
         provision_workload(WorkloadKind::Terasort, kind, &cluster, 50.0, &mut rng).unwrap();
     // Fail both hosts of the first task's block.
     let first_block = workload.job.map_tasks()[0].block;
-    let hosts: Vec<NodeId> = workload.placement.block_locations(first_block).to_vec();
+    let hosts: Vec<NodeId> = workload.placement.locations(first_block).unwrap().to_vec();
     let scenario = FailureScenario::nodes(hosts);
     scenario.apply(&mut cluster);
 

@@ -59,7 +59,7 @@ fn t0_trace_reproduces_static_repair_bytes_for_every_code_kind() {
         let victims_of = |fs: &DistributedFileSystem, id| {
             let meta = fs.namenode().file(id).unwrap().clone();
             let tolerance = code.fault_tolerance().min(2);
-            meta.placement.stripes()[0].nodes[..tolerance].to_vec()
+            meta.placement.stripe_hosts(0).unwrap()[..tolerance].to_vec()
         };
         let data = payload(5 * 1024 * 1024 + 77);
 
@@ -117,7 +117,7 @@ fn undetected_t0_trace_reproduces_static_degraded_read_bytes() {
         let id = static_fs.write_file("/deg", &data, kind).unwrap();
         let meta = static_fs.namenode().file(id).unwrap().clone();
         let tolerance = code.fault_tolerance().min(2);
-        let victims: Vec<NodeId> = meta.placement.stripes()[0].nodes[..tolerance].to_vec();
+        let victims: Vec<NodeId> = meta.placement.stripe_hosts(0).unwrap()[..tolerance].to_vec();
         for &v in &victims {
             static_fs.fail_node_permanently(v);
         }
@@ -158,12 +158,9 @@ fn t0_trace_reproduces_static_job_metrics_for_every_code_kind() {
         )
         .unwrap();
         // Fail as many hosts of data block 0 as the code tolerates.
-        let block = drc_core::cluster::GlobalBlockId {
-            stripe: 0,
-            block: 0,
-        };
+        let block = drc_core::cluster::GlobalBlockId::new(0, 0);
         let tolerance = code.fault_tolerance().min(2);
-        let locations = placement.block_locations(block);
+        let locations = placement.locations(block).unwrap();
         let victims: Vec<NodeId> = locations[..tolerance.min(locations.len())].to_vec();
         let job = JobSpec::new("differential", placement.data_blocks()).with_reduce_tasks(7);
         let scheduler = SchedulerKind::Delay.build();
