@@ -30,8 +30,9 @@
 //! GF kernel, thread count, bench-host CPU count), bytes/sec per
 //! configuration, the measured multi-thread speedup, the pool dispatch
 //! costs, and the virtual-time contention headlines (shuffle∩repair
-//! slowdown plus the live failure-trace slowdown and repair∩job overlap),
-//! so the parallel-encode and contention trajectories are tracked across
+//! slowdown, the live failure-trace slowdown and repair∩job overlap, and
+//! the streaming-repair pipelined/serial ratio per code), so the
+//! parallel-encode and contention trajectories are tracked across
 //! PRs. On a
 //! single-core host the forced 2-thread point oversubscribes one core, so
 //! the recorded speedup is honestly <= 1.0 — `provenance.host_cpus` lets
@@ -425,6 +426,28 @@ fn repro() {
             .collect()
     };
 
+    // Headline streaming-repair numbers: pipelined vs serial virtual-time
+    // ratio per code (the shared quick configuration of the
+    // `repair_pipeline` experiment, so the stamped numbers match the CI
+    // repro artifact). Virtual-time, hardware-independent: `check_speedup`
+    // requires every erasure code's ratio strictly below 1.0.
+    let (rp_block_bytes, rp_stripes, rp_chunks) = drc_bench::REPAIR_PIPELINE_QUICK;
+    let pipeline = drc_core::experiments::repair_pipeline::run_repair_pipeline(
+        rp_block_bytes,
+        rp_stripes,
+        rp_chunks,
+    )
+    .expect("repair-pipeline experiment runs");
+    // Per code, the smallest measured chunk's ratio (the headline
+    // streaming configuration).
+    let rp_min_chunk = rp_chunks.iter().copied().min().expect("a chunk size");
+    let pipeline_per_code: Vec<(String, serde_json::Value)> = pipeline
+        .rows
+        .iter()
+        .filter(|r| r.chunk_bytes == rp_min_chunk)
+        .map(|r| (r.code.to_string(), serde_json::Value::Float(r.ratio)))
+        .collect();
+
     // Metadata-plane headlines: allocator-measured resident bytes per block
     // for both index backends on the same 10M-block-class placement, plus
     // query rates on the compact (default) backend. The bytes are
@@ -544,6 +567,18 @@ fn repro() {
         (
             "failure_trace_repair_job_overlap_s".to_string(),
             serde_json::Value::Float(failure.max_repair_job_overlap_s()),
+        ),
+        (
+            "repair_pipeline_ratio".to_string(),
+            serde_json::Value::Float(
+                pipeline
+                    .worst_erasure_ratio()
+                    .expect("erasure rows are measured"),
+            ),
+        ),
+        (
+            "repair_pipeline_ratio_per_code".to_string(),
+            serde_json::Value::Map(pipeline_per_code),
         ),
         (
             "meta_blocks".to_string(),

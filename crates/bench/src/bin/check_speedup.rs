@@ -25,7 +25,9 @@
 //!
 //! Before the hardware-dependent gate, the snapshot's *virtual-time*
 //! contention headlines (`shuffle_contention_slowdown`,
-//! `failure_trace_slowdown`, `failure_trace_repair_job_overlap_s`) are
+//! `failure_trace_slowdown`, `failure_trace_repair_job_overlap_s`, and the
+//! streaming-repair `repair_pipeline_ratio` — pipelined strictly below
+//! serial for every erasure code) are
 //! checked unconditionally — they are deterministic on any host, so a
 //! missing or non-positive headline always fails. The metadata-plane size
 //! headline (`meta_bytes_per_block`, a deterministic layout property) is
@@ -115,6 +117,64 @@ fn main() {
                 );
                 failed = true;
             }
+        }
+    }
+    // The streaming-repair headline is likewise virtual-time and
+    // deterministic, so it is enforced unconditionally: the chunk-streamed
+    // repair schedule must complete strictly before the serial whole-block
+    // baseline for every erasure code (ratio < 1.0). Replication entries
+    // have no rebuild stage to overlap and may be neutral, so they only
+    // need to stay at-or-below 1.0 (plus per-chunk ns rounding).
+    match json_lookup(&doc, "repair_pipeline_ratio").and_then(json_f64) {
+        Some(v) if v > 0.0 && v < 1.0 => {
+            println!("OK:   repair_pipeline_ratio = {v:.3} (pipelined < serial)");
+        }
+        Some(v) => {
+            eprintln!(
+                "FAIL: repair_pipeline_ratio = {v:.3} — the chunk-streamed repair \
+                 must beat the serial whole-block schedule (ratio strictly < 1.0)"
+            );
+            failed = true;
+        }
+        None => {
+            eprintln!(
+                "FAIL: `repair_pipeline_ratio` missing from {SIM_BENCH_JSON_PATH} \
+                 (stale snapshot? re-run `cargo bench -p drc_bench --bench \
+                 sim_throughput -- repro`)"
+            );
+            failed = true;
+        }
+    }
+    match json_lookup(&doc, "repair_pipeline_ratio_per_code") {
+        Some(serde_json::Value::Map(entries)) if !entries.is_empty() => {
+            for (code, v) in entries {
+                let replication = code.ends_with("-rep");
+                match json_f64(v) {
+                    Some(r) if r > 0.0 && (r < 1.0 || (replication && r <= 1.0 + 1e-6)) => {
+                        println!("OK:   repair_pipeline_ratio[{code}] = {r:.3}");
+                    }
+                    Some(r) => {
+                        eprintln!(
+                            "FAIL: repair_pipeline_ratio[{code}] = {r:.3} — every \
+                             erasure code's pipelined repair must be strictly \
+                             faster than serial"
+                        );
+                        failed = true;
+                    }
+                    None => {
+                        eprintln!("FAIL: repair_pipeline_ratio[{code}] is not numeric");
+                        failed = true;
+                    }
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "FAIL: `repair_pipeline_ratio_per_code` missing or empty in \
+                 {SIM_BENCH_JSON_PATH} (stale snapshot? re-run `cargo bench -p \
+                 drc_bench --bench sim_throughput -- repro`)"
+            );
+            failed = true;
         }
     }
     // The metadata-plane size headline is a deterministic layout property

@@ -5,7 +5,7 @@
 //!
 //!   <name> ∈ { table1, repair_bw, fig3, fig4, fig5, encoding, degraded_mr,
 //!              overlap, shuffle_contention, failure_trace, metadata_scale,
-//!              all }
+//!              repair_pipeline, all }
 //! ```
 //!
 //! With no arguments every experiment runs at `quick` effort and the
@@ -31,7 +31,8 @@ use drc_core::experiments::{
     degraded_mr::run_degraded_mr, encoding::run_encoding, failure_trace::run_failure_trace,
     fig3::run_fig3, fig4::run_fig4, fig5::run_fig5, metadata_scale::run_metadata_scale,
     overlap::run_overlap, repair_bandwidth::run_repair_bandwidth,
-    shuffle_contention::run_shuffle_contention, table1::run_table1, Effort,
+    repair_pipeline::run_repair_pipeline, shuffle_contention::run_shuffle_contention,
+    table1::run_table1, Effort,
 };
 use drc_core::reliability::ReliabilityParams;
 use drc_core::DrcError;
@@ -168,6 +169,18 @@ fn run(options: &Options) -> Result<BTreeMap<String, serde_json::Value>, DrcErro
         println!("{report}\n");
         results.insert(
             "failure_trace".to_string(),
+            serde_json::to_value(&report).expect("serializable"),
+        );
+    }
+    if wanted("repair_pipeline") {
+        let (block_bytes, stripes, chunks) = match options.effort {
+            Effort::Quick => drc_bench::REPAIR_PIPELINE_QUICK,
+            Effort::Full => (8 * 1024 * 1024, 4, &[1 << 20, 256 * 1024, 64 * 1024][..]),
+        };
+        let report = run_repair_pipeline(block_bytes, stripes, chunks)?;
+        println!("{report}\n");
+        results.insert(
+            "repair_pipeline".to_string(),
             serde_json::to_value(&report).expect("serializable"),
         );
     }

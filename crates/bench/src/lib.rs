@@ -42,6 +42,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "shuffle_contention",
     "failure_trace",
     "metadata_scale",
+    "repair_pipeline",
 ];
 
 /// Quick-effort configuration of the `failure_trace` experiment,
@@ -50,6 +51,14 @@ pub const EXPERIMENTS: &[&str] = &[
 /// `failure_trace_*` numbers in `BENCH_sim.json` always describe the same
 /// configuration as the CI repro artifact.
 pub const FAILURE_TRACE_QUICK: (usize, usize) = (1024 * 1024, 60);
+
+/// Quick-effort configuration of the `repair_pipeline` experiment,
+/// `(block_bytes, stripes, chunk_sizes)`. Shared by the `repro` binary's
+/// quick arm and the `sim_throughput` bench's headline run, so the
+/// `repair_pipeline_*` numbers in `BENCH_sim.json` always describe the same
+/// configuration as the CI repro artifact.
+pub const REPAIR_PIPELINE_QUICK: (usize, usize, &[u64]) =
+    (4 * 1024 * 1024, 2, &[1 << 20, 256 * 1024]);
 
 /// Workspace-root path of `BENCH_gf.json` (written by the `gf_throughput`
 /// bench in `repro` mode), independent of the cwd cargo gives bench/bin
@@ -139,13 +148,14 @@ mod tests {
 
     #[test]
     fn experiment_list_is_complete() {
-        assert_eq!(EXPERIMENTS.len(), 11);
+        assert_eq!(EXPERIMENTS.len(), 12);
         assert!(EXPERIMENTS.contains(&"table1"));
         assert!(EXPERIMENTS.contains(&"fig5"));
         assert!(EXPERIMENTS.contains(&"overlap"));
         assert!(EXPERIMENTS.contains(&"shuffle_contention"));
         assert!(EXPERIMENTS.contains(&"failure_trace"));
         assert!(EXPERIMENTS.contains(&"metadata_scale"));
+        assert!(EXPERIMENTS.contains(&"repair_pipeline"));
     }
 
     #[test]

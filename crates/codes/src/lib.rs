@@ -50,6 +50,7 @@ mod codes;
 mod encoder;
 mod error;
 mod layout;
+mod reconstruct;
 mod registry;
 mod repair;
 mod traits;
@@ -58,6 +59,7 @@ pub use codes::{PolygonCode, PolygonLocalCode, RaidMirrorCode, ReplicationCode, 
 pub use encoder::StripeEncoder;
 pub use error::CodeError;
 pub use layout::{CodeStructure, NodeLayout};
+pub use reconstruct::StripeReconstructor;
 pub use registry::CodeKind;
 pub use repair::{
     combine_partial_parity_into, ReadPlan, ReadSource, RepairPlan, Transfer, TransferPayload,

@@ -12,6 +12,7 @@
 //! | substrate extension | [`shuffle_contention`] | job slowdown when the event-driven shuffle shares links with a concurrent repair pass |
 //! | substrate extension | [`failure_trace`] | detection-lag-dependent job slowdown and repair/job overlap under live Poisson failure traces |
 //! | substrate extension | [`metadata_scale`] | placement-index bytes/block and query rates at 1000 nodes / 10M blocks |
+//! | substrate extension | [`repair_pipeline`] | chunk-streamed repair virtual time vs the serial whole-block schedule, per code × chunk size |
 //!
 //! Every driver returns a serialisable result type with a `Display`
 //! implementation that prints a paper-style table, so the `repro` binary in
@@ -27,6 +28,7 @@ pub mod fig5;
 pub mod metadata_scale;
 pub mod overlap;
 pub mod repair_bandwidth;
+pub mod repair_pipeline;
 pub mod shuffle_contention;
 pub mod table1;
 

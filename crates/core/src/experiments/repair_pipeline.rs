@@ -1,0 +1,235 @@
+//! Streaming (chunk-pipelined) repair versus the monolithic schedule.
+//!
+//! The HDFS repair path executes each stripe as fetch → rebuild → store.
+//! Monolithically, a stripe's replacement stores cannot begin until the
+//! *whole* of every helper block has arrived, so the repair's virtual time
+//! is the *sum* of the transfer and store stages. Streamed in chunks, the
+//! first chunk's stores are issued the instant that chunk's fetches land
+//! and overlap the remaining fetches, so a stripe completes at
+//! max(network, compute) + one-chunk pipeline fill.
+//!
+//! This experiment measures exactly that: for each code and each chunk
+//! size it writes a multi-stripe file, permanently fails one stripe host,
+//! and runs the RaidNode repair pass twice on identical fresh deployments
+//! — once with the chunk-streamed schedule and once with
+//! `repair_chunk_bytes = u64::MAX` (the serial whole-block baseline). Both
+//! runs restore byte-identical replicas and account identical traffic;
+//! only the virtual-time schedule differs, and the per-row `ratio`
+//! (pipelined / serial) is the headline `check_speedup` gates: strictly
+//! below 1.0 for every erasure code (2-rep repairs move replicas without a
+//! rebuild stage and may be neutral).
+
+use serde::{Deserialize, Serialize};
+
+use drc_cluster::{ClusterSpec, NodeId};
+use drc_codes::CodeKind;
+use drc_hdfs::DistributedFileSystem;
+
+use crate::render::TextTable;
+use crate::DrcError;
+
+/// One code × chunk-size measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineRow {
+    /// The coding scheme.
+    pub code: CodeKind,
+    /// Streaming chunk size, in bytes.
+    pub chunk_bytes: u64,
+    /// Virtual seconds of the serial (whole-block) repair pass.
+    pub serial_s: f64,
+    /// Virtual seconds of the chunk-streamed repair pass.
+    pub pipelined_s: f64,
+    /// `pipelined_s / serial_s` — below 1.0 means the pipeline overlapped
+    /// fetches with stores.
+    pub ratio: f64,
+    /// Network bytes the repair moved (identical in both runs).
+    pub network_bytes: u64,
+    /// Blocks restored (identical in both runs).
+    pub blocks_restored: usize,
+}
+
+/// The streaming-repair pipeline report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairPipelineReport {
+    /// Stripes written per file.
+    pub stripes: usize,
+    /// Block size used, in bytes.
+    pub block_bytes: u64,
+    /// One row per code × chunk size.
+    pub rows: Vec<PipelineRow>,
+}
+
+impl RepairPipelineReport {
+    /// Looks up the row for one code × chunk-size point.
+    pub fn row(&self, code: CodeKind, chunk_bytes: u64) -> Option<&PipelineRow> {
+        self.rows
+            .iter()
+            .find(|r| r.code == code && r.chunk_bytes == chunk_bytes)
+    }
+
+    /// The worst (largest) pipelined/serial ratio across the erasure codes
+    /// at the smallest measured chunk size — the headline `check_speedup`
+    /// requires to stay strictly below 1.0. Replication rows are excluded
+    /// (2-rep has no rebuild stage to overlap).
+    pub fn worst_erasure_ratio(&self) -> Option<f64> {
+        let chunk = self.rows.iter().map(|r| r.chunk_bytes).min()?;
+        self.rows
+            .iter()
+            .filter(|r| r.chunk_bytes == chunk)
+            .filter(|r| !matches!(r.code, CodeKind::Replication { .. }))
+            .map(|r| r.ratio)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+}
+
+/// Runs the streaming-repair experiment: every paper code × every chunk
+/// size in `chunk_sizes`, against a measured serial baseline.
+///
+/// # Errors
+///
+/// Propagates file-system errors (none are expected: the scenario is a
+/// single node failure, within every code's tolerance).
+pub fn run_repair_pipeline(
+    block_bytes: usize,
+    stripes: usize,
+    chunk_sizes: &[u64],
+) -> Result<RepairPipelineReport, DrcError> {
+    let codes = [
+        CodeKind::TWO_REP,
+        CodeKind::Pentagon,
+        CodeKind::Heptagon,
+        CodeKind::HeptagonLocal,
+    ];
+    let mut rows = Vec::new();
+    for code in codes {
+        // The serial baseline is *measured* on an identical fresh
+        // deployment, not derived: same failure, same plan, whole-block
+        // schedule.
+        let serial = run_repair(code, block_bytes, stripes, u64::MAX)?;
+        for &chunk in chunk_sizes {
+            let pipelined = run_repair(code, block_bytes, stripes, chunk)?;
+            debug_assert_eq!(pipelined.1, serial.1, "traffic must not depend on chunking");
+            debug_assert_eq!(
+                pipelined.2, serial.2,
+                "restores must not depend on chunking"
+            );
+            rows.push(PipelineRow {
+                code,
+                chunk_bytes: chunk,
+                serial_s: serial.0,
+                pipelined_s: pipelined.0,
+                ratio: pipelined.0 / serial.0,
+                network_bytes: pipelined.1,
+                blocks_restored: pipelined.2,
+            });
+        }
+    }
+    Ok(RepairPipelineReport {
+        stripes,
+        block_bytes: block_bytes as u64,
+        rows,
+    })
+}
+
+/// Writes a `stripes`-stripe file, permanently fails one stripe-0 host,
+/// repairs it under the given chunk size, and returns the pass's virtual
+/// duration, network bytes and restored-block count.
+fn run_repair(
+    code: CodeKind,
+    block_bytes: usize,
+    stripes: usize,
+    chunk: u64,
+) -> Result<(f64, u64, usize), DrcError> {
+    let mut spec = ClusterSpec::simulation_25(4);
+    spec.block_size_mb = (block_bytes as u64 / (1024 * 1024)).max(1);
+    let block_size = spec.block_size_bytes();
+    let mut fs = DistributedFileSystem::new(spec, 0x9147 ^ code.to_string().len() as u64);
+    fs.set_repair_chunk_bytes(chunk);
+
+    let k = code.build()?.data_blocks();
+    let data: Vec<u8> = (0..stripes * k * block_size as usize)
+        .map(|i| (i * 31 + 7) as u8)
+        .collect();
+    let id = fs.write_file("/pipeline", &data, code)?;
+    fs.sync();
+
+    // Fail the node holding the first replica of data block 0 of stripe 0 —
+    // a single permanent loss every code tolerates.
+    let meta = fs.namenode().file(id)?.clone();
+    let victim: NodeId = meta.block_locations(0, 0)?.to_vec()[0];
+    fs.fail_node_permanently(victim);
+    let report = fs.repair_nodes(&[victim])?;
+    debug_assert_eq!(report.unrecoverable_stripes, 0);
+    debug_assert_eq!(fs.read_file(id)?, data, "repair must restore real bytes");
+    Ok((
+        report.completed_at.since(report.issued_at).as_secs_f64(),
+        report.network_bytes,
+        report.blocks_restored,
+    ))
+}
+
+impl std::fmt::Display for RepairPipelineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut table = TextTable::new(
+            format!(
+                "Streaming repair: pipelined vs serial virtual time ({} stripes, {} MiB blocks)",
+                self.stripes,
+                self.block_bytes / (1024 * 1024)
+            ),
+            &[
+                "Code",
+                "Chunk (KiB)",
+                "Serial (s)",
+                "Pipelined (s)",
+                "Ratio",
+                "Traffic (MiB)",
+                "Blocks restored",
+            ],
+        );
+        for r in &self.rows {
+            table.push_row(vec![
+                r.code.to_string(),
+                format!("{}", r.chunk_bytes / 1024),
+                format!("{:.3}", r.serial_s),
+                format!("{:.3}", r.pipelined_s),
+                format!("{:.3}", r.ratio),
+                format!("{:.1}", r.network_bytes as f64 / (1024.0 * 1024.0)),
+                r.blocks_restored.to_string(),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_beats_serial_for_every_erasure_code() {
+        let report = run_repair_pipeline(4 * 1024 * 1024, 2, &[1 << 20, 256 * 1024]).unwrap();
+        assert_eq!(report.rows.len(), 4 * 2);
+        for r in &report.rows {
+            assert!(r.serial_s > 0.0, "{}: a repair takes virtual time", r.code);
+            if matches!(r.code, CodeKind::Replication { .. }) {
+                assert!(
+                    r.ratio <= 1.0 + 1e-6,
+                    "{} @ {}: replication may be neutral but never slower",
+                    r.code,
+                    r.chunk_bytes
+                );
+            } else {
+                assert!(
+                    r.ratio < 1.0,
+                    "{} @ {}: the pipeline must strictly beat the serial \
+                     schedule (ratio {:.4})",
+                    r.code,
+                    r.chunk_bytes,
+                    r.ratio
+                );
+            }
+        }
+        let worst = report.worst_erasure_ratio().unwrap();
+        assert!(worst < 1.0, "headline ratio {worst:.4}");
+    }
+}

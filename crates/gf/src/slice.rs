@@ -321,6 +321,128 @@ fn matrix_mul_into_parallel<S, B>(
     });
 }
 
+/// One independent matrix × block-vector product inside a
+/// [`matrix_mul_batch`] call: a row-major `outs.len() × k` coefficient
+/// matrix applied to `k` equal-length source slices, writing `outs.len()`
+/// equal-length outputs (the same contract as [`matrix_mul_into`]).
+///
+/// The sources and outputs are plain borrowed slices so callers can batch
+/// work over buffers of heterogeneous ownership (reference-counted block
+/// handles as inputs, freshly allocated rebuild buffers as outputs).
+pub struct MatrixMulTask<'a> {
+    /// Row-major `outs.len() × k` coefficient matrix.
+    pub coeffs: &'a [Gf256],
+    /// Number of source blocks (matrix columns).
+    pub k: usize,
+    /// The `k` source blocks, all of one common length.
+    pub sources: Vec<&'a [u8]>,
+    /// The output blocks, each of the sources' common length.
+    pub outs: Vec<&'a mut [u8]>,
+}
+
+impl MatrixMulTask<'_> {
+    fn len(&self) -> usize {
+        self.sources
+            .first()
+            .map(|s| s.len())
+            .or_else(|| self.outs.first().map(|o| o.len()))
+            .unwrap_or(0)
+    }
+
+    fn validate(&self) {
+        assert_eq!(
+            self.sources.len(),
+            self.k,
+            "one source per matrix column is required"
+        );
+        assert_eq!(
+            self.coeffs.len(),
+            self.outs.len() * self.k,
+            "coefficient matrix must be outs.len() x k"
+        );
+        let len = self.len();
+        for s in &self.sources {
+            assert_eq!(s.len(), len, "sources must have equal lengths");
+        }
+        for o in &self.outs {
+            assert_eq!(o.len(), len, "outputs must match the source length");
+        }
+    }
+}
+
+/// One pool unit of a batched product: the owning task's coefficients and
+/// source count, its source payloads, the `[start, end)` byte range, and
+/// the output windows covering exactly that range.
+type BatchUnit<'a> = (
+    &'a [Gf256],
+    usize,
+    &'a [&'a [u8]],
+    usize,
+    usize,
+    Vec<&'a mut [u8]>,
+);
+
+/// Runs many independent matrix × block-vector products as **one** worker
+/// pool dispatch, splitting the pool across the *total* bytes of the batch.
+///
+/// [`matrix_mul_into`] decides whether to engage the pool from one
+/// product's block length, so a caller looping over many small stripes
+/// (e.g. a repair pass rebuilding chunk-sized pieces of hundreds of
+/// stripes) either stays serial per stripe or pays one dispatch per
+/// stripe. This entry point makes the engagement decision on the batch:
+/// when `Σ len` clears [`PAR_ENGAGE_MIN`], every task is cut into
+/// [`TILE`]-aligned byte ranges and all `(task, range)` units run under a
+/// single [`rayon::scope`], so the pool is saturated across stripes even
+/// when each individual product is far below the per-block threshold.
+///
+/// Tiles never interact — each output byte is produced by the same
+/// sequence of field operations regardless of the split — so the result is
+/// **byte-identical** to calling [`matrix_mul_into`] on each task alone,
+/// at any pool width.
+///
+/// # Panics
+///
+/// Panics if any task violates the [`matrix_mul_into`] shape contract.
+pub fn matrix_mul_batch(tasks: &mut [MatrixMulTask<'_>]) {
+    for task in tasks.iter() {
+        task.validate();
+    }
+    let total: usize = tasks.iter().map(|t| t.len()).sum();
+    let workers = workers_for(total);
+    if workers > 1 {
+        // One TILE-aligned target share per worker, measured on the batch.
+        let share = total.div_ceil(workers).div_ceil(TILE).max(1) * TILE;
+        let mut units: Vec<BatchUnit<'_>> = Vec::new();
+        for task in tasks.iter_mut() {
+            let len = task.len();
+            let ranges: Vec<(usize, usize)> = (0..len.div_ceil(share).max(usize::from(len == 0)))
+                .map(|i| (i * share, ((i + 1) * share).min(len)))
+                .collect();
+            let mut rests: Vec<&mut [u8]> = task.outs.iter_mut().map(|o| &mut o[..]).collect();
+            for &(start, end) in &ranges {
+                let mut window = Vec::with_capacity(rests.len());
+                for rest in rests.iter_mut() {
+                    let taken = std::mem::take(rest);
+                    let (head, tail) = taken.split_at_mut(end - start);
+                    window.push(head);
+                    *rest = tail;
+                }
+                units.push((task.coeffs, task.k, &task.sources, start, end, window));
+            }
+        }
+        rayon::scope(|s| {
+            for (coeffs, k, sources, start, end, mut window) in units {
+                s.spawn(move |_| matrix_mul_window(coeffs, k, sources, start, end, &mut window));
+            }
+        });
+        return;
+    }
+    for task in tasks.iter_mut() {
+        let len = task.len();
+        matrix_mul_window(task.coeffs, task.k, &task.sources, 0, len, &mut task.outs);
+    }
+}
+
 /// Applies the whole coefficient sub-matrix to the byte range
 /// `offset..limit` of the source blocks, writing the matching windows of the
 /// outputs (`window[p]` is `outs[p][offset..limit]`).
@@ -536,6 +658,75 @@ mod tests {
                 assert_eq!(w[0].1 % TILE, 0, "interior boundaries are TILE-aligned");
             }
         }
+    }
+
+    #[test]
+    fn batch_matches_per_task_at_any_pool_width() {
+        // Heterogeneous batch: task lengths straddle TILE boundaries and
+        // none alone clears PAR_ENGAGE_MIN, but the batch total does — the
+        // case matrix_mul_into would run serially task-by-task.
+        let shapes = [
+            (3usize, 2usize, 5 * TILE + 17),
+            (2, 1, TILE / 2),
+            (4, 3, 6 * TILE),
+            (1, 1, 3 * TILE + 1),
+            (5, 2, 4 * TILE + 4095),
+        ];
+        let sources: Vec<Vec<Vec<u8>>> = shapes
+            .iter()
+            .map(|&(k, _, len)| {
+                (0..k)
+                    .map(|j| (0..len).map(|i| (i * 31 + j * 7 + 3) as u8).collect())
+                    .collect()
+            })
+            .collect();
+        let coeffs: Vec<Vec<Gf256>> = shapes
+            .iter()
+            .map(|&(k, outs, _)| {
+                (0..k * outs)
+                    .map(|i| Gf256::new((i * 29 + 1) as u8))
+                    .collect()
+            })
+            .collect();
+        let mut expected: Vec<Vec<Vec<u8>>> = shapes
+            .iter()
+            .map(|&(_, outs, len)| vec![vec![0u8; len]; outs])
+            .collect();
+        for (i, &(k, _, _)) in shapes.iter().enumerate() {
+            matrix_mul_into(&coeffs[i], k, &sources[i], &mut expected[i]);
+        }
+        for threads in [1, 4] {
+            let mut got: Vec<Vec<Vec<u8>>> = shapes
+                .iter()
+                .map(|&(_, outs, len)| vec![vec![0xa5u8; len]; outs])
+                .collect();
+            rayon::with_num_threads(threads, || {
+                let mut tasks: Vec<MatrixMulTask<'_>> = got
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, outs)| MatrixMulTask {
+                        coeffs: &coeffs[i],
+                        k: shapes[i].0,
+                        sources: sources[i].iter().map(|s| s.as_slice()).collect(),
+                        outs: outs.iter_mut().map(|o| o.as_mut_slice()).collect(),
+                    })
+                    .collect();
+                matrix_mul_batch(&mut tasks);
+            });
+            assert_eq!(got, expected, "batch at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_task_are_noops() {
+        matrix_mul_batch(&mut []);
+        let mut tasks = vec![MatrixMulTask {
+            coeffs: &[],
+            k: 0,
+            sources: vec![],
+            outs: vec![],
+        }];
+        matrix_mul_batch(&mut tasks);
     }
 
     #[test]

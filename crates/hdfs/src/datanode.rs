@@ -107,6 +107,23 @@ impl DataNode {
         Some((data, res))
     }
 
+    /// Reads a block replica *without* counting it as served.
+    ///
+    /// The streaming repair path gathers payload handles up front but
+    /// accounts traffic per modeled transfer (only what the repair plan
+    /// actually moves), so the gather itself must be accounting-neutral;
+    /// pair with [`DataNode::record_served`] for each modeled transfer.
+    pub fn peek(&self, key: &BlockKey) -> Option<Bytes> {
+        self.blocks.read().get(key).cloned()
+    }
+
+    /// Counts `bytes` as served by this node, for callers that model a
+    /// transfer's traffic separately from fetching the payload handle
+    /// (see [`DataNode::peek`]).
+    pub fn record_served(&self, bytes: u64) {
+        self.bytes_served.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Returns `true` if the node holds a replica of the block.
     pub fn contains(&self, key: &BlockKey) -> bool {
         self.blocks.read().contains_key(key)
@@ -194,6 +211,11 @@ mod tests {
         // Misses don't count.
         let _ = dn.read(&key(1, 1));
         assert_eq!(dn.bytes_served(), 200);
+        // Peeks are accounting-neutral; record_served backfills explicitly.
+        assert_eq!(dn.peek(&key(0, 0)).unwrap().len(), 100);
+        assert_eq!(dn.bytes_served(), 200);
+        dn.record_served(50);
+        assert_eq!(dn.bytes_served(), 250);
     }
 
     #[test]

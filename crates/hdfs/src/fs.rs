@@ -66,8 +66,11 @@ use serde::{Deserialize, Serialize};
 use drc_cluster::{
     Cluster, ClusterSpec, FailureEventKind, FailureTrace, NodeId, PlacementMap, PlacementPolicy,
 };
-use drc_codes::{CodeKind, ErasureCode, StripeEncoder};
-use drc_sim::{ClusterNet, EventQueue, Schedule, SimDuration, SimTime, Timeline, VirtualClock};
+use drc_codes::{CodeKind, ErasureCode, ReadSource, StripeEncoder, StripeReconstructor};
+use drc_gf::slice::{matrix_mul_batch, MatrixMulTask};
+use drc_sim::{
+    chunk_sizes, ClusterNet, EventQueue, Schedule, SimDuration, SimTime, Timeline, VirtualClock,
+};
 
 use crate::block::BlockKey;
 use crate::datanode::DataNode;
@@ -118,6 +121,57 @@ pub struct RepairReport {
 /// [`DistributedFileSystem::set_detection_timeout`].
 pub const DEFAULT_DETECTION_TIMEOUT: SimDuration = SimDuration(3_000_000_000);
 
+/// The default streaming granularity for repairs and degraded reads: blocks
+/// move and rebuild in 1 MiB chunks, so a stripe's store traffic overlaps
+/// the next chunk's helper fetches instead of waiting for whole blocks.
+/// Configure per instance with
+/// [`DistributedFileSystem::set_repair_chunk_bytes`]; `u64::MAX` (or any
+/// value ≥ the block size) degenerates to the monolithic whole-block
+/// schedule, which is the serial baseline the `repair_pipeline` experiment
+/// compares against.
+pub const DEFAULT_REPAIR_CHUNK_BYTES: u64 = 1 << 20;
+
+/// How many stripes' rebuild jobs are batched into one fused GF pass.
+///
+/// The streaming repair path defers each stripe's linear combinations and
+/// flushes them through [`drc_gf::slice::matrix_mul_batch`] in waves of this
+/// many stripes, so the persistent worker pool sees one large job instead of
+/// per-stripe slivers (small stripes alone never clear the pool's engagement
+/// threshold). The outputs are byte-identical at any wave size or pool
+/// width; this only shapes scheduling.
+const REBUILD_WAVE_STRIPES: usize = 8;
+
+/// One stripe's deferred GF rebuild: the solved reconstruction, borrowed
+/// source handles, output buffers and where each rebuilt block must land.
+/// Accumulated by the repair pass and flushed in cross-stripe waves (see
+/// [`REBUILD_WAVE_STRIPES`]).
+struct PendingRebuild {
+    rec: StripeReconstructor,
+    sources: Vec<Bytes>,
+    outs: Vec<Vec<u8>>,
+    /// Per target (parallel to `rec.targets()`): every replica slot the
+    /// rebuilt block is stored into.
+    dests: Vec<Vec<(BlockKey, NodeId)>>,
+}
+
+/// One stripe's deferred replacement-store schedule: each chunk `ci` of the
+/// rebuilt blocks is pushed onto every destination at `fetch_done[ci]` (the
+/// instant that chunk's slowest helper fetch lands).
+///
+/// The repair pass issues *every* stripe's fetch trains first and only then
+/// issues stores, globally sorted by start time: resources grant FIFO in
+/// issuance order, so issuing one stripe's late store windows before another
+/// stripe's epoch-issued fetches would queue those fetches behind stores
+/// that, in virtual time, happen after them.
+struct PendingStores {
+    file: FileId,
+    stripe: usize,
+    plan_bytes: u64,
+    sizes: Vec<u64>,
+    fetch_done: Vec<SimTime>,
+    dests: Vec<NodeId>,
+}
+
 /// A timed event the file system's failure engine executes: either a
 /// failure-trace event replayed at its instant, or the detection boundary
 /// of a silent node.
@@ -156,6 +210,9 @@ pub struct DistributedFileSystem {
     events: EventQueue<FsEvent>,
     /// How long after a node goes silent the NameNode declares it dead.
     detection_timeout: SimDuration,
+    /// Streaming granularity for repair and degraded-read transfers (see
+    /// [`DEFAULT_REPAIR_CHUNK_BYTES`]).
+    repair_chunk_bytes: u64,
     /// Every auto-repair pass the failure engine has executed, in detection
     /// order.
     auto_repairs: Vec<RepairReport>,
@@ -195,6 +252,7 @@ impl DistributedFileSystem {
             repair_network_bytes: 0,
             events: EventQueue::new(),
             detection_timeout: DEFAULT_DETECTION_TIMEOUT,
+            repair_chunk_bytes: DEFAULT_REPAIR_CHUNK_BYTES,
             auto_repairs: Vec::new(),
         }
     }
@@ -452,53 +510,92 @@ impl DistributedFileSystem {
         })?;
         let bytes = plan.network_blocks as u64 * meta.block_size;
         self.read_network_bytes += bytes;
-        let (decoded, done) = self.decode_stripe(meta, stripe, code.as_ref(), issued)?;
+        // Execute exactly the plan's fetches (so modeled and accounted
+        // traffic agree), each as a chunk-streamed train of timed pulls on
+        // the sender's disk + NIC + fabric.
+        let senders: Vec<NodeId> = match &plan.source {
+            ReadSource::Local { .. } => Vec::new(),
+            ReadSource::Remote { node } => vec![stripe_nodes[*node]],
+            ReadSource::PartialParities { helpers } => {
+                helpers.iter().map(|&h| stripe_nodes[h]).collect()
+            }
+            ReadSource::Decode { fetches } => {
+                fetches.iter().map(|&(n, _)| stripe_nodes[n]).collect()
+            }
+        };
+        let sizes: Vec<u64> = chunk_sizes(meta.block_size, self.repair_chunk_bytes).collect();
+        let mut done = issued;
+        for &sender in &senders {
+            if let Some(dn) = self.datanodes.get(&sender) {
+                dn.record_served(meta.block_size);
+            }
+            let io = self.net.node(sender);
+            let ends = drc_sim::pull_train(issued, io, self.net.fabric(), &sizes);
+            if let Some(&end) = ends.last() {
+                done = done.max(end);
+            }
+        }
+        // Rebuild the one requested block from surviving handles: the
+        // plan models the traffic; the reconstructor produces the bytes
+        // (exact GF algebra, so the content matches what a full decode
+        // would return).
+        let payloads = self.gather_stripe_payloads(meta, stripe, code.as_ref())?;
+        let content =
+            if let Some(data) = payloads.get(&block) {
+                data.clone()
+            } else {
+                let available: BTreeSet<usize> = payloads.keys().copied().collect();
+                let rec = StripeReconstructor::plan(code.structure(), &available, &[block])
+                    .map_err(|e| HdfsError::BlockUnavailable {
+                        block: key,
+                        reason: e.to_string(),
+                    })?;
+                let sources: Vec<Bytes> = rec
+                    .sources()
+                    .iter()
+                    .map(|&b| payloads[&b].clone())
+                    .collect();
+                let mut outs = vec![vec![0u8; meta.block_size as usize]];
+                rec.reconstruct_into(&sources, &mut outs);
+                Bytes::from(outs.pop().expect("one target"))
+            };
         self.timeline.record(
             format!("degraded-read:f{}:s{stripe}:b{block}", meta.id.0),
             issued,
             done,
             bytes,
         );
-        Ok((decoded[block].clone(), done))
+        Ok((content, done))
     }
 
-    /// Collects the surviving blocks of a stripe and decodes all its data
-    /// blocks; helper fetches are issued concurrently at `issued` and the
-    /// decode completes once the slowest fetch lands.
-    fn decode_stripe(
-        &mut self,
+    /// Collects a reference-counted handle to one live replica of every
+    /// distinct block of a stripe that still has one.
+    ///
+    /// Accounting-neutral by design ([`DataNode::peek`]): the repair and
+    /// degraded-read paths model traffic from their *plans* (and charge the
+    /// senders with [`DataNode::record_served`]), so grabbing the payload
+    /// handles must not count as served bytes — and, the handles being
+    /// shared `Bytes`, must not copy block data either.
+    fn gather_stripe_payloads(
+        &self,
         meta: &FileMetadata,
         stripe: usize,
         code: &dyn ErasureCode,
-        issued: SimTime,
-    ) -> Result<(Vec<Bytes>, SimTime), HdfsError> {
-        let mut available: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
-        let mut fetches_done = issued;
+    ) -> Result<BTreeMap<usize, Bytes>, HdfsError> {
+        let mut payloads = BTreeMap::new();
         for block in 0..code.distinct_blocks() {
-            if available.len() >= code.data_blocks() + 2 {
-                break;
-            }
             let key = BlockKey::new(meta.id, stripe, block);
             for &node in &meta.block_locations(stripe, block)? {
                 if !self.cluster.is_up(node) {
                     continue;
                 }
-                if let Some(dn) = self.datanodes.get(&node) {
-                    if let Some((data, res)) = dn.read_timed(&key, issued, self.net.fabric()) {
-                        fetches_done = fetches_done.max(res.end);
-                        available.insert(block, data.to_vec());
-                        break;
-                    }
+                if let Some(data) = self.datanodes.get(&node).and_then(|dn| dn.peek(&key)) {
+                    payloads.insert(block, data);
+                    break;
                 }
             }
         }
-        let decoded = code
-            .decode(&available, meta.block_size as usize)
-            .map_err(|e| HdfsError::BlockUnavailable {
-                block: BlockKey::new(meta.id, stripe, 0),
-                reason: e.to_string(),
-            })?;
-        Ok((decoded.into_iter().map(Bytes::from).collect(), fetches_done))
+        Ok(payloads)
     }
 
     /// Marks a node as down (transient failure: its data stays on disk).
@@ -542,6 +639,25 @@ impl DistributedFileSystem {
     /// original instant at the earliest.
     pub fn set_detection_timeout(&mut self, timeout: SimDuration) {
         self.detection_timeout = timeout;
+    }
+
+    /// The streaming granularity of repair and degraded-read transfers.
+    pub fn repair_chunk_bytes(&self) -> u64 {
+        self.repair_chunk_bytes
+    }
+
+    /// Sets the streaming chunk size (see [`DEFAULT_REPAIR_CHUNK_BYTES`]).
+    ///
+    /// Every repair/degraded-read transfer is issued as a train of
+    /// chunk-sized reservations, so a stripe's replacement stores begin the
+    /// moment the first chunk's helper fetches land — overlapping the
+    /// remaining fetches — instead of waiting for whole blocks. `u64::MAX`
+    /// (or anything ≥ the block size; `0` is treated the same) reproduces
+    /// the monolithic whole-block schedule. Restored bytes and traffic
+    /// accounting are identical at every chunk size; only the virtual-time
+    /// schedule changes.
+    pub fn set_repair_chunk_bytes(&mut self, chunk: u64) {
+        self.repair_chunk_bytes = chunk;
     }
 
     /// Schedules a failure trace for the engine to replay: every trace event
@@ -775,6 +891,13 @@ impl DistributedFileSystem {
         let replaced: BTreeSet<NodeId> = replacements.iter().copied().collect();
         // Per-stripe completion events, drained in virtual-time order below.
         let mut completions: EventQueue<(FileId, usize, u64)> = EventQueue::new();
+        // Fully-lost blocks awaiting their GF rebuild, flushed through the
+        // worker pool in cross-stripe waves.
+        let mut pending: Vec<PendingRebuild> = Vec::new();
+        // Deferred replacement stores: every stripe's fetch trains are
+        // issued first (all at `issued`), then the stores run below in
+        // global virtual-start order.
+        let mut stores: Vec<PendingStores> = Vec::new();
         // Collect the work per file first to avoid borrowing conflicts.
         let files: Vec<FileMetadata> = self.namenode.iter().cloned().collect();
         for meta in files {
@@ -807,53 +930,158 @@ impl DistributedFileSystem {
                 };
                 let plan_bytes = plan.network_blocks() as u64 * meta.block_size;
                 report.network_bytes += plan_bytes;
-                // Rebuild the stripe's data and re-materialise every missing
-                // block. Helper fetches are issued now; the rebuilt blocks
-                // are pushed to the replacements once the decode completes.
-                let (decoded, decode_done) =
-                    match self.decode_stripe(&meta, stripe, code.as_ref(), issued) {
-                        Ok(d) => d,
+                // What is actually missing, and every replica slot it must
+                // land in (one distinct block can be missing on two failed
+                // nodes at once).
+                let mut dests: BTreeMap<usize, Vec<(BlockKey, NodeId)>> = BTreeMap::new();
+                for &local in &failed_local {
+                    let node = stripe_nodes[local];
+                    let dn = self
+                        .datanodes
+                        .get(&node)
+                        .ok_or(HdfsError::DataNodeUnavailable { node: node.0 })?;
+                    for &block in code.node_blocks(local) {
+                        let key = BlockKey::new(meta.id, stripe, block);
+                        if !dn.contains(&key) {
+                            dests.entry(block).or_default().push((key, node));
+                        }
+                    }
+                }
+                if dests.is_empty() {
+                    continue;
+                }
+                // Borrow one live handle per surviving distinct block (no
+                // copies, no served-bytes side effects) and solve for the
+                // fully-lost blocks; blocks with a surviving replica are
+                // restored by handle clone.
+                let payloads = self.gather_stripe_payloads(&meta, stripe, code.as_ref())?;
+                let lost: Vec<usize> = dests
+                    .keys()
+                    .copied()
+                    .filter(|b| !payloads.contains_key(b))
+                    .collect();
+                let rec = if lost.is_empty() {
+                    None
+                } else {
+                    let available: BTreeSet<usize> = payloads.keys().copied().collect();
+                    match StripeReconstructor::plan(code.structure(), &available, &lost) {
+                        Ok(r) => Some(r),
                         Err(_) => {
                             report.unrecoverable_stripes += 1;
                             continue;
                         }
+                    }
+                };
+                // Timing: chunk-stream the plan's helper transfers and the
+                // rebuilt replicas' stores — chunk `i`'s stores are issued
+                // the instant chunk `i`'s last fetch lands, overlapping
+                // chunk `i+1`'s fetches, so the stripe completes at
+                // max(network, compute) + one-chunk fill instead of the
+                // serial fetch-then-store sum. Only the fetches are issued
+                // here; the stores are deferred so no stripe's late store
+                // windows are granted before another stripe's epoch fetches.
+                let senders: Vec<NodeId> = plan
+                    .transfers
+                    .iter()
+                    .map(|t| stripe_nodes[t.from_node])
+                    .collect();
+                let store_dests: Vec<NodeId> = dests
+                    .values()
+                    .flat_map(|targets| targets.iter().map(|&(_, node)| node))
+                    .collect();
+                let (sizes, fetch_done) =
+                    self.stream_stripe_fetches(&senders, meta.block_size, issued);
+                // The plan is the traffic model: charge each modeled
+                // transfer to its sender so per-node served bytes agree
+                // with `RepairReport::network_bytes`.
+                for &sender in &senders {
+                    if let Some(dn) = self.datanodes.get(&sender) {
+                        dn.record_served(meta.block_size);
+                    }
+                }
+                // Content. Replica-backed blocks land immediately as cheap
+                // handle clones; fully-lost blocks join the cross-stripe GF
+                // wave flushed through the worker pool in one fused batch.
+                for (&block, targets) in &dests {
+                    let Some(data) = payloads.get(&block) else {
+                        continue;
                     };
-                // Re-materialise missing blocks through the buffer-reusing
-                // encoder rather than re-allocating the whole coded stripe;
-                // the decoded blocks are borrowed in place (no per-block
-                // copy into fresh `Vec<u8>`s).
-                let k = code.data_blocks();
-                let parities = self.encoder.encode(code.as_ref(), &decoded)?;
-                let mut restored_any = false;
-                let mut stripe_done = decode_done;
-                for &local in &failed_local {
-                    let node = stripe_nodes[local];
-                    for &block in code.node_blocks(local) {
-                        let key = BlockKey::new(meta.id, stripe, block);
-                        let dn = self
-                            .datanodes
-                            .get(&node)
-                            .ok_or(HdfsError::DataNodeUnavailable { node: node.0 })?;
-                        if !dn.contains(&key) {
-                            let content = if block < k {
-                                // Cheap handle clone: the decoded block is
-                                // already reference-counted.
-                                decoded[block].clone()
-                            } else {
-                                Bytes::from(parities[block - k].clone())
-                            };
-                            let res = dn.store_timed(key, content, decode_done, self.net.fabric());
-                            stripe_done = stripe_done.max(res.end);
+                    for &(key, node) in targets {
+                        if let Some(dn) = self.datanodes.get(&node) {
+                            dn.store(key, data.clone());
                             report.blocks_restored += 1;
-                            restored_any = true;
                         }
                     }
                 }
-                if restored_any {
-                    report.stripes_repaired += 1;
-                    completions.schedule_at(stripe_done, (meta.id, stripe, plan_bytes));
+                if let Some(rec) = rec {
+                    let sources: Vec<Bytes> = rec
+                        .sources()
+                        .iter()
+                        .map(|&b| payloads[&b].clone())
+                        .collect();
+                    let outs: Vec<Vec<u8>> = rec
+                        .targets()
+                        .iter()
+                        .map(|_| vec![0u8; meta.block_size as usize])
+                        .collect();
+                    let out_dests: Vec<Vec<(BlockKey, NodeId)>> =
+                        rec.targets().iter().map(|b| dests[b].clone()).collect();
+                    report.blocks_restored += out_dests.iter().map(Vec::len).sum::<usize>();
+                    pending.push(PendingRebuild {
+                        rec,
+                        sources,
+                        outs,
+                        dests: out_dests,
+                    });
+                    if pending.len() >= REBUILD_WAVE_STRIPES {
+                        self.flush_rebuilds(&mut pending);
+                    }
                 }
+                report.stripes_repaired += 1;
+                stores.push(PendingStores {
+                    file: meta.id,
+                    stripe,
+                    plan_bytes,
+                    sizes,
+                    fetch_done,
+                    dests: store_dests,
+                });
             }
+        }
+        self.flush_rebuilds(&mut pending);
+        // Store scheduling: one push train per (stripe, destination), chunk
+        // `ci` available at `fetch_done[ci]`, issued in ascending
+        // first-chunk-start order. Resources grant FIFO in issuance order —
+        // this ordering is what makes the grants agree with virtual time
+        // across stripes.
+        let mut trains: Vec<(SimTime, usize, NodeId)> = Vec::new();
+        for (ji, job) in stores.iter().enumerate() {
+            let Some(&first) = job.fetch_done.first() else {
+                continue;
+            };
+            for &dest in &job.dests {
+                trains.push((first, ji, dest));
+            }
+        }
+        trains.sort_by_key(|&(at, _, _)| at);
+        let mut job_done: Vec<SimTime> = stores
+            .iter()
+            .map(|job| job.fetch_done.last().copied().unwrap_or(issued))
+            .collect();
+        for (_, ji, dest) in trains {
+            let job = &stores[ji];
+            let ends = drc_sim::push_train(
+                &job.fetch_done,
+                self.net.node(dest),
+                self.net.fabric(),
+                &job.sizes,
+            );
+            if let Some(&end) = ends.last() {
+                job_done[ji] = job_done[ji].max(end);
+            }
+        }
+        for (job, done) in stores.iter().zip(job_done) {
+            completions.schedule_at(done, (job.file, job.stripe, job.plan_bytes));
         }
         // Drain per-stripe completions in virtual-time order onto the
         // timeline; the pass completes when the last stripe does.
@@ -873,6 +1101,65 @@ impl DistributedFileSystem {
             self.namenode.heartbeat_restored(node);
         }
         Ok(report)
+    }
+
+    /// Issues one stripe repair's helper-fetch trains: every plan transfer
+    /// becomes a train of chunk-sized pulls on its sender's disk + NIC +
+    /// fabric, all issued at `issued` so each sender's FIFO pipes serve its
+    /// train back-to-back. Returns the chunk sizes and, per chunk, the
+    /// instant its slowest fetch lands — the store phase pushes chunk `ci`
+    /// onto the replacements at `fetch_done[ci]`.
+    ///
+    /// With `repair_chunk_bytes ≥ block_size` this degenerates to the
+    /// monolithic schedule: one whole-block fetch, then whole-block stores
+    /// — the serial baseline.
+    fn stream_stripe_fetches(
+        &self,
+        senders: &[NodeId],
+        block_size: u64,
+        issued: SimTime,
+    ) -> (Vec<u64>, Vec<SimTime>) {
+        let fabric = self.net.fabric();
+        let sizes: Vec<u64> = chunk_sizes(block_size, self.repair_chunk_bytes).collect();
+        let mut fetch_done: Vec<SimTime> = vec![issued; sizes.len()];
+        for &sender in senders {
+            let ends = drc_sim::pull_train(issued, self.net.node(sender), fabric, &sizes);
+            for (done, end) in fetch_done.iter_mut().zip(ends) {
+                *done = (*done).max(end);
+            }
+        }
+        (sizes, fetch_done)
+    }
+
+    /// Applies every deferred GF rebuild as one fused cross-stripe batch on
+    /// the worker pool and stores the rebuilt blocks. Byte-identical to
+    /// per-stripe rebuilds at any pool width or wave size.
+    fn flush_rebuilds(&self, pending: &mut Vec<PendingRebuild>) {
+        if pending.is_empty() {
+            return;
+        }
+        let mut tasks: Vec<MatrixMulTask<'_>> = pending
+            .iter_mut()
+            .map(|p| MatrixMulTask {
+                coeffs: p.rec.coefficients(),
+                k: p.rec.sources().len(),
+                sources: p.sources.iter().map(|b| &b[..]).collect(),
+                outs: p.outs.iter_mut().map(|o| &mut o[..]).collect(),
+            })
+            .collect();
+        matrix_mul_batch(&mut tasks);
+        drop(tasks);
+        for p in pending.drain(..) {
+            for (out, targets) in p.outs.into_iter().zip(p.dests) {
+                // Zero-copy: the rebuilt buffer becomes the stored handle.
+                let data = Bytes::from(out);
+                for (key, node) in targets {
+                    if let Some(dn) = self.datanodes.get(&node) {
+                        dn.store(key, data.clone());
+                    }
+                }
+            }
+        }
     }
 
     fn missing_any_block(

@@ -52,5 +52,8 @@ mod namenode;
 pub use block::BlockKey;
 pub use datanode::DataNode;
 pub use error::HdfsError;
-pub use fs::{DistributedFileSystem, FsStats, RepairReport, DEFAULT_DETECTION_TIMEOUT};
+pub use fs::{
+    DistributedFileSystem, FsStats, RepairReport, DEFAULT_DETECTION_TIMEOUT,
+    DEFAULT_REPAIR_CHUNK_BYTES,
+};
 pub use namenode::{FileId, FileMetadata, NameNode};

@@ -3,10 +3,10 @@
 //! and the trace-driven failure engine is byte-identical at every worker
 //! pool width.
 
-use drc_cluster::{ClusterSpec, FailureEvent, FailureEventKind, FailureTrace};
+use drc_cluster::{ClusterSpec, FailureEvent, FailureEventKind, FailureTrace, NodeId};
 use drc_codes::CodeKind;
-use drc_hdfs::{DistributedFileSystem, RepairReport};
-use drc_sim::SimDuration;
+use drc_hdfs::{DistributedFileSystem, FsStats, RepairReport};
+use drc_sim::{SimDuration, Timeline};
 use proptest::prelude::*;
 
 fn paper_code() -> impl Strategy<Value = CodeKind> {
@@ -138,5 +138,145 @@ proptest! {
         prop_assert_eq!(stats_1, stats_4);
         prop_assert_eq!(reports_1, reports_4);
         prop_assert_eq!(timeline_1, timeline_4);
+    }
+
+    /// Chunked streaming repair is byte-identical to the monolithic path:
+    /// restored file contents, `FsStats` and everything in the
+    /// `RepairReport` except the completion instant never depend on the
+    /// chunk size — and the streamed schedule never finishes *later* than
+    /// the serial whole-block baseline. A chunk at least as large as the
+    /// block degenerates to the monolithic schedule exactly, timeline
+    /// included.
+    #[test]
+    fn chunked_repair_is_byte_identical_to_monolithic(
+        code in paper_code(),
+        size_kb in 512usize..2600,
+        which in 0usize..100,
+        seed in any::<u64>(),
+    ) {
+        let serial = repair_scenario(code, size_kb, which, seed, u64::MAX, 4);
+        // 300_000 does not divide the 1 MiB block; 256 KiB does; 1 MiB
+        // equals it (degenerate single chunk).
+        for chunk in [300_000u64, 256 * 1024, 1 << 20] {
+            let chunked = repair_scenario(code, size_kb, which, seed, chunk, 4);
+            prop_assert_eq!(&chunked.0, &serial.0, "restored bytes, chunk={}", chunk);
+            prop_assert_eq!(&chunked.1, &serial.1, "stats, chunk={}", chunk);
+            prop_assert_eq!(
+                chunked.2.stripes_repaired, serial.2.stripes_repaired,
+                "stripes, chunk={}", chunk
+            );
+            prop_assert_eq!(
+                chunked.2.blocks_restored, serial.2.blocks_restored,
+                "blocks, chunk={}", chunk
+            );
+            prop_assert_eq!(
+                chunked.2.network_bytes, serial.2.network_bytes,
+                "traffic, chunk={}", chunk
+            );
+            prop_assert_eq!(
+                chunked.2.unrecoverable_stripes, serial.2.unrecoverable_stripes
+            );
+            prop_assert_eq!(chunked.2.issued_at, serial.2.issued_at);
+            // Each chunk's service time rounds up to a whole nanosecond per
+            // resource, so a chunked schedule can trail the monolithic one by
+            // a few tens of ns of accumulated rounding — never more. Real
+            // pipelining effects are tens of *milliseconds*; 1 µs of slack
+            // separates rounding noise from a genuine regression.
+            let rounding = drc_sim::SimDuration(1_000);
+            prop_assert!(
+                chunked.2.completed_at <= serial.2.completed_at + rounding,
+                "streaming must never be slower: chunk={} {:?} vs {:?}",
+                chunk, chunked.2.completed_at, serial.2.completed_at
+            );
+            if chunk >= 1 << 20 {
+                // Chunk >= block: exactly the monolithic schedule.
+                prop_assert_eq!(chunked.2, serial.2.clone());
+                prop_assert_eq!(chunked.3, serial.3.clone());
+            }
+        }
+        // And the chunked path itself is pool-width invariant.
+        let w1 = repair_scenario(code, size_kb, which, seed, 256 * 1024, 1);
+        let w4 = repair_scenario(code, size_kb, which, seed, 256 * 1024, 4);
+        prop_assert_eq!(w1.0, w4.0);
+        prop_assert_eq!(w1.1, w4.1);
+        prop_assert_eq!(w1.2, w4.2);
+        prop_assert_eq!(w1.3, w4.3);
+    }
+}
+
+/// One write → permanent-failure → repair → read-back scenario at a given
+/// streaming chunk size and worker-pool width.
+fn repair_scenario(
+    code: CodeKind,
+    size_kb: usize,
+    which: usize,
+    seed: u64,
+    chunk: u64,
+    threads: usize,
+) -> (Vec<u8>, FsStats, RepairReport, Timeline) {
+    rayon::with_num_threads(threads, || {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), seed);
+        fs.set_repair_chunk_bytes(chunk);
+        let data: Vec<u8> = (0..size_kb * 1024)
+            .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15).to_le_bytes()[i % 8])
+            .collect();
+        let id = fs.write_file("/diff/chunk", &data, code).unwrap();
+        fs.sync();
+        let built = code.build().unwrap();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        let stripe = which % meta.stripes;
+        let victims: Vec<_> =
+            meta.placement.stripe_hosts(stripe).unwrap()[..built.fault_tolerance()].to_vec();
+        for &v in &victims {
+            fs.fail_node_permanently(v);
+        }
+        let report = fs.repair_nodes(&victims).unwrap();
+        let back = fs.read_file(id).unwrap();
+        (back, fs.stats(), report, fs.timeline().clone())
+    })
+}
+
+/// The repair's fetch set is plan-driven: for every code, the bytes the
+/// DataNodes record as served during a repair equal the plan-accounted
+/// `RepairReport::network_bytes` exactly — modeled and accounted traffic
+/// agree.
+#[test]
+fn repair_served_bytes_match_the_plan_for_every_code() {
+    for code in [
+        CodeKind::TWO_REP,
+        CodeKind::THREE_REP,
+        CodeKind::Pentagon,
+        CodeKind::Heptagon,
+        CodeKind::HeptagonLocal,
+        CodeKind::RAID_M_10_9,
+        CodeKind::ReedSolomon { data: 6, parity: 3 },
+    ] {
+        let mut fs = DistributedFileSystem::new(tiny_spec(), 0xACC0);
+        let built = code.build().unwrap();
+        let data = vec![42u8; 2 * built.data_blocks() * 1024 * 1024 + 777];
+        let id = fs.write_file("/plan/traffic", &data, code).unwrap();
+        fs.sync();
+        let meta = fs.namenode().file(id).unwrap().clone();
+        let victims: Vec<_> =
+            meta.placement.stripe_hosts(0).unwrap()[..built.fault_tolerance()].to_vec();
+        for &v in &victims {
+            fs.fail_node_permanently(v);
+        }
+        let served_before: u64 = (0..fs.cluster().spec().data_nodes)
+            .filter_map(|n| fs.datanode(NodeId(n)))
+            .map(|dn| dn.bytes_served())
+            .sum();
+        let report = fs.repair_nodes(&victims).unwrap();
+        let served: u64 = (0..fs.cluster().spec().data_nodes)
+            .filter_map(|n| fs.datanode(NodeId(n)))
+            .map(|dn| dn.bytes_served())
+            .sum::<u64>()
+            - served_before;
+        assert_eq!(
+            served, report.network_bytes,
+            "{code}: served bytes must equal the plan-accounted repair traffic"
+        );
+        assert!(report.network_bytes > 0, "{code}: a repair moves bytes");
+        assert_eq!(fs.read_file(id).unwrap(), data, "{code}: bytes restored");
     }
 }

@@ -71,8 +71,8 @@ mod timeline;
 
 pub use event::{EventQueue, Schedule};
 pub use net::{
-    fabric, pull_from, push_to, transfer_between, ClusterNet, NodeIo, NodeState, Transfer,
-    TransferOutcome,
+    chunk_sizes, fabric, pull_from, pull_train, push_to, push_train, transfer_between, ClusterNet,
+    NodeIo, NodeState, Transfer, TransferOutcome,
 };
 pub use resource::{Reservation, Resource};
 pub use time::{SimDuration, SimTime, VirtualClock};

@@ -203,6 +203,110 @@ pub fn pull_from(now: SimTime, src: &NodeIo, fabric: &Resource, bytes: u64) -> R
     reserve_pipes(now, &[&src.disk, &src.nic], fabric, bytes)
 }
 
+/// Splits a payload into `chunk`-byte pieces for a streamed, pipelined
+/// transfer: every piece is `chunk` bytes except a final partial remainder.
+///
+/// A `chunk` of zero (or one at least as large as the payload) yields the
+/// whole payload as a single piece, which is how callers express "don't
+/// stream". A zero-byte payload yields nothing.
+pub fn chunk_sizes(bytes: u64, chunk: u64) -> impl Iterator<Item = u64> {
+    let step = if chunk == 0 { bytes.max(1) } else { chunk };
+    (0..bytes.div_ceil(step)).map(move |i| step.min(bytes - i * step))
+}
+
+/// Issues a chunk train through a pipe set: chunk `i` is issued at
+/// `starts[i]` (clamped to the pipes' FIFO availability and the previous
+/// chunk's end), while the shared fabric carries the train as a **single
+/// flow** — one reservation for the total payload, made at the first
+/// chunk's granted start.
+///
+/// The single fabric flow is the load-bearing choice. Every [`Resource`]
+/// grants FIFO in issuance order and never backfills, so reserving the
+/// fabric chunk-by-chunk at each chunk's (late) start would walk
+/// `next_free` to the train's end and serialise unrelated epoch-issued
+/// transfers behind a fabric that is physically almost idle. One
+/// total-bytes reservation at the train's start occupies the fabric
+/// exactly as the equivalent monolithic transfer would; a saturated fabric
+/// still delays the train — the final chunk's end is clamped to the fabric
+/// reservation's end, exactly as [`Transfer::issue`] clamps a monolithic
+/// transfer. A single-chunk train is therefore bit-identical to the
+/// monolithic path.
+///
+/// Returns each chunk's completion instant.
+///
+/// # Panics
+///
+/// Panics if `starts` and `sizes` have different lengths.
+fn reserve_train(
+    starts: &[SimTime],
+    pipes: &[&Resource],
+    fabric: &Resource,
+    sizes: &[u64],
+) -> Vec<SimTime> {
+    assert_eq!(starts.len(), sizes.len(), "one start per chunk");
+    let Some(&first_requested) = starts.first() else {
+        return Vec::new();
+    };
+    let mut first_start = first_requested;
+    for pipe in pipes {
+        first_start = first_start.max(pipe.next_free());
+    }
+    let total: u64 = sizes.iter().sum();
+    let fabric_end = fabric.reserve_bytes(first_start, total).end;
+    let mut ends = Vec::with_capacity(sizes.len());
+    let mut prev = SimTime::ZERO;
+    for (i, (&at, &clen)) in starts.iter().zip(sizes).enumerate() {
+        let mut start = at.max(prev);
+        for pipe in pipes {
+            start = start.max(pipe.next_free());
+        }
+        let slowest = pipes
+            .iter()
+            .map(|pipe| pipe.service_time(clen))
+            .max()
+            .unwrap_or_default();
+        let mut end = start + slowest;
+        if i == sizes.len() - 1 {
+            end = end.max(fabric_end);
+        }
+        for pipe in pipes {
+            pipe.occupy_until(end);
+        }
+        ends.push(end);
+        prev = end;
+    }
+    ends
+}
+
+/// The chunk-train form of [`pull_from`]: an outbound stream of
+/// `sizes`-byte chunks, all issued at `now`, serving back-to-back on the
+/// source's disk + NIC while the fabric carries the train as one flow.
+/// Returns each chunk's completion instant, so a consumer can start
+/// per-chunk downstream work (a store, a decode) the moment that chunk
+/// lands instead of waiting for the whole payload.
+pub fn pull_train(now: SimTime, src: &NodeIo, fabric: &Resource, sizes: &[u64]) -> Vec<SimTime> {
+    let starts = vec![now; sizes.len()];
+    reserve_train(&starts, &[&src.disk, &src.nic], fabric, sizes)
+}
+
+/// The chunk-train form of [`push_to`]: an inbound stream of `sizes`-byte
+/// chunks where chunk `i` becomes available at `starts[i]` (typically the
+/// instant an upstream fetch train delivered it), landing through the
+/// destination's NIC + disk while the fabric carries the train as one
+/// flow. Returns each chunk's completion instant.
+///
+/// # Panics
+///
+/// Panics if `starts` and `sizes` have different lengths.
+pub fn push_train(
+    starts: &[SimTime],
+    dst: &NodeIo,
+    fabric: &Resource,
+    sizes: &[u64],
+) -> Vec<SimTime> {
+    reserve_train(starts, &[&dst.nic, &dst.disk], fabric, sizes)
+}
+
 /// Disk, NIC and shared-fabric resources for a whole cluster.
 ///
 /// Built from the bandwidth figures of a [`ClusterSpec`]: each node gets a
@@ -340,6 +444,94 @@ mod tests {
 
     fn net() -> ClusterNet {
         ClusterNet::new(&ClusterSpec::simulation_25(4))
+    }
+
+    #[test]
+    fn chunk_sizes_cover_payload_exactly() {
+        assert_eq!(chunk_sizes(10, 4).collect::<Vec<_>>(), vec![4, 4, 2]);
+        assert_eq!(chunk_sizes(8, 4).collect::<Vec<_>>(), vec![4, 4]);
+        assert_eq!(chunk_sizes(3, 4).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(chunk_sizes(3, 0).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(chunk_sizes(3, u64::MAX).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(chunk_sizes(0, 4).count(), 0);
+        assert_eq!(chunk_sizes(0, 0).count(), 0);
+        let total: u64 = chunk_sizes(1 << 26, 300_000).sum();
+        assert_eq!(total, 1 << 26);
+    }
+
+    #[test]
+    fn single_chunk_train_is_bit_identical_to_the_monolithic_path() {
+        let a = net();
+        let b = net();
+        let bytes = 37 << 20;
+        // Pre-load identical traffic so pipes are busy at issuance.
+        a.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 8 << 20);
+        b.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 8 << 20);
+        let pull = pull_from(SimTime::ZERO, a.node(NodeId(0)), a.fabric(), bytes);
+        let train = pull_train(SimTime::ZERO, b.node(NodeId(0)), b.fabric(), &[bytes]);
+        assert_eq!(train, vec![pull.end]);
+        let push = push_to(pull.end, a.node(NodeId(1)), a.fabric(), bytes);
+        let strain = push_train(&[pull.end], b.node(NodeId(1)), b.fabric(), &[bytes]);
+        assert_eq!(strain, vec![push.end]);
+        assert_eq!(
+            a.node(NodeId(1)).disk.next_free(),
+            b.node(NodeId(1)).disk.next_free()
+        );
+        assert_eq!(a.fabric().next_free(), b.fabric().next_free());
+    }
+
+    #[test]
+    fn train_chunks_serve_back_to_back_and_cover_the_payload_time() {
+        let net = net();
+        let sizes = vec![16 << 20; 8]; // 128 MiB in 16 MiB chunks
+        let ends = pull_train(SimTime::ZERO, net.node(NodeId(0)), net.fabric(), &sizes);
+        assert_eq!(ends.len(), 8);
+        assert!(ends.windows(2).all(|w| w[0] < w[1]), "chunks are ordered");
+        // NIC-bound at 60 MiB/s: the train's tail matches the monolithic
+        // transfer (modulo per-chunk ns rounding).
+        let expect = 128.0 / 60.0;
+        assert!((ends.last().unwrap().as_secs_f64() - expect).abs() < 1e-6);
+        // …and the first chunk lands after one chunk's service time.
+        assert!((ends[0].as_secs_f64() - 16.0 / 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trains_on_disjoint_nodes_do_not_couple_through_the_fabric() {
+        // Regression: reserving the fabric chunk-by-chunk at each chunk's
+        // late start walked `next_free` to the first train's end and
+        // serialised the second (physically independent) train behind it.
+        // A train is one fabric flow: both trains must end together.
+        let net = net();
+        let sizes = vec![1 << 20; 128];
+        let a = pull_train(SimTime::ZERO, net.node(NodeId(0)), net.fabric(), &sizes);
+        let b = pull_train(SimTime::ZERO, net.node(NodeId(1)), net.fabric(), &sizes);
+        let (a_end, b_end) = (a.last().unwrap(), b.last().unwrap());
+        assert!(
+            b_end.since(*a_end).as_secs_f64() < 0.01,
+            "independent trains must overlap (a={a_end:?} b={b_end:?})"
+        );
+    }
+
+    #[test]
+    fn push_train_chunks_wait_for_their_start_instants() {
+        let net = net();
+        let chunk = 6 << 20; // 0.1 s on the 60 MiB/s NIC
+                             // Chunks delivered every 0.3 s but served in 0.1 s: each store
+                             // waits for its delivery, none queue on the pipes.
+        let starts = vec![SimTime::ZERO, SimTime(300_000_000), SimTime(600_000_000)];
+        let ends = push_train(&starts, net.node(NodeId(2)), net.fabric(), &[chunk; 3]);
+        for (s, e) in starts.iter().zip(&ends) {
+            assert!((e.since(*s).as_secs_f64() - 0.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_train_is_a_no_op() {
+        let net = net();
+        assert!(pull_train(SimTime::ZERO, net.node(NodeId(0)), net.fabric(), &[]).is_empty());
+        assert!(push_train(&[], net.node(NodeId(0)), net.fabric(), &[]).is_empty());
+        assert_eq!(net.node(NodeId(0)).disk.next_free(), SimTime::ZERO);
+        assert_eq!(net.fabric().next_free(), SimTime::ZERO);
     }
 
     #[test]

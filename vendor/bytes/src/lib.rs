@@ -8,9 +8,15 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// An immutable, cheaply cloneable slice of bytes.
+///
+/// Internally an `Arc<Vec<u8>>` rather than an `Arc<[u8]>`: `From<Vec<u8>>`
+/// then takes ownership of the vector's existing allocation instead of
+/// copying it into a fresh `Arc` buffer, so converting a freshly built block
+/// into a `Bytes` handle is O(1) in both time and memory — which is what
+/// keeps the streaming repair path's transient footprint at chunk scale.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
@@ -21,7 +27,9 @@ impl Bytes {
 
     /// Copies a static/borrowed slice into a new `Bytes`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.into() }
+        Bytes {
+            data: Arc::new(data.to_vec()),
+        }
     }
 
     /// Length in bytes.
@@ -54,20 +62,25 @@ impl AsRef<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Zero-copy: the vector's allocation is moved into the handle.
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: v.into() }
+        Bytes { data: Arc::new(v) }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Bytes { data: v.into() }
+        Bytes {
+            data: Arc::new(v.to_vec()),
+        }
     }
 }
 
 impl<const N: usize> From<[u8; N]> for Bytes {
     fn from(v: [u8; N]) -> Self {
-        Bytes { data: v.into() }
+        Bytes {
+            data: Arc::new(v.to_vec()),
+        }
     }
 }
 
