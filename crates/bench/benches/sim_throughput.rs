@@ -94,24 +94,33 @@ fn live_bytes() -> isize {
     LIVE_BYTES.load(Ordering::Relaxed)
 }
 
-// `unsafe` is required by the GlobalAlloc contract; the allocator itself
-// only forwards to the system allocator.
+// SAFETY: `unsafe` is required by the `GlobalAlloc` contract; every call
+// forwards to `System` with the caller's layout and pointer unchanged, so
+// the contract is upheld verbatim and the counters touch no allocator state.
 #[allow(unsafe_code)]
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded to
+    // `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if on_measured_thread() {
             LIVE_BYTES.fetch_add(layout.size() as isize, Ordering::Relaxed);
         }
+        // SAFETY: same arguments the caller handed us.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded to
+    // `System` unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         if on_measured_thread() {
             LIVE_BYTES.fetch_sub(layout.size() as isize, Ordering::Relaxed);
         }
+        // SAFETY: same arguments the caller handed us.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded to
+    // `System` unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if on_measured_thread() {
             LIVE_BYTES.fetch_add(
@@ -119,6 +128,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
                 Ordering::Relaxed,
             );
         }
+        // SAFETY: same arguments the caller handed us.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -29,6 +29,23 @@ pub enum ClusterError {
         /// Explanation of the problem.
         reason: String,
     },
+    /// A block index's internal tables disagree with each other — a bug in
+    /// the index (or a caller mutating through it concurrently), never a
+    /// caller mistake. Surfaced as a typed error instead of a panic so a
+    /// corrupt metadata plane fails a run loudly rather than aborting it.
+    CorruptIndex {
+        /// Which internal invariant was violated.
+        reason: String,
+    },
+}
+
+impl ClusterError {
+    /// A [`ClusterError::CorruptIndex`] with the given reason.
+    pub(crate) fn corrupt(reason: impl Into<String>) -> ClusterError {
+        ClusterError::CorruptIndex {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for ClusterError {
@@ -43,6 +60,9 @@ impl fmt::Display for ClusterError {
                 write!(f, "unknown block (stripe {stripe}, block {block})")
             }
             ClusterError::InvalidPlacement { reason } => write!(f, "invalid placement: {reason}"),
+            ClusterError::CorruptIndex { reason } => {
+                write!(f, "corrupt block index: {reason}")
+            }
         }
     }
 }
@@ -68,6 +88,7 @@ mod tests {
             ClusterError::InvalidPlacement {
                 reason: "zero stripes".into(),
             },
+            ClusterError::corrupt("postings disagree with the arena"),
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -644,10 +644,13 @@ impl BlockIndex for MapIndex {
 
     fn locations(&self, block: GlobalBlockId) -> Result<NodeList, ClusterError> {
         check_block(&self.shape, self.stripe_count(), block)?;
-        let nodes = self
-            .locations
-            .get(&block)
-            .expect("in-range block is present in the map");
+        let nodes = self.locations.get(&block).ok_or_else(|| {
+            ClusterError::corrupt(format!(
+                "in-range block (stripe {}, block {}) missing from the location map",
+                block.stripe(),
+                block.block()
+            ))
+        })?;
         Ok(nodes.as_slice().into())
     }
 
@@ -693,7 +696,12 @@ impl BlockIndex for MapIndex {
                 let local = row
                     .iter()
                     .position(|&h| h as usize == node.0)
-                    .expect("indexed node hosts a local of the stripe");
+                    .ok_or_else(|| {
+                        ClusterError::corrupt(format!(
+                            "node {} is indexed under stripe {stripe} but hosts none of its locals",
+                            node.0
+                        ))
+                    })?;
                 f(stripe, local);
             }
         }
@@ -727,22 +735,34 @@ impl BlockIndex for MapIndex {
                 .locals_of_block(block as usize)
                 .iter()
                 .position(|&l| l as usize == local)
-                .expect("local stores the block, so it appears among its locals");
-            self.locations
-                .get_mut(&id)
-                .expect("in-range block is present in the map")[slot] = to;
-            let old_list = self
-                .per_node
-                .get_mut(&from)
-                .expect("previous host has a postings entry");
-            let pos = old_list
-                .binary_search(&id)
-                .expect("previous host lists the block");
+                .ok_or_else(|| {
+                    ClusterError::corrupt(format!(
+                        "local {local} stores block {block} but is absent from its locals list"
+                    ))
+                })?;
+            self.locations.get_mut(&id).ok_or_else(|| {
+                ClusterError::corrupt(format!(
+                    "in-range block (stripe {stripe}, block {block}) missing from the \
+                         location map"
+                ))
+            })?[slot] = to;
+            let old_list = self.per_node.get_mut(&from).ok_or_else(|| {
+                ClusterError::corrupt(format!("previous host {} has no postings entry", from.0))
+            })?;
+            let pos = old_list.binary_search(&id).map_err(|_| {
+                ClusterError::corrupt(format!(
+                    "previous host {} does not list block (stripe {stripe}, block {block})",
+                    from.0
+                ))
+            })?;
             old_list.remove(pos);
             let new_list = self.per_node.entry(to).or_default();
-            let pos = new_list
-                .binary_search(&id)
-                .expect_err("target does not yet list the block");
+            let pos = new_list.binary_search(&id).err().ok_or_else(|| {
+                ClusterError::corrupt(format!(
+                    "target host {} already lists block (stripe {stripe}, block {block})",
+                    to.0
+                ))
+            })?;
             new_list.insert(pos, id);
         }
         if self.per_node.get(&from).is_some_and(Vec::is_empty) {
@@ -904,14 +924,20 @@ impl BlockIndex for CompactIndex {
         self.arena.set_host(stripe, local, to);
         let offset = (stripe * self.shape.arity() + local) as u32;
         let old_list = &mut self.postings[from.0];
-        let pos = old_list
-            .binary_search(&offset)
-            .expect("previous host lists the arena offset");
+        let pos = old_list.binary_search(&offset).map_err(|_| {
+            ClusterError::corrupt(format!(
+                "previous host {} does not list arena offset {offset}",
+                from.0
+            ))
+        })?;
         old_list.remove(pos);
         let new_list = &mut self.postings[to.0];
-        let pos = new_list
-            .binary_search(&offset)
-            .expect_err("target does not yet list the arena offset");
+        let pos = new_list.binary_search(&offset).err().ok_or_else(|| {
+            ClusterError::corrupt(format!(
+                "target host {} already lists arena offset {offset}",
+                to.0
+            ))
+        })?;
         new_list.insert(pos, offset);
         Ok(from)
     }

@@ -352,6 +352,8 @@ impl PlacementMap {
                 let id = GlobalBlockId::new(stripe, block);
                 let nodes = self
                     .locations(id)
+                    // drc-lint: allow(panic-hygiene): iterator adaptor cannot return Err;
+                    // placed stripes enumerate in-range ids, the only locations() failure.
                     .expect("data blocks of placed stripes are valid ids");
                 (id, nodes)
             })

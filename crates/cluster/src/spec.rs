@@ -149,6 +149,9 @@ impl ClusterSpec {
     /// The number of map tasks corresponding to a given load percentage
     /// (load = tasks / total map slots × 100, §3.2).
     pub fn tasks_for_load(&self, load_percent: f64) -> usize {
+        // drc-lint: allow(lossy-float-cast): explicitly rounded; load
+        // percentages are experiment-grid constants (25..=200), never
+        // computed values that could go non-finite.
         ((load_percent / 100.0) * self.total_map_slots() as f64).round() as usize
     }
 

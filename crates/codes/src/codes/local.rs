@@ -153,6 +153,8 @@ impl PolygonLocalCode {
     /// The paper's heptagon-local code: two heptagons plus two global
     /// parities on a fifteenth node.
     pub fn heptagon_local() -> Self {
+        // drc-lint: allow(panic-hygiene): compile-time-constant parameters,
+        // exercised by unit tests; a panic here cannot depend on runtime input.
         PolygonLocalCode::new(7, 2).expect("heptagon-local parameters are valid")
     }
 
@@ -289,6 +291,8 @@ impl PolygonLocalCode {
                 .find(|n| !failed_nodes.contains(n))
                 .or_else(|| hosts.first())
                 .copied()
+                // drc-lint: allow(panic-hygiene): `or_else(hosts.first())` makes the chain
+                // total for any block stored at all, which NodeLayout::new guarantees.
                 .expect("every data block has a host");
             assigned[host].push(block);
         }
@@ -411,9 +415,15 @@ impl ErasureCode for PolygonLocalCode {
                 limit: self.data_blocks(),
             });
         }
-        let (instance, local_block) = self
-            .unmap_block(data_block)
-            .expect("data blocks always map to a local instance");
+        let (instance, local_block) = self.unmap_block(data_block).ok_or(
+            // Unreachable after the bounds check above, but typed: a broken
+            // block mapping surfaces as the same out-of-range error.
+            CodeError::IndexOutOfRange {
+                what: "data block",
+                index: data_block,
+                limit: self.data_blocks(),
+            },
+        )?;
         let base = instance * self.local.node_count();
         let hosts = self.structure.layout.block_locations(data_block);
         if let Some(&alive) = hosts.iter().find(|n| !down_nodes.contains(n)) {

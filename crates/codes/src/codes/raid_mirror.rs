@@ -68,11 +68,15 @@ impl RaidMirrorCode {
 
     /// The paper's `(10,9)` RAID+m code (compared against the pentagon code).
     pub fn raid_10_9() -> Self {
+        // drc-lint: allow(panic-hygiene): compile-time-constant parameters,
+        // exercised by unit tests; a panic here cannot depend on runtime input.
         RaidMirrorCode::new(10).expect("(10,9) RAID+m parameters are valid")
     }
 
     /// The paper's `(12,11)` RAID+m code (Table 1).
     pub fn raid_12_11() -> Self {
+        // drc-lint: allow(panic-hygiene): compile-time-constant parameters,
+        // exercised by unit tests; a panic here cannot depend on runtime input.
         RaidMirrorCode::new(12).expect("(12,11) RAID+m parameters are valid")
     }
 

@@ -63,15 +63,15 @@ impl NodeLayout {
         let mut max_block = 0usize;
         let mut stored_blocks = 0usize;
         for blocks in &per_node {
-            if blocks.is_empty() {
+            let Some(&node_max) = blocks.iter().max() else {
                 return Err(invalid("a node stores no blocks"));
-            }
+            };
             let unique: BTreeSet<usize> = blocks.iter().copied().collect();
             if unique.len() != blocks.len() {
                 return Err(invalid("a node stores the same block twice"));
             }
             stored_blocks += blocks.len();
-            max_block = max_block.max(*blocks.iter().max().expect("non-empty"));
+            max_block = max_block.max(node_max);
         }
         let distinct = max_block + 1;
         let mut locations = vec![Vec::new(); distinct];

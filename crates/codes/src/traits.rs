@@ -356,7 +356,9 @@ pub(crate) fn generic_repair_plan<C: ErasureCode + ?Sized>(
                 .block_locations(block)
                 .iter()
                 .find(|n| !failed_nodes.contains(n))
-                .expect("block not fully lost must have a live replica");
+                .ok_or_else(|| CodeError::Unrecoverable {
+                    detail: format!("block {block} is not fully lost yet has no live replica"),
+                })?;
             transfers.push(Transfer {
                 from_node: source,
                 to_node: node,
@@ -369,7 +371,12 @@ pub(crate) fn generic_repair_plan<C: ErasureCode + ?Sized>(
     //    first replacement node, decode there, then forward reconstructed
     //    blocks to any other replacement that needs them.
     if !fully_lost.is_empty() {
-        let staging = *failed_nodes.iter().next().expect("non-empty failure set");
+        let staging = *failed_nodes
+            .iter()
+            .next()
+            .ok_or_else(|| CodeError::Unrecoverable {
+                detail: "fully-lost blocks reported without any failed node".to_string(),
+            })?;
         let s = code.structure();
         let surviving = layout.surviving_blocks(failed_nodes);
         // Greedily pick independent generator rows among survivors.
@@ -389,7 +396,9 @@ pub(crate) fn generic_repair_plan<C: ErasureCode + ?Sized>(
                 .block_locations(block)
                 .iter()
                 .find(|n| !failed_nodes.contains(n))
-                .expect("surviving block has a live replica");
+                .ok_or_else(|| CodeError::Unrecoverable {
+                    detail: format!("surviving block {block} has no live replica"),
+                })?;
             transfers.push(Transfer {
                 from_node: source,
                 to_node: staging,
@@ -466,17 +475,17 @@ pub(crate) fn generic_degraded_read_plan<C: ErasureCode + ?Sized>(
             chosen.pop();
         }
     }
-    let fetches: Vec<(usize, usize)> = chosen
-        .iter()
-        .map(|&b| {
-            let node = *layout
-                .block_locations(b)
-                .iter()
-                .find(|n| !down_nodes.contains(n))
-                .expect("surviving block has a live replica");
-            (node, b)
-        })
-        .collect();
+    let mut fetches: Vec<(usize, usize)> = Vec::with_capacity(chosen.len());
+    for &b in &chosen {
+        let node = *layout
+            .block_locations(b)
+            .iter()
+            .find(|n| !down_nodes.contains(n))
+            .ok_or_else(|| CodeError::Unrecoverable {
+                detail: format!("surviving block {b} has no live replica"),
+            })?;
+        fetches.push((node, b));
+    }
     let network_blocks = fetches.len();
     Ok(ReadPlan {
         block: data_block,

@@ -118,6 +118,8 @@ impl Gf256 {
     /// Panics if the element is zero.
     #[inline]
     pub fn inv(self) -> Self {
+        // drc-lint: allow(panic-hygiene): documented panic contract ("Panics if
+        // the element is zero"); `checked_inv` is the fallible surface.
         self.checked_inv().expect("inverse of zero in GF(2^8)")
     }
 
@@ -258,6 +260,8 @@ impl Div for Gf256 {
     type Output = Gf256;
     #[inline]
     fn div(self, rhs: Self) -> Self {
+        // drc-lint: allow(panic-hygiene): `Div` mirrors integer `/` — panics on
+        // zero divisor by contract; `checked_div` is the fallible surface.
         self.checked_div(rhs).expect("division by zero in GF(2^8)")
     }
 }

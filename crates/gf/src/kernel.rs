@@ -159,11 +159,13 @@ static REFERENCE: Kernel = Kernel {
 // ---------------------------------------------------------------------------
 
 fn xor_assign_wide(dst: &mut [u8], src: &[u8]) {
+    // drc-lint: allow(panic-hygiene): chunks_exact(8) hands out exactly
+    // 8-byte slices, so the slice-to-array conversion cannot fail.
+    let word = |b: &[u8]| u64::from_ne_bytes(b.try_into().expect("8-byte chunk"));
     let mut d8 = dst.chunks_exact_mut(8);
     let mut s8 = src.chunks_exact(8);
     for (d, s) in d8.by_ref().zip(s8.by_ref()) {
-        let x = u64::from_ne_bytes(d.as_ref().try_into().expect("8-byte chunk"))
-            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
+        let x = word(d) ^ word(s);
         d.copy_from_slice(&x.to_ne_bytes());
     }
     for (d, s) in d8.into_remainder().iter_mut().zip(s8.remainder()) {
@@ -223,21 +225,27 @@ mod x86 {
     /// Caller must ensure SSSE3 is available and `dst.len() == src.len()`.
     #[target_feature(enable = "ssse3")]
     unsafe fn mul_acc_ssse3_impl(dst: &mut [u8], src: &[u8], coeff: u8) {
-        let lo_tbl = _mm_loadu_si128(TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i);
-        let hi_tbl = _mm_loadu_si128(TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i);
-        let mask = _mm_set1_epi8(0x0f);
-        let lanes = dst.len() / 16;
-        let d_ptr = dst.as_mut_ptr();
-        let s_ptr = src.as_ptr();
-        for i in 0..lanes {
-            let s = _mm_loadu_si128(s_ptr.add(i * 16) as *const __m128i);
-            let lo = _mm_and_si128(s, mask);
-            let hi = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
-            let prod = _mm_xor_si128(_mm_shuffle_epi8(lo_tbl, lo), _mm_shuffle_epi8(hi_tbl, hi));
-            let d = _mm_loadu_si128(d_ptr.add(i * 16) as *const __m128i);
-            _mm_storeu_si128(d_ptr.add(i * 16) as *mut __m128i, _mm_xor_si128(d, prod));
+        // SAFETY: the caller upholds this fn's `# Safety` contract (the
+        // required CPU feature is enabled, lengths match); all pointer
+        // arithmetic below stays inside the slices' bounds.
+        unsafe {
+            let lo_tbl = _mm_loadu_si128(TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i);
+            let hi_tbl = _mm_loadu_si128(TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i);
+            let mask = _mm_set1_epi8(0x0f);
+            let lanes = dst.len() / 16;
+            let d_ptr = dst.as_mut_ptr();
+            let s_ptr = src.as_ptr();
+            for i in 0..lanes {
+                let s = _mm_loadu_si128(s_ptr.add(i * 16) as *const __m128i);
+                let lo = _mm_and_si128(s, mask);
+                let hi = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+                let prod =
+                    _mm_xor_si128(_mm_shuffle_epi8(lo_tbl, lo), _mm_shuffle_epi8(hi_tbl, hi));
+                let d = _mm_loadu_si128(d_ptr.add(i * 16) as *const __m128i);
+                _mm_storeu_si128(d_ptr.add(i * 16) as *mut __m128i, _mm_xor_si128(d, prod));
+            }
+            mul_acc_wide(&mut dst[lanes * 16..], &src[lanes * 16..], coeff);
         }
-        mul_acc_wide(&mut dst[lanes * 16..], &src[lanes * 16..], coeff);
     }
 
     /// # Safety
@@ -245,19 +253,25 @@ mod x86 {
     /// Caller must ensure SSSE3 is available and `dst.len() == src.len()`.
     #[target_feature(enable = "ssse3")]
     unsafe fn scale_assign_ssse3_impl(dst: &mut [u8], coeff: u8) {
-        let lo_tbl = _mm_loadu_si128(TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i);
-        let hi_tbl = _mm_loadu_si128(TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i);
-        let mask = _mm_set1_epi8(0x0f);
-        let lanes = dst.len() / 16;
-        let d_ptr = dst.as_mut_ptr();
-        for i in 0..lanes {
-            let d = _mm_loadu_si128(d_ptr.add(i * 16) as *const __m128i);
-            let lo = _mm_and_si128(d, mask);
-            let hi = _mm_and_si128(_mm_srli_epi64(d, 4), mask);
-            let prod = _mm_xor_si128(_mm_shuffle_epi8(lo_tbl, lo), _mm_shuffle_epi8(hi_tbl, hi));
-            _mm_storeu_si128(d_ptr.add(i * 16) as *mut __m128i, prod);
+        // SAFETY: the caller upholds this fn's `# Safety` contract (the
+        // required CPU feature is enabled, lengths match); all pointer
+        // arithmetic below stays inside the slices' bounds.
+        unsafe {
+            let lo_tbl = _mm_loadu_si128(TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i);
+            let hi_tbl = _mm_loadu_si128(TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i);
+            let mask = _mm_set1_epi8(0x0f);
+            let lanes = dst.len() / 16;
+            let d_ptr = dst.as_mut_ptr();
+            for i in 0..lanes {
+                let d = _mm_loadu_si128(d_ptr.add(i * 16) as *const __m128i);
+                let lo = _mm_and_si128(d, mask);
+                let hi = _mm_and_si128(_mm_srli_epi64(d, 4), mask);
+                let prod =
+                    _mm_xor_si128(_mm_shuffle_epi8(lo_tbl, lo), _mm_shuffle_epi8(hi_tbl, hi));
+                _mm_storeu_si128(d_ptr.add(i * 16) as *mut __m128i, prod);
+            }
+            scale_assign_wide(&mut dst[lanes * 16..], coeff);
         }
-        scale_assign_wide(&mut dst[lanes * 16..], coeff);
     }
 
     fn mul_acc_ssse3(dst: &mut [u8], src: &[u8], coeff: u8) {
@@ -283,28 +297,33 @@ mod x86 {
     /// Caller must ensure AVX2 is available and `dst.len() == src.len()`.
     #[target_feature(enable = "avx2")]
     unsafe fn mul_acc_avx2_impl(dst: &mut [u8], src: &[u8], coeff: u8) {
-        let lo_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
-            TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i,
-        ));
-        let hi_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
-            TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i,
-        ));
-        let mask = _mm256_set1_epi8(0x0f);
-        let lanes = dst.len() / 32;
-        let d_ptr = dst.as_mut_ptr();
-        let s_ptr = src.as_ptr();
-        for i in 0..lanes {
-            let s = _mm256_loadu_si256(s_ptr.add(i * 32) as *const __m256i);
-            let lo = _mm256_and_si256(s, mask);
-            let hi = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
-            let prod = _mm256_xor_si256(
-                _mm256_shuffle_epi8(lo_tbl, lo),
-                _mm256_shuffle_epi8(hi_tbl, hi),
-            );
-            let d = _mm256_loadu_si256(d_ptr.add(i * 32) as *const __m256i);
-            _mm256_storeu_si256(d_ptr.add(i * 32) as *mut __m256i, _mm256_xor_si256(d, prod));
+        // SAFETY: the caller upholds this fn's `# Safety` contract (the
+        // required CPU feature is enabled, lengths match); all pointer
+        // arithmetic below stays inside the slices' bounds.
+        unsafe {
+            let lo_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i,
+            ));
+            let hi_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i,
+            ));
+            let mask = _mm256_set1_epi8(0x0f);
+            let lanes = dst.len() / 32;
+            let d_ptr = dst.as_mut_ptr();
+            let s_ptr = src.as_ptr();
+            for i in 0..lanes {
+                let s = _mm256_loadu_si256(s_ptr.add(i * 32) as *const __m256i);
+                let lo = _mm256_and_si256(s, mask);
+                let hi = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+                let prod = _mm256_xor_si256(
+                    _mm256_shuffle_epi8(lo_tbl, lo),
+                    _mm256_shuffle_epi8(hi_tbl, hi),
+                );
+                let d = _mm256_loadu_si256(d_ptr.add(i * 32) as *const __m256i);
+                _mm256_storeu_si256(d_ptr.add(i * 32) as *mut __m256i, _mm256_xor_si256(d, prod));
+            }
+            mul_acc_wide(&mut dst[lanes * 32..], &src[lanes * 32..], coeff);
         }
-        mul_acc_wide(&mut dst[lanes * 32..], &src[lanes * 32..], coeff);
     }
 
     /// # Safety
@@ -312,26 +331,31 @@ mod x86 {
     /// Caller must ensure AVX2 is available and `dst.len() == src.len()`.
     #[target_feature(enable = "avx2")]
     unsafe fn scale_assign_avx2_impl(dst: &mut [u8], coeff: u8) {
-        let lo_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
-            TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i,
-        ));
-        let hi_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
-            TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i,
-        ));
-        let mask = _mm256_set1_epi8(0x0f);
-        let lanes = dst.len() / 32;
-        let d_ptr = dst.as_mut_ptr();
-        for i in 0..lanes {
-            let d = _mm256_loadu_si256(d_ptr.add(i * 32) as *const __m256i);
-            let lo = _mm256_and_si256(d, mask);
-            let hi = _mm256_and_si256(_mm256_srli_epi64(d, 4), mask);
-            let prod = _mm256_xor_si256(
-                _mm256_shuffle_epi8(lo_tbl, lo),
-                _mm256_shuffle_epi8(hi_tbl, hi),
-            );
-            _mm256_storeu_si256(d_ptr.add(i * 32) as *mut __m256i, prod);
+        // SAFETY: the caller upholds this fn's `# Safety` contract (the
+        // required CPU feature is enabled, lengths match); all pointer
+        // arithmetic below stays inside the slices' bounds.
+        unsafe {
+            let lo_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i,
+            ));
+            let hi_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i,
+            ));
+            let mask = _mm256_set1_epi8(0x0f);
+            let lanes = dst.len() / 32;
+            let d_ptr = dst.as_mut_ptr();
+            for i in 0..lanes {
+                let d = _mm256_loadu_si256(d_ptr.add(i * 32) as *const __m256i);
+                let lo = _mm256_and_si256(d, mask);
+                let hi = _mm256_and_si256(_mm256_srli_epi64(d, 4), mask);
+                let prod = _mm256_xor_si256(
+                    _mm256_shuffle_epi8(lo_tbl, lo),
+                    _mm256_shuffle_epi8(hi_tbl, hi),
+                );
+                _mm256_storeu_si256(d_ptr.add(i * 32) as *mut __m256i, prod);
+            }
+            scale_assign_wide(&mut dst[lanes * 32..], coeff);
         }
-        scale_assign_wide(&mut dst[lanes * 32..], coeff);
     }
 
     /// # Safety
@@ -339,15 +363,20 @@ mod x86 {
     /// Caller must ensure AVX2 is available and `dst.len() == src.len()`.
     #[target_feature(enable = "avx2")]
     unsafe fn xor_assign_avx2_impl(dst: &mut [u8], src: &[u8]) {
-        let lanes = dst.len() / 32;
-        let d_ptr = dst.as_mut_ptr();
-        let s_ptr = src.as_ptr();
-        for i in 0..lanes {
-            let s = _mm256_loadu_si256(s_ptr.add(i * 32) as *const __m256i);
-            let d = _mm256_loadu_si256(d_ptr.add(i * 32) as *const __m256i);
-            _mm256_storeu_si256(d_ptr.add(i * 32) as *mut __m256i, _mm256_xor_si256(d, s));
+        // SAFETY: the caller upholds this fn's `# Safety` contract (the
+        // required CPU feature is enabled, lengths match); all pointer
+        // arithmetic below stays inside the slices' bounds.
+        unsafe {
+            let lanes = dst.len() / 32;
+            let d_ptr = dst.as_mut_ptr();
+            let s_ptr = src.as_ptr();
+            for i in 0..lanes {
+                let s = _mm256_loadu_si256(s_ptr.add(i * 32) as *const __m256i);
+                let d = _mm256_loadu_si256(d_ptr.add(i * 32) as *const __m256i);
+                _mm256_storeu_si256(d_ptr.add(i * 32) as *mut __m256i, _mm256_xor_si256(d, s));
+            }
+            xor_assign_wide(&mut dst[lanes * 32..], &src[lanes * 32..]);
         }
-        xor_assign_wide(&mut dst[lanes * 32..], &src[lanes * 32..]);
     }
 
     fn mul_acc_avx2(dst: &mut [u8], src: &[u8], coeff: u8) {
@@ -390,15 +419,20 @@ mod x86 {
     /// Caller must ensure AVX-512F is available and `dst.len() == src.len()`.
     #[target_feature(enable = "avx512f")]
     unsafe fn xor_assign_avx512_impl(dst: &mut [u8], src: &[u8]) {
-        let lanes = dst.len() / 64;
-        let d_ptr = dst.as_mut_ptr();
-        let s_ptr = src.as_ptr();
-        for i in 0..lanes {
-            let s = _mm512_loadu_si512(s_ptr.add(i * 64) as *const _);
-            let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
-            _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, _mm512_xor_si512(d, s));
+        // SAFETY: the caller upholds this fn's `# Safety` contract (the
+        // required CPU feature is enabled, lengths match); all pointer
+        // arithmetic below stays inside the slices' bounds.
+        unsafe {
+            let lanes = dst.len() / 64;
+            let d_ptr = dst.as_mut_ptr();
+            let s_ptr = src.as_ptr();
+            for i in 0..lanes {
+                let s = _mm512_loadu_si512(s_ptr.add(i * 64) as *const _);
+                let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
+                _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, _mm512_xor_si512(d, s));
+            }
+            xor_assign_wide(&mut dst[lanes * 64..], &src[lanes * 64..]);
         }
-        xor_assign_wide(&mut dst[lanes * 64..], &src[lanes * 64..]);
     }
 
     /// # Safety
@@ -407,17 +441,22 @@ mod x86 {
     /// `dst.len() == src.len()`.
     #[target_feature(enable = "gfni,avx512f")]
     unsafe fn mul_acc_gfni_impl(dst: &mut [u8], src: &[u8], coeff: u8) {
-        let mat = _mm512_set1_epi64(TABLES.gfni[coeff as usize] as i64);
-        let lanes = dst.len() / 64;
-        let d_ptr = dst.as_mut_ptr();
-        let s_ptr = src.as_ptr();
-        for i in 0..lanes {
-            let s = _mm512_loadu_si512(s_ptr.add(i * 64) as *const _);
-            let prod = _mm512_gf2p8affine_epi64_epi8::<0>(s, mat);
-            let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
-            _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, _mm512_xor_si512(d, prod));
+        // SAFETY: the caller upholds this fn's `# Safety` contract (the
+        // required CPU feature is enabled, lengths match); all pointer
+        // arithmetic below stays inside the slices' bounds.
+        unsafe {
+            let mat = _mm512_set1_epi64(TABLES.gfni[coeff as usize] as i64);
+            let lanes = dst.len() / 64;
+            let d_ptr = dst.as_mut_ptr();
+            let s_ptr = src.as_ptr();
+            for i in 0..lanes {
+                let s = _mm512_loadu_si512(s_ptr.add(i * 64) as *const _);
+                let prod = _mm512_gf2p8affine_epi64_epi8::<0>(s, mat);
+                let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
+                _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, _mm512_xor_si512(d, prod));
+            }
+            mul_acc_wide(&mut dst[lanes * 64..], &src[lanes * 64..], coeff);
         }
-        mul_acc_wide(&mut dst[lanes * 64..], &src[lanes * 64..], coeff);
     }
 
     /// # Safety
@@ -425,15 +464,20 @@ mod x86 {
     /// Caller must ensure GFNI + AVX-512F are available.
     #[target_feature(enable = "gfni,avx512f")]
     unsafe fn scale_assign_gfni_impl(dst: &mut [u8], coeff: u8) {
-        let mat = _mm512_set1_epi64(TABLES.gfni[coeff as usize] as i64);
-        let lanes = dst.len() / 64;
-        let d_ptr = dst.as_mut_ptr();
-        for i in 0..lanes {
-            let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
-            let prod = _mm512_gf2p8affine_epi64_epi8::<0>(d, mat);
-            _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, prod);
+        // SAFETY: the caller upholds this fn's `# Safety` contract (the
+        // required CPU feature is enabled, lengths match); all pointer
+        // arithmetic below stays inside the slices' bounds.
+        unsafe {
+            let mat = _mm512_set1_epi64(TABLES.gfni[coeff as usize] as i64);
+            let lanes = dst.len() / 64;
+            let d_ptr = dst.as_mut_ptr();
+            for i in 0..lanes {
+                let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
+                let prod = _mm512_gf2p8affine_epi64_epi8::<0>(d, mat);
+                _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, prod);
+            }
+            scale_assign_wide(&mut dst[lanes * 64..], coeff);
         }
-        scale_assign_wide(&mut dst[lanes * 64..], coeff);
     }
 
     fn mul_acc_gfni(dst: &mut [u8], src: &[u8], coeff: u8) {
@@ -467,28 +511,33 @@ mod x86 {
     /// `dst.len() == src.len()`.
     #[target_feature(enable = "avx512vbmi,avx512f")]
     unsafe fn mul_acc_vbmi_impl(dst: &mut [u8], src: &[u8], coeff: u8) {
-        let lo_tbl = _mm512_broadcast_i32x4(_mm_loadu_si128(
-            TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i,
-        ));
-        let hi_tbl = _mm512_broadcast_i32x4(_mm_loadu_si128(
-            TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i,
-        ));
-        let mask = _mm512_set1_epi8(0x0f);
-        let lanes = dst.len() / 64;
-        let d_ptr = dst.as_mut_ptr();
-        let s_ptr = src.as_ptr();
-        for i in 0..lanes {
-            let s = _mm512_loadu_si512(s_ptr.add(i * 64) as *const _);
-            let lo = _mm512_and_si512(s, mask);
-            let hi = _mm512_and_si512(_mm512_srli_epi64::<4>(s), mask);
-            let prod = _mm512_xor_si512(
-                _mm512_permutexvar_epi8(lo, lo_tbl),
-                _mm512_permutexvar_epi8(hi, hi_tbl),
-            );
-            let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
-            _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, _mm512_xor_si512(d, prod));
+        // SAFETY: the caller upholds this fn's `# Safety` contract (the
+        // required CPU feature is enabled, lengths match); all pointer
+        // arithmetic below stays inside the slices' bounds.
+        unsafe {
+            let lo_tbl = _mm512_broadcast_i32x4(_mm_loadu_si128(
+                TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i,
+            ));
+            let hi_tbl = _mm512_broadcast_i32x4(_mm_loadu_si128(
+                TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i,
+            ));
+            let mask = _mm512_set1_epi8(0x0f);
+            let lanes = dst.len() / 64;
+            let d_ptr = dst.as_mut_ptr();
+            let s_ptr = src.as_ptr();
+            for i in 0..lanes {
+                let s = _mm512_loadu_si512(s_ptr.add(i * 64) as *const _);
+                let lo = _mm512_and_si512(s, mask);
+                let hi = _mm512_and_si512(_mm512_srli_epi64::<4>(s), mask);
+                let prod = _mm512_xor_si512(
+                    _mm512_permutexvar_epi8(lo, lo_tbl),
+                    _mm512_permutexvar_epi8(hi, hi_tbl),
+                );
+                let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
+                _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, _mm512_xor_si512(d, prod));
+            }
+            mul_acc_wide(&mut dst[lanes * 64..], &src[lanes * 64..], coeff);
         }
-        mul_acc_wide(&mut dst[lanes * 64..], &src[lanes * 64..], coeff);
     }
 
     /// # Safety
@@ -496,26 +545,31 @@ mod x86 {
     /// Caller must ensure AVX-512VBMI + AVX-512F are available.
     #[target_feature(enable = "avx512vbmi,avx512f")]
     unsafe fn scale_assign_vbmi_impl(dst: &mut [u8], coeff: u8) {
-        let lo_tbl = _mm512_broadcast_i32x4(_mm_loadu_si128(
-            TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i,
-        ));
-        let hi_tbl = _mm512_broadcast_i32x4(_mm_loadu_si128(
-            TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i,
-        ));
-        let mask = _mm512_set1_epi8(0x0f);
-        let lanes = dst.len() / 64;
-        let d_ptr = dst.as_mut_ptr();
-        for i in 0..lanes {
-            let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
-            let lo = _mm512_and_si512(d, mask);
-            let hi = _mm512_and_si512(_mm512_srli_epi64::<4>(d), mask);
-            let prod = _mm512_xor_si512(
-                _mm512_permutexvar_epi8(lo, lo_tbl),
-                _mm512_permutexvar_epi8(hi, hi_tbl),
-            );
-            _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, prod);
+        // SAFETY: the caller upholds this fn's `# Safety` contract (the
+        // required CPU feature is enabled, lengths match); all pointer
+        // arithmetic below stays inside the slices' bounds.
+        unsafe {
+            let lo_tbl = _mm512_broadcast_i32x4(_mm_loadu_si128(
+                TABLES.nib_lo[coeff as usize].as_ptr() as *const __m128i,
+            ));
+            let hi_tbl = _mm512_broadcast_i32x4(_mm_loadu_si128(
+                TABLES.nib_hi[coeff as usize].as_ptr() as *const __m128i,
+            ));
+            let mask = _mm512_set1_epi8(0x0f);
+            let lanes = dst.len() / 64;
+            let d_ptr = dst.as_mut_ptr();
+            for i in 0..lanes {
+                let d = _mm512_loadu_si512(d_ptr.add(i * 64) as *const _);
+                let lo = _mm512_and_si512(d, mask);
+                let hi = _mm512_and_si512(_mm512_srli_epi64::<4>(d), mask);
+                let prod = _mm512_xor_si512(
+                    _mm512_permutexvar_epi8(lo, lo_tbl),
+                    _mm512_permutexvar_epi8(hi, hi_tbl),
+                );
+                _mm512_storeu_si512(d_ptr.add(i * 64) as *mut _, prod);
+            }
+            scale_assign_wide(&mut dst[lanes * 64..], coeff);
         }
-        scale_assign_wide(&mut dst[lanes * 64..], coeff);
     }
 
     fn mul_acc_vbmi(dst: &mut [u8], src: &[u8], coeff: u8) {
@@ -552,40 +606,50 @@ mod arm {
     /// Caller must ensure `dst.len() == src.len()`. NEON is part of the
     /// aarch64 baseline, so no feature detection is required.
     unsafe fn mul_acc_neon_impl(dst: &mut [u8], src: &[u8], coeff: u8) {
-        let lo_tbl = vld1q_u8(TABLES.nib_lo[coeff as usize].as_ptr());
-        let hi_tbl = vld1q_u8(TABLES.nib_hi[coeff as usize].as_ptr());
-        let mask = vdupq_n_u8(0x0f);
-        let lanes = dst.len() / 16;
-        let d_ptr = dst.as_mut_ptr();
-        let s_ptr = src.as_ptr();
-        for i in 0..lanes {
-            let s = vld1q_u8(s_ptr.add(i * 16));
-            let lo = vandq_u8(s, mask);
-            let hi = vshrq_n_u8(s, 4);
-            let prod = veorq_u8(vqtbl1q_u8(lo_tbl, lo), vqtbl1q_u8(hi_tbl, hi));
-            let d = vld1q_u8(d_ptr.add(i * 16));
-            vst1q_u8(d_ptr.add(i * 16), veorq_u8(d, prod));
+        // SAFETY: the caller upholds this fn's `# Safety` contract (the
+        // required CPU feature is enabled, lengths match); all pointer
+        // arithmetic below stays inside the slices' bounds.
+        unsafe {
+            let lo_tbl = vld1q_u8(TABLES.nib_lo[coeff as usize].as_ptr());
+            let hi_tbl = vld1q_u8(TABLES.nib_hi[coeff as usize].as_ptr());
+            let mask = vdupq_n_u8(0x0f);
+            let lanes = dst.len() / 16;
+            let d_ptr = dst.as_mut_ptr();
+            let s_ptr = src.as_ptr();
+            for i in 0..lanes {
+                let s = vld1q_u8(s_ptr.add(i * 16));
+                let lo = vandq_u8(s, mask);
+                let hi = vshrq_n_u8(s, 4);
+                let prod = veorq_u8(vqtbl1q_u8(lo_tbl, lo), vqtbl1q_u8(hi_tbl, hi));
+                let d = vld1q_u8(d_ptr.add(i * 16));
+                vst1q_u8(d_ptr.add(i * 16), veorq_u8(d, prod));
+            }
+            mul_acc_wide(&mut dst[lanes * 16..], &src[lanes * 16..], coeff);
         }
-        mul_acc_wide(&mut dst[lanes * 16..], &src[lanes * 16..], coeff);
     }
 
     /// # Safety
     ///
     /// Caller must ensure `dst.len() == src.len()` (NEON is baseline).
     unsafe fn scale_assign_neon_impl(dst: &mut [u8], coeff: u8) {
-        let lo_tbl = vld1q_u8(TABLES.nib_lo[coeff as usize].as_ptr());
-        let hi_tbl = vld1q_u8(TABLES.nib_hi[coeff as usize].as_ptr());
-        let mask = vdupq_n_u8(0x0f);
-        let lanes = dst.len() / 16;
-        let d_ptr = dst.as_mut_ptr();
-        for i in 0..lanes {
-            let d = vld1q_u8(d_ptr.add(i * 16));
-            let lo = vandq_u8(d, mask);
-            let hi = vshrq_n_u8(d, 4);
-            let prod = veorq_u8(vqtbl1q_u8(lo_tbl, lo), vqtbl1q_u8(hi_tbl, hi));
-            vst1q_u8(d_ptr.add(i * 16), prod);
+        // SAFETY: the caller upholds this fn's `# Safety` contract (the
+        // required CPU feature is enabled, lengths match); all pointer
+        // arithmetic below stays inside the slices' bounds.
+        unsafe {
+            let lo_tbl = vld1q_u8(TABLES.nib_lo[coeff as usize].as_ptr());
+            let hi_tbl = vld1q_u8(TABLES.nib_hi[coeff as usize].as_ptr());
+            let mask = vdupq_n_u8(0x0f);
+            let lanes = dst.len() / 16;
+            let d_ptr = dst.as_mut_ptr();
+            for i in 0..lanes {
+                let d = vld1q_u8(d_ptr.add(i * 16));
+                let lo = vandq_u8(d, mask);
+                let hi = vshrq_n_u8(d, 4);
+                let prod = veorq_u8(vqtbl1q_u8(lo_tbl, lo), vqtbl1q_u8(hi_tbl, hi));
+                vst1q_u8(d_ptr.add(i * 16), prod);
+            }
+            scale_assign_wide(&mut dst[lanes * 16..], coeff);
         }
-        scale_assign_wide(&mut dst[lanes * 16..], coeff);
     }
 
     fn mul_acc_neon(dst: &mut [u8], src: &[u8], coeff: u8) {

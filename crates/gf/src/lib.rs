@@ -90,6 +90,7 @@
 //! ```
 
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 mod error;

@@ -369,6 +369,8 @@ impl Mul for &Matrix {
     type Output = Matrix;
     fn mul(self, rhs: &Matrix) -> Matrix {
         self.checked_mul(rhs)
+            // drc-lint: allow(panic-hygiene): operator `Mul` cannot return Result;
+            // `checked_mul` is the fallible surface for dimension mismatches.
             .expect("matrix dimension mismatch in multiplication")
     }
 }

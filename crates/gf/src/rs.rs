@@ -279,6 +279,8 @@ impl ReedSolomon {
             // All data shards survive: plain copies, no matrix inversion.
             for (j, buf) in data_out.iter_mut().enumerate() {
                 buf.as_mut()
+                    // drc-lint: allow(panic-hygiene): this branch requires all data
+                    // shards present (the `all(is_some)` condition above).
                     .copy_from_slice(present[j].expect("checked present"));
             }
         } else {
@@ -289,6 +291,8 @@ impl ReedSolomon {
             let decode = sub.inverse()?;
             let chosen_shards: Vec<&[u8]> = chosen
                 .iter()
+                // drc-lint: allow(panic-hygiene): `chosen` indexes only shards that
+                // were present when the row subset was selected above.
                 .map(|&i| present[i].expect("chosen shard must be present"))
                 .collect();
             // Recover each data shard directly into its output buffer:

@@ -40,25 +40,35 @@ fn measure_this_thread() {
     THREAD_MARKER.with(|m| MEASURED.store(m as *const u8 as usize, Ordering::Relaxed));
 }
 
-// The allocator forwards straight to the system allocator; `unsafe` is
-// required by the GlobalAlloc contract, not by anything this test does.
+// SAFETY: `unsafe` is required by the `GlobalAlloc` contract; every call
+// forwards to `System` with the caller's layout and pointer unchanged, so
+// the contract is upheld verbatim and the counters touch no allocator state.
 #[allow(unsafe_code)]
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded to
+    // `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if on_measured_thread() {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: same arguments the caller handed us.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded to
+    // `System` unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same arguments the caller handed us.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded to
+    // `System` unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if on_measured_thread() {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: same arguments the caller handed us.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

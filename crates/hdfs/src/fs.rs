@@ -557,6 +557,8 @@ impl DistributedFileSystem {
                     .collect();
                 let mut outs = vec![vec![0u8; meta.block_size as usize]];
                 rec.reconstruct_into(&sources, &mut outs);
+                // drc-lint: allow(panic-hygiene): `outs` is the one-element vec
+                // constructed two lines above.
                 Bytes::from(outs.pop().expect("one target"))
             };
         self.timeline.record(

@@ -258,6 +258,8 @@ impl NameNode {
                         block: gb.block(),
                     });
                 })
+                // drc-lint: allow(panic-hygiene): the `continue` above filters nodes
+                // outside the universe, the only for_each_block_on_node error.
                 .expect("node is inside this placement's universe");
         }
         out

@@ -49,22 +49,32 @@ fn count(delta: isize) {
     }
 }
 
-// `unsafe` is required by the `GlobalAlloc` contract; the allocator itself
-// only forwards to the system allocator.
+// SAFETY: `unsafe` is required by the `GlobalAlloc` contract; every call
+// forwards to `System` with the caller's layout and pointer unchanged, so
+// the contract is upheld verbatim and the counters touch no allocator state.
 #[allow(unsafe_code)]
 unsafe impl GlobalAlloc for WindowAllocator {
+    // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded to
+    // `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count(layout.size() as isize);
+        // SAFETY: same arguments the caller handed us.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded to
+    // `System` unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         count(-(layout.size() as isize));
+        // SAFETY: same arguments the caller handed us.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded to
+    // `System` unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         count(new_size as isize - layout.size() as isize);
+        // SAFETY: same arguments the caller handed us.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

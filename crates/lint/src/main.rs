@@ -1,0 +1,109 @@
+//! `drc-lint`: runs the workspace static-analysis pass and writes
+//! `LINT.json` at the workspace root.
+//!
+//! Exit status is non-zero if any unsuppressed violation exists, if the
+//! unsafe inventory exceeds the budget in `crates/lint/unsafe_budget.txt`,
+//! or if that budget file is malformed. `--quiet` suppresses the per-rule
+//! summary (violations always print).
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use drc_lint::engine::{self, parse_budget, UnsafeBudget};
+use drc_lint::rules::RULE_IDS;
+
+/// Workspace root, independent of the cwd cargo gives bin targets.
+const WORKSPACE_ROOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+fn main() -> ExitCode {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    let root = Path::new(WORKSPACE_ROOT);
+
+    let files = match engine::collect_files(root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("drc-lint: cannot read workspace sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = engine::run_files(&files);
+
+    let budget_path = root.join("crates/lint/unsafe_budget.txt");
+    let budget = match std::fs::read_to_string(&budget_path)
+        .map_err(|e| format!("cannot read {}: {e}", budget_path.display()))
+        .and_then(|text| parse_budget(&text))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("drc-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let doc = engine::to_json(&report, &budget);
+    let json = match serde_json::to_string_pretty(&doc) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("drc-lint: cannot render LINT.json: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lint_json = root.join("LINT.json");
+    if let Err(e) = std::fs::write(&lint_json, json + "\n") {
+        eprintln!("drc-lint: cannot write {}: {e}", lint_json.display());
+        return ExitCode::FAILURE;
+    }
+
+    if !quiet {
+        println!(
+            "drc-lint: scanned {} files; unsafe inventory {} (budget {}), {} suppression(s)",
+            report.files_scanned,
+            report.unsafe_inventory.len(),
+            budget.max,
+            report.suppressed.len(),
+        );
+        for rule in RULE_IDS {
+            let n = report.findings_for(rule).len();
+            let sup = report
+                .suppressed
+                .iter()
+                .filter(|sf| sf.finding.rule == *rule)
+                .count();
+            println!("  {rule:<24} {n} violation(s), {sup} suppressed");
+        }
+    }
+
+    let mut failed = false;
+    for f in &report.findings {
+        eprintln!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        failed = true;
+    }
+    if let Some(msg) = budget_breach(&report.unsafe_inventory.len(), &budget) {
+        eprintln!("{msg}");
+        failed = true;
+    }
+
+    if failed {
+        eprintln!(
+            "drc-lint: FAILED — fix the violations above or add a justified \
+             `// drc-lint: allow(<rule>): <why>` marker"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("drc-lint: OK");
+        ExitCode::SUCCESS
+    }
+}
+
+fn budget_breach(count: &usize, budget: &UnsafeBudget) -> Option<String> {
+    (*count > budget.max).then(|| {
+        format!(
+            "drc-lint: unsafe inventory grew to {count} sites, over the budget of {} \
+             (crates/lint/unsafe_budget.txt). Audit the new unsafe code, add SAFETY comments, \
+             then append a justified budget line.",
+            budget.max
+        )
+    })
+}

@@ -1,0 +1,827 @@
+//! A comment/string/raw-string-aware Rust token scanner.
+//!
+//! This is deliberately **not** a parser: the vendored-stub environment has
+//! no `syn`, and the rules in [`crate::rules`] only need a lexical view that
+//! is *reliable* about what is code and what is not. The scanner guarantees:
+//!
+//! * text inside line comments, (nested) block comments, string literals,
+//!   raw string literals (`r"…"`, `r#"…"#`, any hash count), byte strings
+//!   and char literals never produces code tokens — `"unsafe"` in a string
+//!   or `HashMap` in a comment cannot trip a rule;
+//! * lifetimes (`'a`) are distinguished from char literals (`'a'`),
+//!   including escaped chars (`'\''`, `'\u{41}'`);
+//! * float literals are distinguished from integer literals (fractions,
+//!   exponents, `_f64`/`_f32` suffixes; `1..2` ranges and tuple access do
+//!   not produce phantom floats);
+//! * every token and comment carries its 1-based source line, and
+//!   `#[cfg(test)]` / `#[test]`-gated regions are mapped to line ranges so
+//!   rules can exempt test code.
+//!
+//! Known (documented) approximations: attributes mixing `test` and `not`
+//! (e.g. `#[cfg(all(test, not(miri)))]`) are treated as **non**-test, which
+//! errs toward stricter linting; macro bodies are scanned as ordinary code.
+
+/// Classification of one code token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (`.`, `:`, `{`, …).
+    Punct,
+    /// Integer literal (any base, any non-float suffix).
+    Int,
+    /// Float literal (fraction, exponent or `f32`/`f64` suffix).
+    Float,
+    /// Lifetime (`'a`) — *not* a char literal.
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// String, raw-string, byte-string or raw-byte-string literal.
+    Str,
+}
+
+/// One code token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// The token's source text (literal text for strings, without quotes
+    /// normalisation — rules never look inside strings).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment with its source position and raw text (marker stripped).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// 1-based line of the comment's last character (block comments span).
+    pub end_line: u32,
+    /// Comment body, excluding the `//` / `/*` markers.
+    pub text: String,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub doc: bool,
+}
+
+/// The scanner's output for one source file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Code tokens in source order (comments and nothing-but-whitespace
+    /// excluded; string/char literal *values* appear as opaque tokens).
+    pub tokens: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+    /// Total number of source lines.
+    pub line_count: u32,
+    /// `lines_in_test_code[line-1]` — line is inside a `#[cfg(test)]` /
+    /// `#[test]` region (or the whole file is, via `#![cfg(test)]`).
+    pub test_lines: Vec<bool>,
+    /// Lines whose code tokens all belong to attributes (`#[…]`).
+    pub attr_only_lines: Vec<bool>,
+    /// Lines carrying at least one code token.
+    pub code_lines: Vec<bool>,
+}
+
+impl Scan {
+    /// Whether 1-based `line` falls in a test-gated region.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines
+            .get(line.saturating_sub(1) as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Concatenated comment text present on 1-based `line` (empty if none).
+    pub fn comment_text_on(&self, line: u32) -> String {
+        let mut out = String::new();
+        for c in &self.comments {
+            if c.line <= line && line <= c.end_line {
+                out.push_str(&c.text);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Whether 1-based `line` has comment text but no code tokens.
+    pub fn is_comment_only_line(&self, line: u32) -> bool {
+        let idx = line.saturating_sub(1) as usize;
+        let has_code = self.code_lines.get(idx).copied().unwrap_or(false);
+        !has_code
+            && self
+                .comments
+                .iter()
+                .any(|c| c.line <= line && line <= c.end_line)
+    }
+
+    /// Whether 1-based `line` carries only attribute tokens.
+    pub fn is_attr_only_line(&self, line: u32) -> bool {
+        self.attr_only_lines
+            .get(line.saturating_sub(1) as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// Scans `source`, producing tokens, comments and region maps.
+pub fn scan(source: &str) -> Scan {
+    let mut lx = Lexer::new(source);
+    lx.run();
+    let line_count = lx.line;
+    let mut scan = Scan {
+        tokens: lx.tokens,
+        comments: lx.comments,
+        line_count,
+        test_lines: vec![false; line_count as usize],
+        attr_only_lines: vec![false; line_count as usize],
+        code_lines: vec![false; line_count as usize],
+    };
+    mark_regions(&mut scan);
+    scan
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Tok>,
+    comments: Vec<Comment>,
+    src: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+            comments: Vec::new(),
+            src: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                '\'' => self.quote(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if is_ident_start(c) => self.ident_or_prefixed(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), Some('/') | Some('!'))
+            && !(self.peek(0) == Some('/') && self.peek(1) == Some('/'));
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+            doc,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), Some('*') | Some('!'))
+            && !(self.peek(0) == Some('*') && self.peek(1) == Some('/'));
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+            doc,
+        });
+    }
+
+    /// Ordinary (escaped) string literal; the opening `"` is current.
+    fn string_literal(&mut self, line: u32) {
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Skip the escaped char so `\"` cannot close the string.
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Raw string body after the prefix: `hashes` `#`s then `"` are current.
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        debug_assert_eq!(self.peek(0), Some('"'));
+        self.bump();
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote must be followed by exactly `hashes` #s.
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break 'outer;
+                }
+                text.push('"');
+                for _ in 0..seen {
+                    text.push('#');
+                }
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// `'`-introduced token: lifetime or char literal.
+    fn quote(&mut self, line: u32) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape then scan to the
+                // closing quote (covers '\n', '\'', '\u{…}').
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            Some(c) if is_ident_start(c) => {
+                if self.peek(1) == Some('\'') {
+                    // 'a' — a one-char literal.
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Char, c.to_string(), line);
+                } else {
+                    // 'abc — a lifetime: consume the identifier.
+                    let mut name = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if is_ident_continue(c) {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Lifetime, name, line);
+                }
+            }
+            Some(c) => {
+                // Non-identifier char literal like ' ' or '{'.
+                if self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Char, c.to_string(), line);
+                } else {
+                    self.push(TokKind::Punct, "'".to_string(), line);
+                }
+            }
+            None => self.push(TokKind::Punct, "'".to_string(), line),
+        }
+    }
+
+    /// Number literal starting at the current digit.
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut float = false;
+        // Radix prefixes are never floats.
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('X') | Some('b') | Some('o'))
+        {
+            text.push(self.bump().expect("digit present"));
+            text.push(self.bump().expect("radix char present"));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Int, text, line);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: `1.5` and trailing `1.` are floats; `1..2`
+        // (range) and `1.max(…)` (method call) are not.
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    float = true;
+                    text.push('.');
+                    self.bump();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Some('.') => {}
+                Some(c) if is_ident_start(c) => {}
+                _ => {
+                    float = true;
+                    text.push('.');
+                    self.bump();
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let (sign, first_digit) = match self.peek(1) {
+                Some('+') | Some('-') => (1usize, self.peek(2)),
+                other => (0usize, other),
+            };
+            if matches!(first_digit, Some(d) if d.is_ascii_digit()) {
+                float = true;
+                for _ in 0..(1 + sign) {
+                    text.push(self.bump().expect("exponent chars present"));
+                }
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, …).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        text.push_str(&suffix);
+        self.push(
+            if float { TokKind::Float } else { TokKind::Int },
+            text,
+            line,
+        );
+    }
+
+    /// Identifier, possibly a raw/byte-string prefix (`r"`, `r#"`, `b"`,
+    /// `br#"`, `b'`).
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match (name.as_str(), self.peek(0)) {
+            ("r" | "br" | "b", Some('"')) => self.raw_or_plain_string(&name, line),
+            ("r" | "br", Some('#')) if self.raw_hashes_then_quote() => self.raw_string(line),
+            ("r", Some('#')) => {
+                // Raw identifier (`r#unsafe`): one Ident token for the raw
+                // name, so keyword rules cannot misfire on it.
+                self.bump();
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Ident, format!("r#{name}"), line);
+            }
+            ("b", Some('\'')) => {
+                self.quote(line);
+                // Reclassify: `quote` pushed a Char/Lifetime; byte chars are
+                // chars either way, lifetimes cannot follow `b`.
+                if let Some(last) = self.tokens.last_mut() {
+                    last.kind = TokKind::Char;
+                }
+            }
+            _ => self.push(TokKind::Ident, name, line),
+        }
+    }
+
+    /// Whether the chars at the cursor are `#…#"` (a raw-string guard).
+    fn raw_hashes_then_quote(&self) -> bool {
+        let mut i = 0usize;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        i > 0 && self.peek(i) == Some('"')
+    }
+
+    fn raw_or_plain_string(&mut self, prefix: &str, line: u32) {
+        if prefix.starts_with('r') || prefix == "br" {
+            self.raw_string(line);
+        } else {
+            // b"…" byte strings escape like ordinary strings.
+            self.string_literal(line);
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+// ---------------------------------------------------------------------------
+// Region marking: attributes, cfg(test), per-line code presence.
+// ---------------------------------------------------------------------------
+
+/// Whether the attribute tokens in `attr` (exclusive of `#`/brackets) gate a
+/// test region. `test` must appear as an identifier and `not` must be absent
+/// (so `#[cfg(not(test))]` errs toward "not test" — stricter linting).
+fn attr_is_test(attr: &[Tok]) -> bool {
+    let has_test = attr
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "test");
+    let has_not = attr
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "not");
+    has_test && !has_not
+}
+
+fn mark_regions(scan: &mut Scan) {
+    let toks = &scan.tokens;
+    let mark = |flags: &mut Vec<bool>, from: u32, to: u32| {
+        for l in from..=to {
+            if let Some(slot) = flags.get_mut(l.saturating_sub(1) as usize) {
+                *slot = true;
+            }
+        }
+    };
+
+    for t in toks {
+        if let Some(slot) = scan.code_lines.get_mut(t.line.saturating_sub(1) as usize) {
+            *slot = true;
+        }
+    }
+
+    // Pass 1: find attributes; record their spans and test gating.
+    let mut attr_token = vec![false; toks.len()];
+    let mut test_attr_ends: Vec<usize> = Vec::new(); // token index just past `]`
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct && toks[i].text == "#" {
+            let mut j = i + 1;
+            let inner = j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "!";
+            if inner {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "[" {
+                // Find the matching `]`.
+                let mut depth = 0usize;
+                let mut k = j;
+                while k < toks.len() {
+                    if toks[k].kind == TokKind::Punct {
+                        match toks[k].text.as_str() {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                let end = k.min(toks.len().saturating_sub(1));
+                for slot in attr_token.iter_mut().take(end + 1).skip(i) {
+                    *slot = true;
+                }
+                if attr_is_test(&toks[j + 1..end.max(j + 1)]) {
+                    if inner {
+                        // `#![cfg(test)]`: the whole file is a test region.
+                        let last = scan.line_count;
+                        mark(&mut scan.test_lines, 1, last);
+                    } else {
+                        test_attr_ends.push(end + 1);
+                    }
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: attr-only lines = lines with code where every token is
+    // attribute-owned.
+    let mut line_has_nonattr = vec![false; scan.line_count as usize];
+    for (idx, t) in toks.iter().enumerate() {
+        if !attr_token[idx] {
+            if let Some(slot) = line_has_nonattr.get_mut(t.line.saturating_sub(1) as usize) {
+                *slot = true;
+            }
+        }
+    }
+    for (l, attr_only) in scan.attr_only_lines.iter_mut().enumerate() {
+        *attr_only = scan.code_lines[l] && !line_has_nonattr[l];
+    }
+
+    // Pass 3: extend each test attribute over the item that follows it
+    // (skipping further attributes), up to the item's closing `}` or `;`.
+    for &start in &test_attr_ends {
+        let mut j = start;
+        // Skip trailing attributes between `#[cfg(test)]` and the item.
+        while j < toks.len() && attr_token[j] {
+            j += 1;
+        }
+        if j >= toks.len() {
+            continue;
+        }
+        let first_line = toks[j].line;
+        let mut depth = 0usize;
+        let mut end_line = first_line;
+        let mut k = j;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            end_line = t.line;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        end_line = t.line;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            end_line = t.line;
+            k += 1;
+        }
+        mark(&mut scan.test_lines, first_line, end_line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r##"let x = "unsafe { HashMap }"; let y = r#"panic!("no")"#;"##;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_close_only_on_matching_hashes() {
+        let src = "let s = r##\"inner \"# quote unsafe\"##; unsafe_marker();";
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "s", "unsafe_marker"]);
+        let strs: Vec<String> = scan(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, ["inner \"# quote unsafe"]);
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_leak_code() {
+        let src = "/* outer /* inner unsafe */ still comment HashMap */ fn ok() {}";
+        assert_eq!(idents(src), ["fn", "ok"]);
+        let s = scan(src);
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("inner unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+        let s = scan(src);
+        let lifetimes: Vec<&Tok> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<&Tok> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "a");
+    }
+
+    #[test]
+    fn escaped_char_literals_close_correctly() {
+        let src = r"let q = '\''; let u = '\u{41}'; let n = '\n'; after();";
+        assert_eq!(idents(src), ["let", "q", "let", "u", "let", "n", "after"]);
+    }
+
+    #[test]
+    fn float_classification() {
+        let kinds = |src: &str| -> Vec<TokKind> {
+            scan(src)
+                .tokens
+                .iter()
+                .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+                .map(|t| t.kind)
+                .collect()
+        };
+        assert_eq!(kinds("1.5"), [TokKind::Float]);
+        assert_eq!(kinds("1e9"), [TokKind::Float]);
+        assert_eq!(kinds("2.5e-3"), [TokKind::Float]);
+        assert_eq!(kinds("3f64"), [TokKind::Float]);
+        assert_eq!(kinds("3_f32"), [TokKind::Float]);
+        assert_eq!(kinds("1."), [TokKind::Float]);
+        assert_eq!(kinds("42"), [TokKind::Int]);
+        assert_eq!(kinds("42u64"), [TokKind::Int]);
+        assert_eq!(kinds("0xff"), [TokKind::Int]);
+        assert_eq!(kinds("0b1010"), [TokKind::Int]);
+        // Ranges and method calls on int literals are not floats.
+        assert_eq!(kinds("1..2"), [TokKind::Int, TokKind::Int]);
+        assert_eq!(kinds("1.max(2)"), [TokKind::Int, TokKind::Int]);
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_module() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn also_live() {}\n";
+        let s = scan(src);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(3));
+        assert!(s.is_test_line(4));
+        assert!(s.is_test_line(5));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        let s = scan(src);
+        assert!(!s.is_test_line(2));
+    }
+
+    #[test]
+    fn test_attribute_with_more_attributes_between() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    fn f() {}\n}\n";
+        let s = scan(src);
+        assert!(s.is_test_line(3));
+        assert!(s.is_test_line(4));
+    }
+
+    #[test]
+    fn attr_only_lines_are_marked() {
+        let src = "#[target_feature(enable = \"avx2\")]\nunsafe fn f() {}\n";
+        let s = scan(src);
+        assert!(s.is_attr_only_line(1));
+        assert!(!s.is_attr_only_line(2));
+    }
+
+    #[test]
+    fn comment_text_and_doc_flags() {
+        let src = "/// # Safety\n/// must be called with care\nunsafe fn f() {}\n// SAFETY: checked above\nlet x = 1;\n";
+        let s = scan(src);
+        assert!(s.comments[0].doc);
+        assert!(s.comments[0].text.contains("# Safety"));
+        assert!(!s.comments[2].doc);
+        assert!(s.comment_text_on(4).contains("SAFETY:"));
+    }
+
+    #[test]
+    fn inner_cfg_test_marks_whole_file() {
+        let src = "#![cfg(test)]\nfn helper() { x.unwrap(); }\n";
+        let s = scan(src);
+        assert!(s.is_test_line(1));
+        assert!(s.is_test_line(2));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"unsafe bytes\"; let c = b'x'; done();";
+        assert_eq!(idents(src), ["let", "a", "let", "c", "done"]);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"unterminated", "r#\"open", "/* open", "'", "1.", "b\""] {
+            let _ = scan(src);
+        }
+    }
+}

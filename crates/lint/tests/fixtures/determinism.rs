@@ -1,0 +1,32 @@
+// Fixture: every nondeterminism source the determinism rule must catch when
+// this file is presented under a sim-facing path (e.g. crates/sim/src/…).
+// NOT compiled — fed to the engine as text by tests/rules_fire.rs.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use std::time::SystemTime;
+
+fn wall_clock_now() -> Instant {
+    Instant::now()
+}
+
+fn epoch() -> SystemTime {
+    SystemTime::now()
+}
+
+fn unordered_counts(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut m = HashMap::new();
+    let mut seen = HashSet::new();
+    for &k in keys {
+        if seen.insert(k) {
+            *m.entry(k).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+fn os_entropy() -> u64 {
+    let rng = rand::thread_rng();
+    rand::random()
+}

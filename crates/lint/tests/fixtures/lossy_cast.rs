@@ -1,0 +1,24 @@
+// Fixture: silent float→int truncation casts, plus sanctioned shapes that
+// must NOT be flagged. NOT compiled — fed to the engine as text by
+// tests/rules_fire.rs.
+
+fn truncating_accounting(bytes: u64, ratio: f64) -> u64 {
+    (bytes as f64 * ratio) as u64
+}
+
+fn method_chain(x: f64) -> usize {
+    x.sqrt() as usize
+}
+
+fn chained_cast(b: u64) -> u32 {
+    b as f64 as u32
+}
+
+fn scale_bytes(bytes: u64, ratio: f64) -> u64 {
+    // Allowlisted function name: explicitly rounded, never flagged.
+    (bytes as f64 * ratio).round() as u64
+}
+
+fn int_only(a: u64, b: u64) -> u32 {
+    (a + b) as u32
+}

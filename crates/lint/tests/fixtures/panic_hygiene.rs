@@ -1,0 +1,30 @@
+// Fixture: panics in library code, plus test-region code that is exempt.
+// NOT compiled — fed to the engine as text by tests/rules_fire.rs.
+
+fn unwraps(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn expects(x: Option<u8>) -> u8 {
+    x.expect("fixture invariant")
+}
+
+fn panics(flag: bool) {
+    if flag {
+        panic!("fixture bail-out");
+    }
+}
+
+fn not_flagged(x: Option<u8>) -> u8 {
+    // unwrap_or / unwrap_or_else are total, not panicking.
+    x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

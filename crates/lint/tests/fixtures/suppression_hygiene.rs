@@ -1,0 +1,19 @@
+// Fixture: every way a suppression marker can go wrong, plus one good one.
+// NOT compiled — fed to the engine as text by tests/rules_fire.rs.
+
+// drc-lint: allow(determinism): keyed by small dense ids, iteration order
+// never reaches any serialized output or headline metric.
+use std::collections::HashMap;
+
+// drc-lint: allow(determinism)
+use std::collections::HashSet;
+
+// drc-lint: allow(no-such-rule): this rule id does not exist at all.
+fn unknown_rule_target() {}
+
+// drc-lint: allow(determinism): nothing on the next line violates it, so
+// this marker is stale and must be flagged.
+fn stale_target() {}
+
+// drc-lint: allow(
+fn malformed_marker_target() {}

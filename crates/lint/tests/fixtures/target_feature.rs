@@ -1,0 +1,15 @@
+// Fixture: a #[target_feature] definition outside the dispatch module and a
+// call to a dispatch-module kernel from the wrong file.
+// NOT compiled — fed to the engine as text by tests/rules_fire.rs.
+
+#[target_feature(enable = "avx2")]
+unsafe fn rogue_kernel_impl(dst: &mut [u8]) {
+    // SAFETY: fixture body.
+    unsafe { core::hint::unreachable_unchecked() }
+}
+
+fn caller(dst: &mut [u8]) {
+    // A mention without call parens must NOT be flagged:
+    let name = "rogue_kernel_impl";
+    let _ = name;
+}

@@ -1,0 +1,30 @@
+// Fixture: unsafe without SAFETY comments, plus decoys that must NOT count.
+// NOT compiled — fed to the engine as text by tests/rules_fire.rs.
+
+unsafe fn no_safety_doc(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+fn bare_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+fn commented_block(p: *const u8) -> u8 {
+    // SAFETY: commented block — must NOT be a violation (still inventoried).
+    unsafe { *p }
+}
+
+/// # Safety
+///
+/// Caller must pass a valid pointer — doc section satisfies the fn rule.
+unsafe fn doc_safety(p: *const u8) -> u8 {
+    // SAFETY: contract forwarded from this fn's own `# Safety` section.
+    unsafe { *p }
+}
+
+fn decoys() {
+    let in_string = "unsafe { not code }";
+    let raw = r#"unsafe fn also_not_code() {}"#;
+    // unsafe mentioned in a comment is not code either.
+    let _ = (in_string, raw);
+}

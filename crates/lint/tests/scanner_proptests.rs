@@ -1,0 +1,106 @@
+//! Property-based tests for the token scanner: it must never panic, must be
+//! deterministic, and must keep its line bookkeeping consistent on arbitrary
+//! input — including source that is not valid Rust at all. A lexer that
+//! panics on a weird byte sequence would take the whole CI gate down with it.
+
+use drc_lint::scan::{scan, TokKind};
+use proptest::prelude::*;
+
+/// Snippet alphabet biased toward the scanner's hard cases: quote and hash
+/// interplay, comment openers/closers, escapes, lifetimes.
+fn snippet() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("\"".to_string()),
+        Just("'".to_string()),
+        Just("r#\"".to_string()),
+        Just("\"#".to_string()),
+        Just("r##".to_string()),
+        Just("//".to_string()),
+        Just("/*".to_string()),
+        Just("*/".to_string()),
+        Just("\\".to_string()),
+        Just("\n".to_string()),
+        Just("b'".to_string()),
+        Just("'a ".to_string()),
+        Just("'x'".to_string()),
+        Just("unsafe".to_string()),
+        Just("fn f".to_string()),
+        Just("1.5e3".to_string()),
+        Just("1..2".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("#[cfg(test)]".to_string()),
+        Just("é✓".to_string()),
+    ]
+}
+
+fn source() -> impl Strategy<Value = String> {
+    prop::collection::vec(snippet(), 0..40).prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #[test]
+    fn scan_never_panics_and_is_deterministic(src in source()) {
+        let a = scan(&src);
+        let b = scan(&src);
+        prop_assert_eq!(a.tokens.len(), b.tokens.len());
+        for (x, y) in a.tokens.iter().zip(&b.tokens) {
+            prop_assert_eq!(x.kind, y.kind);
+            prop_assert_eq!(&x.text, &y.text);
+            prop_assert_eq!(x.line, y.line);
+        }
+        prop_assert_eq!(a.comments.len(), b.comments.len());
+    }
+
+    #[test]
+    fn line_numbers_stay_in_range_and_monotonic(src in source()) {
+        let s = scan(&src);
+        let mut last = 0u32;
+        for t in &s.tokens {
+            prop_assert!(t.line >= 1);
+            prop_assert!(t.line <= s.line_count.max(1));
+            prop_assert!(t.line >= last, "token lines went backwards");
+            last = t.line;
+        }
+        for c in &s.comments {
+            prop_assert!(c.line >= 1 && c.end_line >= c.line);
+            prop_assert!(c.end_line <= s.line_count.max(1));
+        }
+    }
+
+    #[test]
+    fn token_text_is_nonempty_and_within_source(src in source()) {
+        let s = scan(&src);
+        for t in &s.tokens {
+            // Idents, numbers and puncts carry their literal source text;
+            // string/char/lifetime tokens may be empty or normalised (an
+            // empty `""` literal has an empty interior), so skip those.
+            if matches!(
+                t.kind,
+                TokKind::Ident | TokKind::Int | TokKind::Float | TokKind::Punct
+            ) {
+                prop_assert!(!t.text.is_empty());
+                prop_assert!(src.contains(&*t.text), "token {:?} not in source", t.text);
+            }
+        }
+    }
+
+    #[test]
+    fn keywords_inside_strings_never_tokenize(
+        payload in prop::collection::vec(prop_oneof![Just(' '), Just('a'), Just('z')], 0..20)
+            .prop_map(|cs| cs.into_iter().collect::<String>())
+    ) {
+        // Whatever we embed in a string literal must come back as a single
+        // Str token, never as idents — the decoy-resistance the unsafe and
+        // panic rules rely on.
+        let src = format!("let s = \"unsafe {payload}\";");
+        let s = scan(&src);
+        let unsafe_idents = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text == "unsafe")
+            .count();
+        prop_assert_eq!(unsafe_idents, 0);
+        prop_assert!(s.tokens.iter().any(|t| t.kind == TokKind::Str));
+    }
+}

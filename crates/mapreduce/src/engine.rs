@@ -625,7 +625,9 @@ pub fn run_job_traced(
             let slot = slot_times
                 .iter()
                 .min_by_key(|s| s.next_free())
-                .expect("at least one slot per node");
+                .ok_or_else(|| MapReduceError::InvalidConfig {
+                    reason: "map_slots_per_node must be at least 1".to_string(),
+                })?;
             let res = slot.reserve_for(wave_start, SimDuration::from_secs_f64(run_s));
 
             // A fail-stop inside the attempt's window kills it mid-run: the
@@ -731,9 +733,15 @@ pub fn run_job_traced(
         // reducer fetches one share per *source node* (its own node's share
         // is local and never touches the network). Per-fetch sizes only
         // shape event durations — the byte totals above stay exact.
+        // drc-lint: allow(lossy-float-cast): explicitly rounded; operands are
+        // finite by construction (reducers > 0 and n_up > 0 guarded above) and
+        // the headline byte totals route through `scale_bytes` — these only
+        // size per-fetch events.
         let per_source_bytes = (per_reducer_bytes / n_up as f64).round() as u64;
         let overhead = SimDuration::from_secs_f64(job.task_overhead_s());
         let merge_cpu = SimDuration::from_secs_f64(per_reducer_mb * job.reduce_cpu_s_per_mb());
+        // drc-lint: allow(lossy-float-cast): explicitly rounded, reducers > 0
+        // guarded above; sizes the reduce-output write event only.
         let write_bytes = per_reducer_bytes.round() as u64;
         let wave_size = (up.len() * slots_per_node).max(1);
         let mut fetch_span: Option<(SimTime, SimTime)> = None;
@@ -744,7 +752,9 @@ pub fn run_job_traced(
             let slot = reduce_slots[&dest]
                 .iter()
                 .min_by_key(|s| s.next_free())
-                .expect("at least one reduce slot per node");
+                .ok_or_else(|| MapReduceError::InvalidConfig {
+                    reason: "reduce_slots_per_node must be at least 1".to_string(),
+                })?;
             let task_start = map_phase_end.max(slot.next_free());
             let fetch_start = task_start + overhead;
             let mut fetch_done = fetch_start;

@@ -93,6 +93,8 @@ impl TaskScheduler for DelayScheduler {
                     Some(task) => {
                         pending[task.0] = false;
                         pending_count -= 1;
+                        // drc-lint: allow(panic-hygiene): `node` was drawn from the capacities
+                        // map entries with spare slots just above.
                         *capacities.get_mut(&node).expect("node exists") -= 1;
                         out.push(TaskAssignment {
                             task,
@@ -110,10 +112,14 @@ impl TaskScheduler for DelayScheduler {
                                 pending
                                     .iter()
                                     .position(|p| *p)
+                                    // drc-lint: allow(panic-hygiene): the enclosing branch runs only while
+                                    // pending_count > 0, so a pending entry exists.
                                     .expect("pending_count > 0 implies a pending task"),
                             );
                             pending[task.0] = false;
                             pending_count -= 1;
+                            // drc-lint: allow(panic-hygiene): `node` was drawn from the capacities
+                            // map entries with spare slots just above.
                             *capacities.get_mut(&node).expect("node exists") -= 1;
                             let local = graph.task(task).local_nodes.contains(&node);
                             out.push(TaskAssignment { task, node, local });

@@ -88,6 +88,8 @@ impl TaskScheduler for MaxMatchingScheduler {
             match slot {
                 Some(s) => {
                     let node = slot_owner[*s];
+                    // drc-lint: allow(panic-hygiene): `slot_owner` maps matched slots back
+                    // to the capacities entries they were built from.
                     *capacities.get_mut(&node).expect("node exists") -= 1;
                     out.push(TaskAssignment {
                         task,

@@ -83,6 +83,8 @@ impl TaskScheduler for PeelingScheduler {
             let Some((_, task_idx)) = best else {
                 break;
             };
+            // drc-lint: allow(panic-hygiene): `best` only ranks indices whose
+            // candidate list is still `Some` in the scan above.
             let candidates = remaining[task_idx].take().expect("candidate list exists");
             // Degree-guided choice: the candidate node with the fewest other
             // pending local tasks per unit of remaining capacity.
@@ -112,6 +114,8 @@ impl TaskScheduler for PeelingScheduler {
                     *d = d.saturating_sub(1);
                 }
             }
+            // drc-lint: allow(panic-hygiene): `node` came from `candidates`, which
+            // is filtered against capacities entries with spare slots.
             let cap = capacities.get_mut(&node).expect("node exists");
             *cap -= 1;
             if *cap == 0 {

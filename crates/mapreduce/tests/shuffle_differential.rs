@@ -21,8 +21,11 @@ use rand_chacha::ChaCha8Rng;
 /// nearest byte (the engine's documented semantics).
 fn closed_form_shuffle(tasks: u64, block_bytes: u64, ratio: f64, up_nodes: usize) -> u64 {
     let input = tasks * block_bytes;
+    // drc-lint: allow(lossy-float-cast): the oracle mirrors the engine's
+    // documented round-to-nearest byte accounting, term for term.
     let map_output = (input as f64 * ratio).round() as u64;
     let fraction = 1.0 - 1.0 / up_nodes.max(1) as f64;
+    // drc-lint: allow(lossy-float-cast): same documented rounding as above.
     (map_output as f64 * fraction).round() as u64
 }
 

@@ -99,6 +99,8 @@ fn simulate_one_group<R: Rng + ?Sized>(
             let victim = (0..n)
                 .filter(|node| !down.contains(node))
                 .nth(victim_rank)
+                // drc-lint: allow(panic-hygiene): victim_rank < up_count and the filter
+                // yields exactly up_count nodes, both computed in this block.
                 .expect("victim rank within up nodes");
             down.insert(victim);
             if !code.can_recover(&down) {
@@ -107,6 +109,8 @@ fn simulate_one_group<R: Rng + ?Sized>(
         } else {
             // One down node finishes repair (uniformly random choice).
             let fixed_rank = rng.gen_range(0..down.len());
+            // drc-lint: allow(panic-hygiene): fixed_rank < down.len() by the
+            // gen_range bound on the previous line.
             let fixed = *down.iter().nth(fixed_rank).expect("non-empty down set");
             down.remove(&fixed);
         }

@@ -44,6 +44,8 @@ pub fn solve_linear(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, ReliabilityEr
                     .partial_cmp(&m[j][col].abs())
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
+            // drc-lint: allow(panic-hygiene): max_by over `i..n` with i < n (loop
+            // bound), so the range is never empty.
             .expect("non-empty range");
         if m[pivot][col].abs() < 1e-300 {
             return Err(ReliabilityError::SingularSystem);

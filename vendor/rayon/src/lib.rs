@@ -67,6 +67,7 @@
 //!   by contrast, use the pool like any other caller.
 
 #![allow(clippy::all)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::any::Any;
 use std::cell::Cell;
