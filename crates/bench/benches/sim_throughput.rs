@@ -23,7 +23,10 @@
 //! map-reference baseline) measured with a counting global allocator —
 //! resident bytes the index build actually held onto, per distinct block —
 //! plus the lookup and repair-scan rates, all gated or tracked by
-//! `check_speedup`.
+//! `check_speedup`. It also times the full quick-effort repro through the
+//! cell harness at 1 job versus the default width (`repro_wall_s`,
+//! `repro_serial_wall_s`, `repro_cell_speedup`), asserting the results are
+//! identical at both widths for every experiment without wall-clock fields.
 //!
 //! Run with a `repro` argument (`cargo bench -p drc_bench --bench
 //! sim_throughput -- repro`) to emit `BENCH_sim.json`: provenance (git SHA,
@@ -485,6 +488,37 @@ fn repro() {
     assert_eq!(meta_nodes, placement.node_universe());
     drop(placement);
 
+    // Cell-harness fan-out headlines: wall time of the full quick-effort
+    // repro (all 12 experiments through the same code path the repro binary
+    // uses) at 1 harness job versus the default width. The merge order is
+    // fixed, so the only thing the width changes is the wall clock —
+    // asserted here for every experiment that carries no wall-clock fields
+    // of its own (`encoding` and `metadata_scale` measure real elapsed time
+    // inside their rows and are compared by the width-differential test
+    // structurally instead).
+    use drc_core::experiments::harness;
+    let repro_jobs = harness::current_jobs();
+    let started = std::time::Instant::now();
+    let serial_results =
+        harness::with_jobs(1, drc_bench::quick_repro_results).expect("quick repro runs serially");
+    let repro_serial_wall_s = started.elapsed().as_secs_f64().max(1e-9);
+    let started = std::time::Instant::now();
+    let wide_results = drc_bench::quick_repro_results().expect("quick repro runs at full width");
+    let repro_wall_s = started.elapsed().as_secs_f64().max(1e-9);
+    let wallclock_experiments = ["encoding", "metadata_scale"];
+    for ((serial_name, serial_value), (wide_name, wide_value)) in
+        serial_results.iter().zip(&wide_results)
+    {
+        assert_eq!(serial_name, wide_name, "experiment order must not vary");
+        if !wallclock_experiments.contains(serial_name) {
+            assert_eq!(
+                serial_value, wide_value,
+                "{serial_name}: results must be identical at widths 1 and {repro_jobs}"
+            );
+        }
+    }
+    let repro_cell_speedup = repro_serial_wall_s / repro_wall_s;
+
     let points = thread_points();
     let multi = *points.last().expect("at least one thread point");
     let mut groups: Vec<(String, serde_json::Value)> = Vec::new();
@@ -609,6 +643,22 @@ fn repro() {
         (
             "meta_repair_scan_blocks_per_s".to_string(),
             serde_json::Value::Float(meta_scan_per_s),
+        ),
+        (
+            "repro_jobs".to_string(),
+            serde_json::Value::UInt(repro_jobs as u64),
+        ),
+        (
+            "repro_wall_s".to_string(),
+            serde_json::Value::Float(repro_wall_s),
+        ),
+        (
+            "repro_serial_wall_s".to_string(),
+            serde_json::Value::Float(repro_serial_wall_s),
+        ),
+        (
+            "repro_cell_speedup".to_string(),
+            serde_json::Value::Float(repro_cell_speedup),
         ),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serializable");

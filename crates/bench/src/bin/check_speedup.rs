@@ -33,7 +33,10 @@
 //! headline (`meta_bytes_per_block`, a deterministic layout property) is
 //! likewise enforced unconditionally against
 //! [`META_MAX_BYTES_PER_BLOCK`]; the metadata query *rates* are wall-clock
-//! and only advisory.
+//! and only advisory. The quick-repro wall time (`repro_wall_s`) must be
+//! present and positive on any host, and the cell-harness
+//! `repro_cell_speedup` (quick repro at 1 harness job vs the default width)
+//! follows the same three hardware tiers as the stripe-encode gate.
 //!
 //! Exit status: 0 on pass, advisory or skip; 1 on a missing/malformed JSON,
 //! a broken virtual-time headline, or an enforced speedup below the floor.
@@ -211,12 +214,6 @@ fn main() {
             None => println!("WARN: `{name}` missing from {SIM_BENCH_JSON_PATH}"),
         }
     }
-    if failed {
-        // Fatal regardless of what the hardware-dependent gate below would
-        // decide: the SKIP/advisory escape hatches are for wall-clock
-        // scaling, not for broken virtual-time accounting.
-        std::process::exit(1);
-    }
     // The CPUs of the host the *snapshot was measured on* — the gate may run
     // elsewhere than the bench, so its own CPU count proves nothing. Older
     // snapshots without the stamp fall back to this host (CI runs bench and
@@ -233,6 +230,78 @@ fn main() {
             );
             local
         });
+    // The quick-repro wall time must exist and be positive on any host —
+    // it is the denominator of the cell-speedup trajectory CI tracks.
+    match json_lookup(&doc, "repro_wall_s").and_then(json_f64) {
+        Some(v) if v > 0.0 => {
+            println!("OK:   repro_wall_s = {v:.1}s (quick repro through the cell harness)");
+        }
+        Some(v) => {
+            eprintln!("FAIL: repro_wall_s = {v} — expected a positive wall time");
+            failed = true;
+        }
+        None => {
+            eprintln!(
+                "FAIL: `repro_wall_s` missing from {SIM_BENCH_JSON_PATH} \
+                 (stale snapshot? re-run `cargo bench -p drc_bench --bench \
+                 sim_throughput -- repro`)"
+            );
+            failed = true;
+        }
+    }
+    // The cell-harness speedup follows the same hardware tiers as the
+    // stripe-encode gate below: SKIP on single-job or oversubscribed
+    // snapshots, advisory below HARD_GATE_MIN_CPUS, enforced at or above.
+    let repro_jobs = json_lookup(&doc, "repro_jobs")
+        .and_then(json_f64)
+        .unwrap_or(0.0);
+    match json_lookup(&doc, "repro_cell_speedup").and_then(json_f64) {
+        None => {
+            eprintln!("FAIL: `repro_cell_speedup` missing from {SIM_BENCH_JSON_PATH}");
+            failed = true;
+        }
+        Some(s) if repro_jobs < 2.0 => {
+            println!(
+                "SKIP: repro_cell_speedup = {s:.2}x was measured with \
+                 repro_jobs={repro_jobs}; a single-job run cannot show a \
+                 speedup — re-run the snapshot with a multi-thread pool."
+            );
+        }
+        Some(s) if (bench_cpus as f64) < repro_jobs => {
+            println!(
+                "SKIP: repro_cell_speedup = {s:.2}x with {repro_jobs} jobs on a \
+                 {bench_cpus}-CPU host — an oversubscribed run time-slices \
+                 cores and cannot show a speedup."
+            );
+        }
+        Some(s) if s >= MIN_SPEEDUP => {
+            println!(
+                "OK:   repro_cell_speedup = {s:.2}x at {repro_jobs} jobs \
+                 (floor {MIN_SPEEDUP}x, bench host {bench_cpus} CPUs)"
+            );
+        }
+        Some(s) if bench_cpus < HARD_GATE_MIN_CPUS => {
+            println!(
+                "WARN: repro_cell_speedup = {s:.2}x at {repro_jobs} jobs is \
+                 below the {MIN_SPEEDUP}x floor (advisory on a {bench_cpus}-CPU \
+                 bench host)"
+            );
+        }
+        Some(s) => {
+            eprintln!(
+                "FAIL: repro_cell_speedup = {s:.2}x at {repro_jobs} jobs is \
+                 below the {MIN_SPEEDUP}x floor on a {bench_cpus}-CPU bench host"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        // Fatal regardless of what the hardware-dependent gate below would
+        // decide: the SKIP/advisory escape hatches are for wall-clock
+        // scaling, not for broken virtual-time accounting or a missing
+        // repro headline.
+        std::process::exit(1);
+    }
     let threads = match json_lookup(&doc, "multi_threads").and_then(json_f64) {
         Some(t) => t,
         None => {

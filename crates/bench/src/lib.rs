@@ -17,14 +17,26 @@
 
 use drc_core::experiments::Effort;
 use drc_core::gf::kernel;
+use drc_core::DrcError;
 
 /// Parses an effort level from a command-line string.
 ///
-/// Accepts `quick` (default) and `full`.
-pub fn parse_effort(arg: Option<&str>) -> Effort {
+/// Accepts `quick` (the default when no value is given) and `full`; any
+/// other value is an error naming the valid set — the same contract the
+/// `DRC_GF_KERNEL` selector follows, so a typo'd `--effort ful` fails loudly
+/// instead of silently running the quick profile.
+///
+/// # Errors
+///
+/// Returns a message naming the valid values when `arg` is neither `quick`
+/// nor `full`.
+pub fn parse_effort(arg: Option<&str>) -> Result<Effort, String> {
     match arg {
-        Some("full") => Effort::Full,
-        _ => Effort::Quick,
+        None | Some("quick") => Ok(Effort::Quick),
+        Some("full") => Ok(Effort::Full),
+        Some(other) => Err(format!(
+            "unknown effort '{other}'; valid values are 'quick' and 'full'"
+        )),
     }
 }
 
@@ -59,6 +71,63 @@ pub const FAILURE_TRACE_QUICK: (usize, usize) = (1024 * 1024, 60);
 /// configuration as the CI repro artifact.
 pub const REPAIR_PIPELINE_QUICK: (usize, usize, &[u64]) =
     (4 * 1024 * 1024, 2, &[1 << 20, 256 * 1024]);
+
+/// Runs every experiment once at quick effort — the exact configurations
+/// the `repro` binary's quick arm uses — and returns `(name, result)` pairs
+/// in presentation order, each result serialised to JSON.
+///
+/// One definition serves three consumers: the width-differential test (the
+/// emitted JSON must be identical at every `DRC_REPRO_JOBS` width), the
+/// `sim_throughput` bench's `repro_wall_s` / `repro_cell_speedup` headlines
+/// (which time this function at 1 and N harness jobs), and — structurally —
+/// the `repro` binary itself, whose quick arms must stay in sync with the
+/// configurations here.
+///
+/// # Errors
+///
+/// Propagates the first experiment error in presentation order.
+pub fn quick_repro_results() -> Result<Vec<(&'static str, serde_json::Value)>, DrcError> {
+    use drc_core::experiments::{
+        degraded_mr::run_degraded_mr, encoding::run_encoding, failure_trace::run_failure_trace,
+        fig3::run_fig3, fig4::run_fig4, fig5::run_fig5, metadata_scale::run_metadata_scale,
+        overlap::run_overlap, repair_bandwidth::run_repair_bandwidth,
+        repair_pipeline::run_repair_pipeline, shuffle_contention::run_shuffle_contention,
+        table1::run_table1,
+    };
+    use drc_core::reliability::ReliabilityParams;
+
+    let effort = Effort::Quick;
+    let (ft_block, ft_tasks) = FAILURE_TRACE_QUICK;
+    let (rp_block, rp_stripes, rp_chunks) = REPAIR_PIPELINE_QUICK;
+    macro_rules! json {
+        ($result:expr) => {
+            serde_json::to_value(&$result?).expect("experiment results are serializable")
+        };
+    }
+    Ok(vec![
+        ("table1", json!(run_table1(&ReliabilityParams::default()))),
+        ("repair_bw", json!(run_repair_bandwidth())),
+        ("fig3", json!(run_fig3(effort))),
+        ("fig4", json!(run_fig4(effort))),
+        ("fig5", json!(run_fig5(effort))),
+        ("encoding", json!(run_encoding(1024 * 1024, 8))),
+        ("degraded_mr", json!(run_degraded_mr(effort))),
+        ("overlap", json!(run_overlap(1024 * 1024, 2))),
+        (
+            "shuffle_contention",
+            json!(run_shuffle_contention(1024 * 1024, 100)),
+        ),
+        (
+            "failure_trace",
+            json!(run_failure_trace(ft_block, ft_tasks)),
+        ),
+        ("metadata_scale", json!(run_metadata_scale(effort))),
+        (
+            "repair_pipeline",
+            json!(run_repair_pipeline(rp_block, rp_stripes, rp_chunks)),
+        ),
+    ])
+}
 
 /// Workspace-root path of `BENCH_gf.json` (written by the `gf_throughput`
 /// bench in `repro` mode), independent of the cwd cargo gives bench/bin
@@ -140,10 +209,14 @@ mod tests {
 
     #[test]
     fn effort_parsing() {
-        assert_eq!(parse_effort(None), Effort::Quick);
-        assert_eq!(parse_effort(Some("quick")), Effort::Quick);
-        assert_eq!(parse_effort(Some("full")), Effort::Full);
-        assert_eq!(parse_effort(Some("garbage")), Effort::Quick);
+        assert_eq!(parse_effort(None), Ok(Effort::Quick));
+        assert_eq!(parse_effort(Some("quick")), Ok(Effort::Quick));
+        assert_eq!(parse_effort(Some("full")), Ok(Effort::Full));
+        // Unknown values are a hard error that names the valid set — the
+        // same contract the DRC_GF_KERNEL selector follows.
+        let err = parse_effort(Some("garbage")).expect_err("garbage must not parse");
+        assert!(err.contains("garbage"), "{err}");
+        assert!(err.contains("quick") && err.contains("full"), "{err}");
     }
 
     #[test]

@@ -67,11 +67,26 @@ impl StripeEncoder {
         let parity_count = code.distinct_blocks() - code.data_blocks();
         let len = data.first().map(|b| b.as_ref().len()).unwrap_or(0);
         if self.parities.len() != parity_count || self.parities.iter().any(|b| b.len() != len) {
-            self.parities.clear();
-            self.parities.resize_with(parity_count, || vec![0u8; len]);
+            // Geometry changed: shelve the old scratch and draw fresh
+            // buffers from the block pool so back-to-back encoders (one per
+            // experiment cell) stop malloc/freeing block-sized vectors.
+            for old in self.parities.drain(..) {
+                drc_gf::bufpool::recycle(old);
+            }
+            for _ in 0..parity_count {
+                self.parities.push(drc_gf::bufpool::take(len));
+            }
         }
         crate::traits::encode_parities_into(code, data, &mut self.parities)?;
         Ok(&self.parities)
+    }
+}
+
+impl Drop for StripeEncoder {
+    fn drop(&mut self) {
+        for buf in self.parities.drain(..) {
+            drc_gf::bufpool::recycle(buf);
+        }
     }
 }
 

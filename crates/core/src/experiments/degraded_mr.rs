@@ -18,7 +18,7 @@ use drc_codes::CodeKind;
 use drc_mapreduce::{run_job, SchedulerKind};
 use drc_workloads::{provision_workload, WorkloadKind};
 
-use crate::experiments::{Effort, DEFAULT_SEED};
+use crate::experiments::{harness, Effort, DEFAULT_SEED};
 use crate::render::TextTable;
 use crate::DrcError;
 
@@ -70,69 +70,82 @@ impl DegradedMrReport {
 pub fn run_degraded_mr(effort: Effort) -> Result<DegradedMrReport, DrcError> {
     let load = 75.0;
     let trials = (effort.trials() / 3).max(5);
-    let scheduler = SchedulerKind::Delay.build();
-    let spec = ClusterSpec::setup1();
-    let mut points = Vec::new();
+    // One cell per (code, failed-node-count) point; trials stay serial
+    // inside the cell so the f64 means accumulate in a fixed order.
+    let mut specs: Vec<(CodeKind, usize)> = Vec::new();
     for code_kind in CodeKind::fig4_set() {
-        let code = code_kind.build()?;
         for failed_nodes in [0usize, 1, 2] {
-            let mut job_time = 0.0;
-            let mut locality = 0.0;
-            let mut degraded = 0.0;
-            let mut traffic = 0.0;
-            let mut failed_jobs = 0usize;
-            let mut completed = 0usize;
-            for trial in 0..trials {
-                let mut cluster = Cluster::new(spec.clone());
-                let mut rng = ChaCha8Rng::seed_from_u64(
-                    DEFAULT_SEED ^ ((trial as u64) << 8) ^ ((failed_nodes as u64) << 40),
-                );
-                let workload = provision_workload(
-                    WorkloadKind::Terasort,
-                    code_kind,
-                    &cluster,
-                    load,
-                    &mut rng,
-                )?;
-                // Failures strike after the data was written. The sampled
-                // count always equals the request here (`failed_nodes` is
-                // far below the cluster size, so the cap never truncates).
-                let (scenario, sampled) = FailureScenario::random(&cluster, failed_nodes, &mut rng);
-                debug_assert_eq!(sampled, failed_nodes);
-                scenario.apply(&mut cluster);
-                match run_job(
-                    &workload.job,
-                    code.as_ref(),
-                    &workload.placement,
-                    &cluster,
-                    scheduler.as_ref(),
-                    &mut rng,
-                ) {
-                    Ok(metrics) => {
-                        completed += 1;
-                        job_time += metrics.job_time_s;
-                        locality += metrics.data_locality_percent();
-                        degraded += metrics.degraded_reads as f64;
-                        traffic += metrics.network_traffic_gb();
-                    }
-                    Err(_) => failed_jobs += 1,
-                }
-            }
-            let n = completed.max(1) as f64;
-            points.push(DegradedPoint {
-                code: code_kind,
-                failed_nodes,
-                job_time_s: job_time / n,
-                data_locality_percent: locality / n,
-                degraded_reads: degraded / n,
-                network_traffic_gb: traffic / n,
-                failed_job_fraction: failed_jobs as f64 / trials as f64,
-            });
+            specs.push((code_kind, failed_nodes));
         }
     }
+    let cells = specs
+        .into_iter()
+        .map(|(code_kind, failed_nodes)| {
+            move || degraded_point(code_kind, failed_nodes, load, trials)
+        })
+        .collect();
     Ok(DegradedMrReport {
         load_percent: load,
-        points,
+        points: harness::run_cells(cells)?,
+    })
+}
+
+/// Measures one `(code, failed nodes)` point over `trials` private clusters.
+fn degraded_point(
+    code_kind: CodeKind,
+    failed_nodes: usize,
+    load: f64,
+    trials: usize,
+) -> Result<DegradedPoint, DrcError> {
+    let scheduler = SchedulerKind::Delay.build();
+    let spec = ClusterSpec::setup1();
+    let code = code_kind.build()?;
+    let mut job_time = 0.0;
+    let mut locality = 0.0;
+    let mut degraded = 0.0;
+    let mut traffic = 0.0;
+    let mut failed_jobs = 0usize;
+    let mut completed = 0usize;
+    for trial in 0..trials {
+        let mut cluster = Cluster::new(spec.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            DEFAULT_SEED ^ ((trial as u64) << 8) ^ ((failed_nodes as u64) << 40),
+        );
+        let workload =
+            provision_workload(WorkloadKind::Terasort, code_kind, &cluster, load, &mut rng)?;
+        // Failures strike after the data was written. The sampled
+        // count always equals the request here (`failed_nodes` is
+        // far below the cluster size, so the cap never truncates).
+        let (scenario, sampled) = FailureScenario::random(&cluster, failed_nodes, &mut rng);
+        debug_assert_eq!(sampled, failed_nodes);
+        scenario.apply(&mut cluster);
+        match run_job(
+            &workload.job,
+            code.as_ref(),
+            &workload.placement,
+            &cluster,
+            scheduler.as_ref(),
+            &mut rng,
+        ) {
+            Ok(metrics) => {
+                completed += 1;
+                job_time += metrics.job_time_s;
+                locality += metrics.data_locality_percent();
+                degraded += metrics.degraded_reads as f64;
+                traffic += metrics.network_traffic_gb();
+            }
+            Err(_) => failed_jobs += 1,
+        }
+    }
+    let n = completed.max(1) as f64;
+    Ok(DegradedPoint {
+        code: code_kind,
+        failed_nodes,
+        job_time_s: job_time / n,
+        data_locality_percent: locality / n,
+        degraded_reads: degraded / n,
+        network_traffic_gb: traffic / n,
+        failed_job_fraction: failed_jobs as f64 / trials as f64,
     })
 }
 

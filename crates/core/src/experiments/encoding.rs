@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use drc_codes::{CodeKind, StripeEncoder};
 
+use crate::experiments::harness;
 use crate::render::TextTable;
 use crate::DrcError;
 
@@ -55,37 +56,50 @@ pub struct EncodingReport {
 pub fn run_encoding(block_bytes: usize, stripes: usize) -> Result<EncodingReport, DrcError> {
     let mut kinds = vec![CodeKind::TWO_REP];
     kinds.extend(CodeKind::table1_set());
-    let mut rows = Vec::new();
-    for kind in kinds {
-        let code = kind.build()?;
-        let k = code.data_blocks();
-        let data: Vec<Vec<u8>> = (0..k)
-            .map(|i| (0..block_bytes).map(|j| (i * 31 + j * 7) as u8).collect())
-            .collect();
-        // Measure the production encode path: buffer-reusing, fused,
-        // zero-allocation parity computation (the write path of the
-        // simulated HDFS uses exactly this).
-        let mut encoder = StripeEncoder::new();
-        let start = Instant::now();
-        let mut parity_bytes = 0usize;
-        for _ in 0..stripes.max(1) {
-            let parities = encoder.encode(code.as_ref(), &data)?;
-            parity_bytes = parities.iter().map(Vec::len).sum();
-        }
-        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
-        let data_bytes = k * block_bytes * stripes.max(1);
-        rows.push(EncodingRow {
-            code: kind,
-            stripe_data_bytes: k * block_bytes,
-            stripe_parity_bytes: parity_bytes,
-            throughput_mb_per_s: data_bytes as f64 / (1024.0 * 1024.0) / elapsed,
-            elapsed_s: elapsed,
-        });
-    }
+    // One cell per code. Each cell owns its data, encoder and timer; the
+    // throughput / elapsed fields are wall-clock measurements, so only the
+    // structural fields are expected to be width-invariant.
+    let cells = kinds
+        .into_iter()
+        .map(|kind| move || encoding_row(kind, block_bytes, stripes))
+        .collect();
     Ok(EncodingReport {
         block_bytes,
         stripes: stripes.max(1),
-        rows,
+        rows: harness::run_cells(cells)?,
+    })
+}
+
+/// Encodes `stripes` stripes through the production encode path for one code
+/// and measures throughput.
+fn encoding_row(
+    kind: CodeKind,
+    block_bytes: usize,
+    stripes: usize,
+) -> Result<EncodingRow, DrcError> {
+    let code = kind.build()?;
+    let k = code.data_blocks();
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..block_bytes).map(|j| (i * 31 + j * 7) as u8).collect())
+        .collect();
+    // Measure the production encode path: buffer-reusing, fused,
+    // zero-allocation parity computation (the write path of the
+    // simulated HDFS uses exactly this).
+    let mut encoder = StripeEncoder::new();
+    let start = Instant::now();
+    let mut parity_bytes = 0usize;
+    for _ in 0..stripes.max(1) {
+        let parities = encoder.encode(code.as_ref(), &data)?;
+        parity_bytes = parities.iter().map(Vec::len).sum();
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let data_bytes = k * block_bytes * stripes.max(1);
+    Ok(EncodingRow {
+        code: kind,
+        stripe_data_bytes: k * block_bytes,
+        stripe_parity_bytes: parity_bytes,
+        throughput_mb_per_s: data_bytes as f64 / (1024.0 * 1024.0) / elapsed,
+        elapsed_s: elapsed,
     })
 }
 

@@ -33,6 +33,7 @@ use drc_mapreduce::{run_job_traced, FailureModel, JobSite, JobSpec, SchedulerKin
 use drc_reliability::ReliabilityParams;
 use drc_sim::SimDuration;
 
+use crate::experiments::harness;
 use crate::render::TextTable;
 use crate::DrcError;
 
@@ -109,6 +110,7 @@ impl FailureTraceReport {
 }
 
 /// The failure-free measurement a sweep point is compared against.
+#[derive(Clone)]
 struct Baseline {
     job_s: f64,
     map_phase_s: f64,
@@ -158,33 +160,48 @@ pub fn run_failure_trace(
     // reported per row is whatever it takes to get there from the
     // reliability model's real per-node rate.
     let mean_arrivals = [1.0, 3.0];
-    let params = ReliabilityParams::default();
 
-    let mut rows = Vec::new();
-    for code in codes {
-        let baseline = run_window(code, block_bytes, target_tasks, None)?.0;
+    // Stage 1: one failure-free baseline cell per code. The traced points
+    // need the measured map-phase length, so this stage joins first.
+    let baseline_cells = codes
+        .into_iter()
+        .map(|code| {
+            move || -> Result<(CodeKind, Baseline), DrcError> {
+                Ok((code, run_window(code, block_bytes, target_tasks, None)?.0))
+            }
+        })
+        .collect();
+    let baselines: Vec<(CodeKind, Baseline)> = harness::run_cells(baseline_cells)?;
+
+    // Stage 2: one traced cell per (code, timeout fraction, arrival rate)
+    // point, in the report's fixed row order.
+    let mut cells = Vec::new();
+    for (code, baseline) in baselines {
         for &frac in &timeout_fracs {
             for &arrivals in &mean_arrivals {
-                let timeout_s = frac * baseline.map_phase_s;
-                let (_, point) = run_window(
-                    code,
-                    block_bytes,
-                    target_tasks,
-                    Some(TracedConfig {
-                        baseline: &baseline,
-                        timeout_s,
-                        mean_arrivals: arrivals,
-                        params: &params,
-                    }),
-                )?;
-                rows.push(point.expect("traced window yields a point"));
+                let baseline = baseline.clone();
+                cells.push(move || -> Result<FailureTracePoint, DrcError> {
+                    let timeout_s = frac * baseline.map_phase_s;
+                    let (_, point) = run_window(
+                        code,
+                        block_bytes,
+                        target_tasks,
+                        Some(TracedConfig {
+                            baseline: &baseline,
+                            timeout_s,
+                            mean_arrivals: arrivals,
+                            params: &ReliabilityParams::default(),
+                        }),
+                    )?;
+                    Ok(point.expect("traced window yields a point"))
+                });
             }
         }
     }
     Ok(FailureTraceReport {
         block_bytes: block_bytes as u64,
         target_tasks,
-        rows,
+        rows: harness::run_cells(cells)?,
     })
 }
 

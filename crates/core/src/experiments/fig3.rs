@@ -8,7 +8,7 @@ use drc_codes::CodeKind;
 use drc_mapreduce::{simulate_locality, LocalityConfig, LocalityResult, SchedulerKind};
 use drc_workloads::fig3_loads;
 
-use crate::experiments::{Effort, DEFAULT_SEED};
+use crate::experiments::{harness, Effort, DEFAULT_SEED};
 use crate::render::TextTable;
 use crate::DrcError;
 
@@ -58,12 +58,14 @@ impl Fig3Data {
 /// the fixed sweep used here).
 pub fn run_fig3(effort: Effort) -> Result<Fig3Data, DrcError> {
     let trials = effort.trials();
-    let mut points = Vec::new();
+    // One cell per (µ, code, scheduler, load) point, in the figure's fixed
+    // panel order; every cell seeds its own rng from the shared base seed.
+    let mut specs: Vec<(CodeKind, SchedulerKind, usize, f64)> = Vec::new();
     for &mu in &[2usize, 4, 8] {
         for code in CodeKind::fig3_set() {
             for scheduler in [SchedulerKind::Delay, SchedulerKind::MaxMatching] {
                 for load in fig3_loads() {
-                    points.push(run_point(code, scheduler, mu, load.percent, trials)?);
+                    specs.push((code, scheduler, mu, load.percent));
                 }
             }
         }
@@ -71,16 +73,16 @@ pub fn run_fig3(effort: Effort) -> Result<Fig3Data, DrcError> {
     // The peeling panel (µ = 4), pentagon and heptagon as in the paper.
     for code in [CodeKind::Pentagon, CodeKind::Heptagon] {
         for load in fig3_loads() {
-            points.push(run_point(
-                code,
-                SchedulerKind::Peeling,
-                4,
-                load.percent,
-                trials,
-            )?);
+            specs.push((code, SchedulerKind::Peeling, 4, load.percent));
         }
     }
-    Ok(Fig3Data { points })
+    let cells = specs
+        .into_iter()
+        .map(|(code, scheduler, mu, load)| move || run_point(code, scheduler, mu, load, trials))
+        .collect();
+    Ok(Fig3Data {
+        points: harness::run_cells(cells)?,
+    })
 }
 
 fn run_point(

@@ -10,7 +10,7 @@ use drc_codes::CodeKind;
 use drc_mapreduce::{run_job, SchedulerKind};
 use drc_workloads::{provision_workload, setup1_loads, LoadPoint, WorkloadKind};
 
-use crate::experiments::{Effort, DEFAULT_SEED};
+use crate::experiments::{harness, Effort, DEFAULT_SEED};
 use crate::render::TextTable;
 use crate::DrcError;
 
@@ -80,55 +80,73 @@ pub fn run_terasort_sweep(
     // Execution-engine trials are costlier than pure locality trials; a
     // fraction of the locality trial count is plenty for stable means.
     let trials = (effort.trials() / 3).max(5);
-    let scheduler = SchedulerKind::Delay.build();
-    let mut points = Vec::new();
+    // One cell per (code, load) point: each cell runs its own trial loop on
+    // private clusters and rngs, so points are fully independent.
+    let mut specs: Vec<(CodeKind, f64)> = Vec::new();
     for &code_kind in &codes {
-        let code = code_kind.build()?;
         for load in &loads {
-            let mut job_time = 0.0;
-            let mut traffic = 0.0;
-            let mut locality = 0.0;
-            let mut degraded = 0.0;
-            for trial in 0..trials {
-                let cluster = Cluster::new(spec.clone());
-                let mut rng = ChaCha8Rng::seed_from_u64(
-                    DEFAULT_SEED ^ (trial as u64) << 17 ^ load.percent as u64,
-                );
-                let workload = provision_workload(
-                    WorkloadKind::Terasort,
-                    code_kind,
-                    &cluster,
-                    load.percent,
-                    &mut rng,
-                )?;
-                let metrics = run_job(
-                    &workload.job,
-                    code.as_ref(),
-                    &workload.placement,
-                    &cluster,
-                    scheduler.as_ref(),
-                    &mut rng,
-                )?;
-                job_time += metrics.job_time_s;
-                traffic += metrics.network_traffic_gb();
-                locality += metrics.data_locality_percent();
-                degraded += metrics.degraded_reads as f64;
-            }
-            let n = trials as f64;
-            points.push(TerasortPoint {
-                code: code_kind,
-                load_percent: load.percent,
-                job_time_s: job_time / n,
-                network_traffic_gb: traffic / n,
-                data_locality_percent: locality / n,
-                degraded_reads: degraded / n,
-                trials,
-            });
+            specs.push((code_kind, load.percent));
         }
     }
+    let cells = specs
+        .into_iter()
+        .map(|(code_kind, load_percent)| {
+            let spec = spec.clone();
+            move || terasort_point(&spec, code_kind, load_percent, trials)
+        })
+        .collect::<Vec<_>>();
     Ok(TerasortSweep {
         setup: setup.to_string(),
-        points,
+        points: harness::run_cells(cells)?,
+    })
+}
+
+/// Measures one `(code, load)` point: `trials` engine runs averaged.
+fn terasort_point(
+    spec: &ClusterSpec,
+    code_kind: CodeKind,
+    load_percent: f64,
+    trials: usize,
+) -> Result<TerasortPoint, DrcError> {
+    let scheduler = SchedulerKind::Delay.build();
+    let code = code_kind.build()?;
+    let mut job_time = 0.0;
+    let mut traffic = 0.0;
+    let mut locality = 0.0;
+    let mut degraded = 0.0;
+    for trial in 0..trials {
+        let cluster = Cluster::new(spec.clone());
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(DEFAULT_SEED ^ (trial as u64) << 17 ^ load_percent as u64);
+        let workload = provision_workload(
+            WorkloadKind::Terasort,
+            code_kind,
+            &cluster,
+            load_percent,
+            &mut rng,
+        )?;
+        let metrics = run_job(
+            &workload.job,
+            code.as_ref(),
+            &workload.placement,
+            &cluster,
+            scheduler.as_ref(),
+            &mut rng,
+        )?;
+        job_time += metrics.job_time_s;
+        traffic += metrics.network_traffic_gb();
+        locality += metrics.data_locality_percent();
+        degraded += metrics.degraded_reads as f64;
+    }
+    let n = trials as f64;
+    Ok(TerasortPoint {
+        code: code_kind,
+        load_percent,
+        job_time_s: job_time / n,
+        network_traffic_gb: traffic / n,
+        data_locality_percent: locality / n,
+        degraded_reads: degraded / n,
+        trials,
     })
 }
 

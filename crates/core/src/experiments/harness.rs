@@ -1,0 +1,222 @@
+//! Cell-based fan-out for the experiment layer.
+//!
+//! A **cell** is one independent unit of experimental work — one
+//! experiment × [`drc_codes::CodeKind`] × configuration point — that builds
+//! its own private `ClusterNet` and rng, shares nothing with its siblings,
+//! and returns a typed result. Every experiment module expresses its sweep
+//! as an ordered list of cells and hands them to [`run_cells`], which fans
+//! them out across the persistent `rayon` worker pool and merges the
+//! results **in the original cell order after the join**.
+//!
+//! # Determinism
+//!
+//! Emitted results are byte-identical at every harness width:
+//!
+//! * each cell seeds its own rng and simulates in virtual time, so its
+//!   result does not depend on when or where it runs;
+//! * results are merged in fixed cell order after all cells complete, so
+//!   scheduling order never reaches the output;
+//! * if several cells fail, the error of the *earliest* cell in cell order
+//!   is returned, regardless of which failure was observed first.
+//!
+//! Cells must not communicate through shared mutable state; the
+//! `parallel-float-reduction` rule in `drc-lint` additionally rejects
+//! float accumulation inside pool closures across the workspace's library
+//! sources, so cross-cell reductions stay on the caller after the join.
+//!
+//! # Width
+//!
+//! The fan-out width is resolved per [`run_cells`] call:
+//!
+//! 1. a thread-local [`with_jobs`] override (used by differential tests),
+//! 2. the `DRC_REPRO_JOBS` environment variable,
+//! 3. the worker-pool width (`rayon::current_num_threads()`).
+//!
+//! `DRC_REPRO_JOBS=1` (or `with_jobs(1, …)`) is the fully serial path: the
+//! cells run inline on the caller, in order. Invalid values of the
+//! environment variable are diagnosed once on stderr and ignored.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::DrcError;
+
+/// Environment variable naming the harness fan-out width.
+pub const REPRO_JOBS_ENV: &str = "DRC_REPRO_JOBS";
+
+thread_local! {
+    /// 0 = no override in force.
+    static JOBS_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Runs `f` with the calling thread's harness width pinned to `n`.
+///
+/// The override is thread-local and restored on exit, including on panic —
+/// the same discipline as `rayon::with_num_threads`, and safe under a
+/// parallel test runner where mutating the environment would race.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn with_jobs<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "harness width must be at least 1");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            JOBS_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = JOBS_OVERRIDE.with(|c| {
+        let prev = c.get();
+        c.set(n);
+        Restore(prev)
+    });
+    f()
+}
+
+/// The harness width [`run_cells`] will use on this thread: the
+/// [`with_jobs`] override, else `DRC_REPRO_JOBS`, else the pool width.
+pub fn current_jobs() -> usize {
+    let tls = JOBS_OVERRIDE.with(|c| c.get());
+    if tls != 0 {
+        return tls;
+    }
+    if let Ok(raw) = std::env::var(REPRO_JOBS_ENV) {
+        match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => warn_bad_jobs(&raw),
+        }
+    }
+    rayon::current_num_threads()
+}
+
+fn warn_bad_jobs(raw: &str) {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "warning: ignoring invalid {REPRO_JOBS_ENV}={raw:?}; \
+             expected a positive integer (1 = serial)"
+        );
+    }
+}
+
+/// Runs an ordered list of independent cells, each returning a typed
+/// result, and hands back the results in the original cell order.
+///
+/// At width 1 the cells run inline on the caller, in order (the serial
+/// path). At width N > 1 they are spawned onto the persistent worker pool
+/// with the caller participating; results land in per-cell slots and are
+/// merged in cell order after the join, so the output is identical at
+/// every width. See the module docs for the full determinism contract.
+///
+/// Note that the width override only pins the *harness* fan-out: a cell
+/// executing on a pool worker still sees the global pool width for any
+/// nested shard-parallel work (GF encodes), which is itself byte-identical
+/// at every width.
+///
+/// # Errors
+///
+/// Returns the error of the earliest failing cell in cell order. (The
+/// serial path stops at the first error; the parallel path completes every
+/// cell first, then picks the earliest — the reported error is the same.)
+pub fn run_cells<T, F>(cells: Vec<F>) -> Result<Vec<T>, DrcError>
+where
+    T: Send,
+    F: FnOnce() -> Result<T, DrcError> + Send,
+{
+    let width = current_jobs().min(cells.len()).max(1);
+    if width <= 1 {
+        let mut out = Vec::with_capacity(cells.len());
+        for cell in cells {
+            out.push(cell()?);
+        }
+        return Ok(out);
+    }
+    let mut slots: Vec<Option<Result<T, DrcError>>> = Vec::new();
+    slots.resize_with(cells.len(), || None);
+    rayon::with_num_threads(width, || {
+        rayon::scope(|s| {
+            for (slot, cell) in slots.iter_mut().zip(cells) {
+                s.spawn(move |_| *slot = Some(cell()));
+            }
+        })
+    });
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            // Unreachable: the scope joins every spawned task (panics
+            // propagate out of `scope`), but stay panic-free regardless.
+            None => {
+                return Err(DrcError::InvalidExperiment {
+                    reason: "harness cell completed without a result".to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_cell_order_at_any_width() {
+        let cells = |n: usize| {
+            (0..n)
+                .map(|i| move || -> Result<usize, DrcError> { Ok(i * i) })
+                .collect::<Vec<_>>()
+        };
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for width in [1, 2, 4] {
+            let got = with_jobs(width, || run_cells(cells(37))).unwrap();
+            assert_eq!(got, expect, "width {width}");
+        }
+    }
+
+    #[test]
+    fn earliest_error_in_cell_order_wins() {
+        let cells = (0..8)
+            .map(|i| {
+                move || -> Result<usize, DrcError> {
+                    if i % 2 == 1 {
+                        Err(DrcError::InvalidExperiment {
+                            reason: format!("cell {i}"),
+                        })
+                    } else {
+                        Ok(i)
+                    }
+                }
+            })
+            .collect::<Vec<_>>();
+        for width in [1, 4] {
+            let err = with_jobs(width, || run_cells(cells.clone())).unwrap_err();
+            assert_eq!(
+                err,
+                DrcError::InvalidExperiment {
+                    reason: "cell 1".to_string()
+                },
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_jobs_overrides_and_restores() {
+        let ambient = current_jobs();
+        with_jobs(3, || {
+            assert_eq!(current_jobs(), 3);
+            with_jobs(1, || assert_eq!(current_jobs(), 1));
+            assert_eq!(current_jobs(), 3);
+        });
+        assert_eq!(current_jobs(), ambient);
+    }
+
+    #[test]
+    fn empty_cell_list_is_fine() {
+        let cells: Vec<fn() -> Result<u8, DrcError>> = Vec::new();
+        assert_eq!(run_cells(cells).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 use drc_cluster::{Cluster, ClusterSpec, IndexKind, NodeId, PlacementMap, PlacementPolicy};
 use drc_codes::CodeKind;
 
-use super::{Effort, DEFAULT_SEED};
+use super::{harness, Effort, DEFAULT_SEED};
 use crate::render::TextTable;
 use crate::DrcError;
 
@@ -147,7 +147,6 @@ pub fn measure_config(
 ///
 /// Propagates placement or code-construction failures.
 pub fn run_metadata_scale(effort: Effort) -> Result<MetadataScaleTable, DrcError> {
-    let mut rows = Vec::new();
     let paired_codes = [
         CodeKind::TWO_REP,
         CodeKind::Pentagon,
@@ -157,26 +156,32 @@ pub fn run_metadata_scale(effort: Effort) -> Result<MetadataScaleTable, DrcError
         Effort::Quick => (200_000usize, 1000usize, 10_000_000usize, 200_000usize),
         Effort::Full => (1_000_000, 1000, 20_000_000, 1_000_000),
     };
+    // One cell per measured configuration, in the table's fixed row order.
+    // The query rates are wall-clock measurements; only the structural
+    // fields (blocks, index bytes) are width-invariant.
+    let mut specs: Vec<(CodeKind, IndexKind, usize, usize)> = Vec::new();
     for kind in paired_codes {
         let code = kind.build()?;
         let stripes = paired_blocks.div_ceil(code.distinct_blocks());
         for index in [IndexKind::Map, IndexKind::Compact] {
-            rows.push(measure_config(kind, index, 100, stripes, lookups)?);
+            specs.push((kind, index, 100, stripes));
         }
     }
     // Datacenter scale: 1000 nodes, ≥10M blocks, compact only.
     for kind in [CodeKind::TWO_REP, CodeKind::Pentagon] {
         let code = kind.build()?;
         let stripes = big_blocks.div_ceil(code.distinct_blocks());
-        rows.push(measure_config(
-            kind,
-            IndexKind::Compact,
-            big_nodes,
-            stripes,
-            lookups,
-        )?);
+        specs.push((kind, IndexKind::Compact, big_nodes, stripes));
     }
-    Ok(MetadataScaleTable { rows })
+    let cells = specs
+        .into_iter()
+        .map(|(kind, index, nodes, stripes)| {
+            move || measure_config(kind, index, nodes, stripes, lookups)
+        })
+        .collect();
+    Ok(MetadataScaleTable {
+        rows: harness::run_cells(cells)?,
+    })
 }
 
 impl std::fmt::Display for MetadataScaleTable {

@@ -18,6 +18,12 @@
 //! implementation that prints a paper-style table, so the `repro` binary in
 //! `drc-bench`, the integration tests and `EXPERIMENTS.md` all consume the
 //! same source of truth.
+//!
+//! Every driver decomposes its sweep into independent, shared-nothing
+//! *cells* (one code × config point each) and fans them out through the
+//! [`harness`] module across the persistent worker pool — output stays
+//! byte-identical at every `DRC_REPRO_JOBS` width because results merge in
+//! fixed cell order after the join.
 
 pub mod degraded_mr;
 pub mod encoding;
@@ -25,6 +31,7 @@ pub mod failure_trace;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod harness;
 pub mod metadata_scale;
 pub mod overlap;
 pub mod repair_bandwidth;

@@ -22,6 +22,7 @@ use drc_codes::CodeKind;
 use drc_hdfs::DistributedFileSystem;
 use drc_sim::{Phase, SimTime};
 
+use crate::experiments::harness;
 use crate::render::TextTable;
 use crate::DrcError;
 
@@ -87,22 +88,28 @@ pub fn run_overlap(block_bytes: usize, stripes: usize) -> Result<OverlapReport, 
         CodeKind::Heptagon,
         CodeKind::HeptagonLocal,
     ];
-    let mut rows = Vec::new();
-    for code in codes {
-        let concurrent = run_failure_window(code, block_bytes, stripes, false)?;
-        // The serial baseline is *measured*, not derived: the identical
-        // scenario with a `sync` between the read and the repair, i.e. the
-        // pre-substrate back-to-back execution model.
-        let serial = run_failure_window(code, block_bytes, stripes, true)?;
-        rows.push(OverlapRow {
-            serial_s: serial.makespan_s,
-            ..concurrent
-        });
-    }
+    // One cell per code; the concurrent run and its measured serial baseline
+    // share a cell because the row combines both.
+    let cells = codes
+        .into_iter()
+        .map(|code| {
+            move || -> Result<OverlapRow, DrcError> {
+                let concurrent = run_failure_window(code, block_bytes, stripes, false)?;
+                // The serial baseline is *measured*, not derived: the identical
+                // scenario with a `sync` between the read and the repair, i.e.
+                // the pre-substrate back-to-back execution model.
+                let serial = run_failure_window(code, block_bytes, stripes, true)?;
+                Ok(OverlapRow {
+                    serial_s: serial.makespan_s,
+                    ..concurrent
+                })
+            }
+        })
+        .collect();
     Ok(OverlapReport {
         stripes,
         block_bytes: block_bytes as u64,
-        rows,
+        rows: harness::run_cells(cells)?,
     })
 }
 

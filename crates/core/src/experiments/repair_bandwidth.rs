@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use drc_codes::CodeKind;
 
+use crate::experiments::harness;
 use crate::render::TextTable;
 use crate::DrcError;
 
@@ -52,49 +53,57 @@ pub struct RepairBandwidthTable {
 pub fn run_repair_bandwidth() -> Result<RepairBandwidthTable, DrcError> {
     let mut kinds = vec![CodeKind::TWO_REP];
     kinds.extend(CodeKind::table1_set());
-    let mut rows = Vec::new();
-    for kind in kinds {
-        let code = kind.build()?;
-        // Worst-case two-node repair over all pairs.
-        let mut double = None;
-        let mut partials = 0;
-        if code.fault_tolerance() >= 2 {
-            let mut worst = 0usize;
-            for a in 0..code.node_count() {
-                for b in (a + 1)..code.node_count() {
-                    let failed: BTreeSet<usize> = [a, b].into_iter().collect();
-                    if let Ok(plan) = code.repair_plan(&failed) {
-                        if plan.network_blocks() > worst {
-                            worst = plan.network_blocks();
-                            partials = plan.partial_parity_transfers();
-                        }
+    // One cell per code: the all-pairs repair-plan scan dominates and is
+    // independent across codes.
+    let cells = kinds
+        .into_iter()
+        .map(|kind| move || repair_bandwidth_row(kind))
+        .collect();
+    Ok(RepairBandwidthTable {
+        rows: harness::run_cells(cells)?,
+    })
+}
+
+fn repair_bandwidth_row(kind: CodeKind) -> Result<RepairBandwidthRow, DrcError> {
+    let code = kind.build()?;
+    // Worst-case two-node repair over all pairs.
+    let mut double = None;
+    let mut partials = 0;
+    if code.fault_tolerance() >= 2 {
+        let mut worst = 0usize;
+        for a in 0..code.node_count() {
+            for b in (a + 1)..code.node_count() {
+                let failed: BTreeSet<usize> = [a, b].into_iter().collect();
+                if let Ok(plan) = code.repair_plan(&failed) {
+                    if plan.network_blocks() > worst {
+                        worst = plan.network_blocks();
+                        partials = plan.partial_parity_transfers();
                     }
                 }
             }
-            double = Some(worst);
         }
-        // Degraded reads of data block 0.
-        let hosts: Vec<usize> = code.block_locations(0).to_vec();
-        let one_down: BTreeSet<usize> = [hosts[0]].into_iter().collect();
-        let degraded_one = code
-            .degraded_read_plan(0, &one_down)
-            .map(|p| p.network_blocks)
-            .unwrap_or(0);
-        let all_down: BTreeSet<usize> = hosts.iter().copied().collect();
-        let degraded_all = code
-            .degraded_read_plan(0, &all_down)
-            .ok()
-            .map(|p| p.network_blocks);
-        rows.push(RepairBandwidthRow {
-            code: kind,
-            single_node_repair_blocks: code.single_node_repair_blocks(),
-            double_node_repair_blocks: double,
-            degraded_read_one_down: degraded_one,
-            degraded_read_all_replicas_down: degraded_all,
-            partial_parity_transfers: partials,
-        });
+        double = Some(worst);
     }
-    Ok(RepairBandwidthTable { rows })
+    // Degraded reads of data block 0.
+    let hosts: Vec<usize> = code.block_locations(0).to_vec();
+    let one_down: BTreeSet<usize> = [hosts[0]].into_iter().collect();
+    let degraded_one = code
+        .degraded_read_plan(0, &one_down)
+        .map(|p| p.network_blocks)
+        .unwrap_or(0);
+    let all_down: BTreeSet<usize> = hosts.iter().copied().collect();
+    let degraded_all = code
+        .degraded_read_plan(0, &all_down)
+        .ok()
+        .map(|p| p.network_blocks);
+    Ok(RepairBandwidthRow {
+        code: kind,
+        single_node_repair_blocks: code.single_node_repair_blocks(),
+        double_node_repair_blocks: double,
+        degraded_read_one_down: degraded_one,
+        degraded_read_all_replicas_down: degraded_all,
+        partial_parity_transfers: partials,
+    })
 }
 
 impl std::fmt::Display for RepairBandwidthTable {

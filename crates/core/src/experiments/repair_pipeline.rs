@@ -25,6 +25,7 @@ use drc_cluster::{ClusterSpec, NodeId};
 use drc_codes::CodeKind;
 use drc_hdfs::DistributedFileSystem;
 
+use crate::experiments::harness;
 use crate::render::TextTable;
 use crate::DrcError;
 
@@ -100,34 +101,46 @@ pub fn run_repair_pipeline(
         CodeKind::Heptagon,
         CodeKind::HeptagonLocal,
     ];
-    let mut rows = Vec::new();
-    for code in codes {
-        // The serial baseline is *measured* on an identical fresh
-        // deployment, not derived: same failure, same plan, whole-block
-        // schedule.
-        let serial = run_repair(code, block_bytes, stripes, u64::MAX)?;
+    // Stage 1: the serial baselines are *measured* on identical fresh
+    // deployments, not derived — one cell per code, joined before the
+    // pipelined stage because every chunked row compares against them.
+    let serial_cells = codes
+        .into_iter()
+        .map(|code| {
+            move || -> Result<(CodeKind, (f64, u64, usize)), DrcError> {
+                Ok((code, run_repair(code, block_bytes, stripes, u64::MAX)?))
+            }
+        })
+        .collect();
+    let serials: Vec<(CodeKind, (f64, u64, usize))> = harness::run_cells(serial_cells)?;
+
+    // Stage 2: one cell per code × chunk size, in the report's row order.
+    let mut cells = Vec::new();
+    for (code, serial) in serials {
         for &chunk in chunk_sizes {
-            let pipelined = run_repair(code, block_bytes, stripes, chunk)?;
-            debug_assert_eq!(pipelined.1, serial.1, "traffic must not depend on chunking");
-            debug_assert_eq!(
-                pipelined.2, serial.2,
-                "restores must not depend on chunking"
-            );
-            rows.push(PipelineRow {
-                code,
-                chunk_bytes: chunk,
-                serial_s: serial.0,
-                pipelined_s: pipelined.0,
-                ratio: pipelined.0 / serial.0,
-                network_bytes: pipelined.1,
-                blocks_restored: pipelined.2,
+            cells.push(move || -> Result<PipelineRow, DrcError> {
+                let pipelined = run_repair(code, block_bytes, stripes, chunk)?;
+                debug_assert_eq!(pipelined.1, serial.1, "traffic must not depend on chunking");
+                debug_assert_eq!(
+                    pipelined.2, serial.2,
+                    "restores must not depend on chunking"
+                );
+                Ok(PipelineRow {
+                    code,
+                    chunk_bytes: chunk,
+                    serial_s: serial.0,
+                    pipelined_s: pipelined.0,
+                    ratio: pipelined.0 / serial.0,
+                    network_bytes: pipelined.1,
+                    blocks_restored: pipelined.2,
+                })
             });
         }
     }
     Ok(RepairPipelineReport {
         stripes,
         block_bytes: block_bytes as u64,
-        rows,
+        rows: harness::run_cells(cells)?,
     })
 }
 

@@ -30,6 +30,7 @@ use drc_codes::CodeKind;
 use drc_hdfs::DistributedFileSystem;
 use drc_mapreduce::{run_job_on, JobSite, JobSpec, LinkContention, SchedulerKind};
 
+use crate::experiments::harness;
 use crate::render::TextTable;
 use crate::DrcError;
 
@@ -113,40 +114,51 @@ pub fn run_shuffle_contention(
         CodeKind::Heptagon,
         CodeKind::HeptagonLocal,
     ];
-    let mut rows = Vec::new();
-    for code in codes {
-        let failed = code.build()?.fault_tolerance().min(2);
-        let solo = run_window(code, block_bytes, target_tasks, failed, false)?;
-        let contended = run_window(code, block_bytes, target_tasks, failed, true)?;
-        // The headline slowdown is only meaningful if contention moved the
-        // time axis and nothing else — enforce the byte identity in every
-        // build, including the release runs that publish the number.
-        if solo.network_traffic_bytes != contended.network_traffic_bytes {
-            return Err(DrcError::InvalidExperiment {
-                reason: format!(
-                    "{code}: contention changed byte accounting \
-                     (solo {} vs contended {} bytes)",
-                    solo.network_traffic_bytes, contended.network_traffic_bytes
-                ),
-            });
-        }
-        rows.push(ShuffleContentionRow {
-            code,
-            failed_nodes: failed,
-            solo_job_s: solo.job_s,
-            contended_job_s: contended.job_s,
-            slowdown: contended.job_s / solo.job_s,
-            contention: contended.contention,
-            solo_contention_s: solo.contention.total_s(),
-            repair_s: contended.repair_s,
-            shuffle_repair_overlap_s: contended.overlap_s,
-            network_traffic_bytes: contended.network_traffic_bytes,
-        });
-    }
+    // One cell per code; the solo baseline and the contended run share a
+    // cell because the row compares them.
+    let cells = codes
+        .into_iter()
+        .map(|code| move || contention_row(code, block_bytes, target_tasks))
+        .collect();
     Ok(ShuffleContentionReport {
         block_bytes: block_bytes as u64,
         target_tasks,
-        rows,
+        rows: harness::run_cells(cells)?,
+    })
+}
+
+/// Measures one code's solo and contended windows and builds its row.
+fn contention_row(
+    code: CodeKind,
+    block_bytes: usize,
+    target_tasks: usize,
+) -> Result<ShuffleContentionRow, DrcError> {
+    let failed = code.build()?.fault_tolerance().min(2);
+    let solo = run_window(code, block_bytes, target_tasks, failed, false)?;
+    let contended = run_window(code, block_bytes, target_tasks, failed, true)?;
+    // The headline slowdown is only meaningful if contention moved the
+    // time axis and nothing else — enforce the byte identity in every
+    // build, including the release runs that publish the number.
+    if solo.network_traffic_bytes != contended.network_traffic_bytes {
+        return Err(DrcError::InvalidExperiment {
+            reason: format!(
+                "{code}: contention changed byte accounting \
+                 (solo {} vs contended {} bytes)",
+                solo.network_traffic_bytes, contended.network_traffic_bytes
+            ),
+        });
+    }
+    Ok(ShuffleContentionRow {
+        code,
+        failed_nodes: failed,
+        solo_job_s: solo.job_s,
+        contended_job_s: contended.job_s,
+        slowdown: contended.job_s / solo.job_s,
+        contention: contended.contention,
+        solo_contention_s: solo.contention.total_s(),
+        repair_s: contended.repair_s,
+        shuffle_repair_overlap_s: contended.overlap_s,
+        network_traffic_bytes: contended.network_traffic_bytes,
     })
 }
 

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use drc_codes::CodeKind;
 use drc_reliability::{group_mttdl, ReliabilityParams};
 
+use crate::experiments::harness;
 use crate::render::{scientific, TextTable};
 use crate::DrcError;
 
@@ -68,22 +69,28 @@ pub fn paper_storage_overhead(code: CodeKind) -> Option<f64> {
 /// Returns an error if a code fails to build or its reliability model is
 /// degenerate (which does not happen for the paper's codes).
 pub fn run_table1(params: &ReliabilityParams) -> Result<Table1, DrcError> {
-    let mut rows = Vec::new();
-    for kind in CodeKind::table1_set() {
-        let code = kind.build()?;
-        let mttdl = group_mttdl(code.as_ref(), params)?;
-        rows.push(Table1Row {
-            code: kind,
-            storage_overhead: code.storage_overhead(),
-            code_length: code.node_count(),
-            fault_tolerance: code.fault_tolerance(),
-            mttdl_years: mttdl.mttdl_years,
-            paper_mttdl_years: paper_mttdl_years(kind).unwrap_or(f64::NAN),
-        });
-    }
+    // One cell per code: each solves its own Markov model independently.
+    let params = *params;
+    let cells = CodeKind::table1_set()
+        .into_iter()
+        .map(|kind| {
+            move || -> Result<Table1Row, DrcError> {
+                let code = kind.build()?;
+                let mttdl = group_mttdl(code.as_ref(), &params)?;
+                Ok(Table1Row {
+                    code: kind,
+                    storage_overhead: code.storage_overhead(),
+                    code_length: code.node_count(),
+                    fault_tolerance: code.fault_tolerance(),
+                    mttdl_years: mttdl.mttdl_years,
+                    paper_mttdl_years: paper_mttdl_years(kind).unwrap_or(f64::NAN),
+                })
+            }
+        })
+        .collect();
     Ok(Table1 {
-        params: *params,
-        rows,
+        params,
+        rows: harness::run_cells(cells)?,
     })
 }
 

@@ -93,6 +93,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod bufpool;
 mod error;
 mod gf256;
 pub mod kernel;

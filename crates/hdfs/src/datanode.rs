@@ -135,8 +135,13 @@ impl DataNode {
     }
 
     /// Removes every block (simulates a disk wipe on permanent failure).
+    ///
+    /// Sole-owner payloads go back to the block pool (see
+    /// [`drc_gf::bufpool`]); replicas still referenced elsewhere just drop
+    /// their handle here.
     pub fn wipe(&self) {
-        self.blocks.write().clear();
+        let blocks = std::mem::take(&mut *self.blocks.write());
+        recycle_payloads(blocks);
     }
 
     /// Number of block replicas stored.
@@ -162,6 +167,29 @@ impl DataNode {
     /// The keys of every block stored on this node.
     pub fn block_keys(&self) -> Vec<BlockKey> {
         self.blocks.read().keys().copied().collect()
+    }
+}
+
+impl Drop for DataNode {
+    /// Returns every sole-owner payload to the block pool, so dropping one
+    /// simulation cell's file system funds the next cell's writes instead
+    /// of handing gigabytes back to the allocator.
+    fn drop(&mut self) {
+        let blocks = std::mem::take(self.blocks.get_mut());
+        recycle_payloads(blocks);
+    }
+}
+
+/// Recycles the sole-owner payloads of a drained block map.
+///
+/// A block replicated on several nodes is the same `Bytes` handle on each;
+/// only the last handle standing unwraps, so every allocation is recycled
+/// exactly once.
+fn recycle_payloads(blocks: BTreeMap<BlockKey, Bytes>) {
+    for (_, payload) in blocks {
+        if let Ok(buf) = payload.try_unwrap() {
+            drc_gf::bufpool::recycle(buf);
+        }
     }
 }
 

@@ -363,22 +363,37 @@ impl DistributedFileSystem {
             for b in 0..k {
                 let index = stripe * k + b;
                 let start = index * block_size;
-                let mut block = vec![0u8; block_size];
+                // Pooled and pre-zeroed: a short tail block keeps its zero
+                // padding without an explicit fill.
+                let mut block = drc_gf::bufpool::take(block_size);
                 if start < data.len() {
                     let end = (start + block_size).min(data.len());
                     block[..end - start].copy_from_slice(&data[start..end]);
                 }
                 stripe_data.push(block);
             }
-            // Zero-allocation, shard-parallel encode: the parity scratch
-            // buffers are reused across stripes (and across files).
+            // Shard-parallel encode into pooled scratch reused across
+            // stripes (and across files).
             let parities = self.encoder.encode(code.as_ref(), &stripe_data)?;
+            // The parity scratch is reused next stripe, so parities are
+            // copied out — into pooled buffers; the data blocks move into
+            // their `Bytes` handles without a copy. Every payload returns
+            // to the pool when its last DataNode replica drops.
+            let parity_payloads: Vec<Bytes> = parities
+                .iter()
+                .map(|p| {
+                    let mut buf = drc_gf::bufpool::take(p.len());
+                    buf.copy_from_slice(p);
+                    Bytes::from(buf)
+                })
+                .collect();
+            let data_payloads: Vec<Bytes> = stripe_data.into_iter().map(Bytes::from).collect();
             for block_index in 0..code.distinct_blocks() {
                 let key = BlockKey::new(id, stripe, block_index);
                 let content = if block_index < k {
-                    Bytes::from(stripe_data[block_index].clone())
+                    data_payloads[block_index].clone()
                 } else {
-                    Bytes::from(parities[block_index - k].clone())
+                    parity_payloads[block_index - k].clone()
                 };
                 for &node in &meta.block_locations(stripe, block_index)? {
                     self.write_network_bytes += content.len() as u64;
@@ -555,7 +570,7 @@ impl DistributedFileSystem {
                     .iter()
                     .map(|&b| payloads[&b].clone())
                     .collect();
-                let mut outs = vec![vec![0u8; meta.block_size as usize]];
+                let mut outs = vec![drc_gf::bufpool::take(meta.block_size as usize)];
                 rec.reconstruct_into(&sources, &mut outs);
                 // drc-lint: allow(panic-hygiene): `outs` is the one-element vec
                 // constructed two lines above.
@@ -1024,7 +1039,7 @@ impl DistributedFileSystem {
                     let outs: Vec<Vec<u8>> = rec
                         .targets()
                         .iter()
-                        .map(|_| vec![0u8; meta.block_size as usize])
+                        .map(|_| drc_gf::bufpool::take(meta.block_size as usize))
                         .collect();
                     let out_dests: Vec<Vec<(BlockKey, NodeId)>> =
                         rec.targets().iter().map(|b| dests[b].clone()).collect();

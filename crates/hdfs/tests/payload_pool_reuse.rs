@@ -1,0 +1,149 @@
+//! Steady-state allocation proof for the block-payload pool: running the
+//! same write → fail → repair cell twice must allocate **zero** new
+//! block-sized buffers on the second run. The first run populates the pool
+//! (every payload, parity copy, encoder scratch and rebuilt block comes
+//! from `drc_gf::bufpool`); dropping the file system recycles each
+//! allocation exactly once, so the second, identical cell is served
+//! entirely from the shelf. Before the pool, every repeated cell of the
+//! repro harness malloc/freed GiBs of 1 MiB buffers.
+//!
+//! A counting global allocator tallies allocations at or above the block
+//! size inside an explicit window. Counters cover all threads (the worker
+//! pool's shard work included); this binary runs exactly one test, so
+//! nothing else allocates concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use drc_cluster::ClusterSpec;
+use drc_codes::CodeKind;
+use drc_hdfs::DistributedFileSystem;
+
+/// Block size of the measured deployment; also the counting threshold —
+/// every payload, parity and rebuild buffer is exactly this large.
+const BLOCK: u64 = 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// Counting allocator: tallies block-sized-or-larger allocations inside an
+// explicit measurement window.
+// ---------------------------------------------------------------------------
+
+struct BigAllocCounter;
+
+/// Whether the measurement window is open.
+static TRACKING: AtomicBool = AtomicBool::new(false);
+/// Allocations of at least `BLOCK` bytes since the window opened.
+static BIG_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+fn open_window() {
+    BIG_ALLOCS.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+}
+
+/// Closes the window and returns the number of block-sized allocations.
+fn close_window() -> usize {
+    TRACKING.store(false, Ordering::SeqCst);
+    BIG_ALLOCS.load(Ordering::SeqCst)
+}
+
+fn count(size: usize) {
+    if size >= BLOCK as usize && TRACKING.load(Ordering::Relaxed) {
+        BIG_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: `unsafe` is required by the `GlobalAlloc` contract; every call
+// forwards to `System` with the caller's layout and pointer unchanged, so
+// the contract is upheld verbatim and the counter touches no allocator state.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for BigAllocCounter {
+    // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded to
+    // `System` unchanged.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        // SAFETY: same arguments the caller handed us.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded to
+    // `System` unchanged.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same arguments the caller handed us.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: caller upholds the `GlobalAlloc` contract; forwarded to
+    // `System` unchanged.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count(new_size);
+        // SAFETY: same arguments the caller handed us.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: BigAllocCounter = BigAllocCounter;
+
+/// One complete experiment cell: deploy, write, double-fail, repair. The
+/// file system drop at the end hands every block-sized allocation back to
+/// the payload pool.
+fn run_cell(data: &[u8]) -> usize {
+    let code = CodeKind::Pentagon;
+    let built = code.build().unwrap();
+    let mut spec = ClusterSpec::simulation_25(4);
+    spec.block_size_mb = BLOCK / (1024 * 1024);
+    let mut fs = DistributedFileSystem::new(spec, 0xB00F);
+
+    let id = fs.write_file("/pool/reuse", data, code).unwrap();
+    fs.sync();
+    let meta = fs.namenode().file(id).unwrap().clone();
+    let victims: Vec<_> =
+        meta.placement.stripe_hosts(0).unwrap()[..built.fault_tolerance()].to_vec();
+    for &v in &victims {
+        fs.fail_node_permanently(v);
+    }
+    let report = fs.repair_nodes(&victims).unwrap();
+    assert_eq!(report.unrecoverable_stripes, 0);
+    assert!(report.blocks_restored > 0);
+    report.blocks_restored
+}
+
+/// The second run of an identical cell allocates no new block payloads:
+/// every take is a pool hit against the buffers the first run recycled.
+#[test]
+fn second_identical_cell_allocates_no_block_payloads() {
+    let code = CodeKind::Pentagon;
+    let built = code.build().unwrap();
+    let stripes = 2usize;
+    let data: Vec<u8> = (0..stripes * built.data_blocks() * BLOCK as usize)
+        .map(|i| (i * 31 + 7) as u8)
+        .collect();
+
+    // Start from a clean shelf so the hit/miss accounting below is this
+    // test's own, then let the cold run populate it.
+    drc_gf::bufpool::drain();
+    run_cell(&data);
+    assert!(
+        drc_gf::bufpool::pooled_bytes() > 0,
+        "dropping the cell's file system must recycle its payloads"
+    );
+    let misses_after_cold = drc_gf::bufpool::misses();
+
+    open_window();
+    run_cell(&data);
+    let big_allocs = close_window();
+
+    assert_eq!(
+        big_allocs, 0,
+        "a repeated cell must be served entirely from the payload pool"
+    );
+    assert_eq!(
+        drc_gf::bufpool::misses(),
+        misses_after_cold,
+        "the warm run must not miss the pool"
+    );
+    assert!(
+        drc_gf::bufpool::hits() > 0,
+        "the warm run's takes must register as pool hits"
+    );
+}

@@ -1,4 +1,4 @@
-//! The rule engine: five workspace rules grounded in this repo's failure
+//! The rule engine: six workspace rules grounded in this repo's failure
 //! history, plus inline suppression handling.
 //!
 //! Each rule is identified by a stable kebab-ish id used both in findings
@@ -7,6 +7,7 @@
 //! | id | guards against |
 //! |---|---|
 //! | `determinism` | wall-clock time, hash-order iteration and OS randomness in the sim-facing crates |
+//! | `parallel-float-reduction` | float accumulation inside a parallel region (scheduling-order-dependent sums break byte-identical repro output) |
 //! | `unsafe-hygiene` | `unsafe` without an adjacent `// SAFETY:` comment |
 //! | `target-feature-gating` | `#[target_feature]` functions defined or called outside the kernel dispatch module |
 //! | `lossy-float-cast` | `as u64`/`as usize`/`as u32` on float-typed expressions (the PR 3 truncation bug class) |
@@ -29,6 +30,7 @@ use crate::scan::{Scan, Tok, TokKind};
 /// Rule ids, in report order.
 pub const RULE_IDS: &[&str] = &[
     "determinism",
+    "parallel-float-reduction",
     "unsafe-hygiene",
     "target-feature-gating",
     "lossy-float-cast",
@@ -96,6 +98,23 @@ const NONDETERMINISM_IDENTS: &[(&str, &str)] = &[
         "from_entropy",
         "OS-seeded randomness; use a seeded ChaCha rng",
     ),
+];
+
+/// Call names that open a parallel region: everything lexically inside the
+/// call's parentheses (closure bodies included) may execute on the worker
+/// pool in scheduling order. `join` also matches thread handles and string
+/// joins, but those never contain a float `+=` inside the call parens, so
+/// the combination stays precise.
+const PARALLEL_ENTRYPOINTS: &[&str] = &[
+    "spawn",
+    "scope",
+    "join",
+    "install",
+    "broadcast",
+    "par_iter",
+    "par_iter_mut",
+    "par_chunks",
+    "par_bridge",
 ];
 
 /// Float-returning methods that mark a cast operand as float-typed.
@@ -324,8 +343,142 @@ pub fn check_file(path: &str, scan: &Scan) -> FileCheck {
         if PANIC_CRATES.contains(&class.crate_key.as_str()) {
             check_panic_hygiene(path, scan, &mut out);
         }
+        // Unlike the ident rules this one is workspace-wide: the repro
+        // contract (byte-identical output at every harness width) spans
+        // every crate that touches the worker pool, `core` and `gf`
+        // included.
+        check_parallel_float_reduction(path, scan, &mut out);
     }
     out
+}
+
+/// Flags `+=`/`-=` statements with float evidence inside a parallel region.
+///
+/// The cell harness guarantees byte-identical repro output at every fan-out
+/// width *because* no floating-point reduction happens across concurrently
+/// scheduled work: every sum runs serially inside one cell and cells merge
+/// in fixed order after the join. A float accumulation written inside a
+/// `spawn`/`scope`/`join`-style call would reintroduce scheduling-order
+/// dependence (float addition is not associative), so it is flagged here.
+///
+/// Evidence is lexical: the compound-assignment statement must mention a
+/// float literal, `f64`/`f32`, a float-returning method, or an identifier
+/// the file elsewhere declares as float (`x: f64` or `let mut x = 0.0`).
+/// Integer accumulators (offsets, counters) inside parallel regions are
+/// fine and do not fire.
+fn check_parallel_float_reduction(path: &str, scan: &Scan, out: &mut FileCheck) {
+    let toks = &scan.tokens;
+    // Identifiers the file declares as float-typed: `name: f64`/`f32`
+    // (params, lets, fields) and `name = <float literal>` initialisers.
+    // Same-named integers elsewhere would inherit the mark — acceptable for
+    // a lexical pass; a justified suppression marker settles disputes.
+    let mut floaty_idents: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let typed_float = is_punct(toks.get(i + 1), ":")
+            && matches!(toks.get(i + 2), Some(n) if n.kind == TokKind::Ident
+                && (n.text == "f64" || n.text == "f32"));
+        let float_init = is_punct(toks.get(i + 1), "=")
+            && matches!(toks.get(i + 2), Some(n) if n.kind == TokKind::Float);
+        if typed_float || float_init {
+            floaty_idents.insert(t.text.as_str());
+        }
+    }
+    // Collect the token ranges lexically inside parallel-entrypoint call
+    // parentheses (the closure arguments and their bodies).
+    let mut regions: Vec<(usize, usize, &str)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !is_punct(toks.get(i + 1), "(") {
+            continue;
+        }
+        let Some(&entry) = PARALLEL_ENTRYPOINTS.iter().find(|e| **e == t.text) else {
+            continue;
+        };
+        let mut depth = 0isize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            if toks[j].kind == TokKind::Punct {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        regions.push((i + 2, j, entry));
+    }
+    // Nested regions (a `spawn` inside a `scope`) overlap; map each token to
+    // its innermost enclosing region so one accumulation yields one finding.
+    let mut in_region: Vec<Option<&str>> = vec![None; toks.len()];
+    for (start, end, entry) in regions {
+        for slot in in_region.iter_mut().take(end.min(toks.len())).skip(start) {
+            *slot = Some(entry);
+        }
+    }
+    let mut k = 0usize;
+    while k + 1 < toks.len() {
+        let Some(entry) = in_region[k] else {
+            k += 1;
+            continue;
+        };
+        let compound = toks[k].kind == TokKind::Punct
+            && matches!(toks[k].text.as_str(), "+" | "-")
+            && is_punct(toks.get(k + 1), "=");
+        if !compound || scan.is_test_line(toks[k].line) {
+            k += 1;
+            continue;
+        }
+        // Statement bounds: from the previous `;`/`{`/`}` to the next `;`
+        // (or end of file), so the float evidence must sit on the
+        // accumulation itself, not elsewhere in the closure.
+        let mut s = k;
+        while s > 0 {
+            let p = &toks[s - 1];
+            if p.kind == TokKind::Punct && matches!(p.text.as_str(), ";" | "{" | "}") {
+                break;
+            }
+            s -= 1;
+        }
+        let mut e = k + 2;
+        while e < toks.len() {
+            if toks[e].kind == TokKind::Punct && toks[e].text == ";" {
+                break;
+            }
+            e += 1;
+        }
+        let floaty = toks[s..e].iter().any(|t| match t.kind {
+            TokKind::Float => true,
+            TokKind::Ident => {
+                t.text == "f64"
+                    || t.text == "f32"
+                    || FLOAT_METHODS.contains(&t.text.as_str())
+                    || floaty_idents.contains(t.text.as_str())
+            }
+            _ => false,
+        });
+        if floaty {
+            out.findings.push(Finding {
+                path: path.to_string(),
+                line: toks[k].line,
+                rule: "parallel-float-reduction",
+                message: format!(
+                    "float accumulation inside a `{entry}(…)` parallel region: reduction \
+                     order follows the scheduler and float addition is not associative, so \
+                     repro output stops being byte-identical across harness widths — \
+                     accumulate serially per cell and merge in fixed order after the join"
+                ),
+            });
+        }
+        k = e;
+    }
 }
 
 fn check_determinism(path: &str, scan: &Scan, out: &mut FileCheck) {
@@ -791,6 +944,49 @@ mod tests {
         let src = "// a HashMap would be wrong here\nlet s = \"Instant::now\";\n";
         let out = check_file("crates/hdfs/src/fs.rs", &scan(src));
         assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn parallel_float_reduction_fires_on_float_accumulation_in_scope() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n    let mut sum = 0.0;\n    rayon::scope(|s| {\n        for &x in xs {\n            s.spawn(|_| sum += x * 2.0);\n        }\n    });\n    sum\n}\n";
+        let out = check_file("crates/core/src/lib.rs", &scan(src));
+        assert!(
+            rules_of(&out.findings).contains(&"parallel-float-reduction"),
+            "{:?}",
+            out.findings
+        );
+    }
+
+    #[test]
+    fn parallel_float_reduction_spares_integer_accumulators_and_serial_sums() {
+        // Integer offset bookkeeping inside a scope is deterministic.
+        let ints = "fn f(n: usize) {\n    rayon::scope(|s| {\n        let mut off = 0usize;\n        for _ in 0..n {\n            off += 64;\n            s.spawn(move |_| work(off));\n        }\n    });\n}\n";
+        let out = check_file("crates/gf/src/slice.rs", &scan(ints));
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+
+        // A serial float sum outside any parallel region is the sanctioned
+        // shape (per-cell accumulation, fixed-order merge).
+        let serial = "fn f(xs: &[f64]) -> f64 {\n    let mut sum = 0.0;\n    for &x in xs {\n        sum += x;\n    }\n    sum\n}\n";
+        let out = check_file("crates/core/src/experiments/fig3.rs", &scan(serial));
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+
+        // String/path `join` calls never carry a float `+=` in their parens.
+        let joins = "fn f(parts: &[String]) -> String {\n    parts.join(\", \")\n}\n";
+        let out = check_file("crates/core/src/render.rs", &scan(joins));
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn parallel_float_reduction_needs_float_evidence_on_the_statement() {
+        // The closure mentions f64 elsewhere, but the `+=` statement itself
+        // is integral: no finding.
+        let src = "fn f(n: u64) {\n    rayon::scope(|s| {\n        s.spawn(move |_| {\n            let r: f64 = rate();\n            let mut total = 0u64;\n            total += n;\n            store(r, total);\n        });\n    });\n}\n";
+        let out = check_file("crates/hdfs/src/fs.rs", &scan(src));
+        assert!(
+            !rules_of(&out.findings).contains(&"parallel-float-reduction"),
+            "{:?}",
+            out.findings
+        );
     }
 
     #[test]

@@ -1,0 +1,73 @@
+// Fixture: the parallel-float-reduction shapes the rule must catch — float
+// accumulation lexically inside a parallel region, where the reduction order
+// follows the scheduler and float addition is not associative.
+// NOT compiled — fed to the engine as text by tests/rules_fire.rs.
+
+fn scoped_sum(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    rayon::scope(|s| {
+        for &x in xs {
+            // VIOLATION: the spawn order decides the addition order.
+            s.spawn(move |_| sum += x);
+        }
+    });
+    sum
+}
+
+fn spawned_mean(samples: &[f64]) -> f64 {
+    let mut total = 0.0;
+    std::thread::scope(|s| {
+        for chunk in samples.chunks(4) {
+            s.spawn(|| {
+                for &v in chunk {
+                    // VIOLATION: f64 accumulation races across threads.
+                    total += v * 0.5;
+                }
+            });
+        }
+    });
+    total / samples.len() as f64
+}
+
+fn decremental(weights: &[f32]) -> f32 {
+    let mut budget = 1.0f32;
+    rayon::scope(|s| {
+        s.spawn(move |_| {
+            for &w in weights {
+                // VIOLATION: compound subtraction is a reduction too.
+                budget -= w;
+            }
+        });
+    });
+    budget
+}
+
+// Decoys the rule must NOT flag.
+
+fn integer_offsets(n: usize) -> usize {
+    let mut consumed = 0usize;
+    rayon::scope(|s| {
+        let mut off = 0usize;
+        for _ in 0..n {
+            // Integer bookkeeping is deterministic: no finding.
+            off += 64;
+            s.spawn(move |_| drop(off));
+        }
+        consumed += n;
+    });
+    consumed
+}
+
+fn serial_cell_sum(xs: &[f64]) -> f64 {
+    // The sanctioned shape: the float sum runs serially inside one cell and
+    // the harness merges cells in fixed order after the join.
+    let mut sum = 0.0;
+    for &x in xs {
+        sum += x;
+    }
+    sum
+}
+
+fn string_join(parts: &[String]) -> String {
+    parts.join(", ")
+}

@@ -55,6 +55,32 @@ fn determinism_is_scoped_to_sim_facing_crates() {
 }
 
 #[test]
+fn parallel_float_reduction_fires_on_fixture_and_spares_decoys() {
+    let src = include_str!("fixtures/parallel_float_reduction.rs");
+    let report = run_one("crates/core/src/fixture.rs", src);
+    let lines = rule_lines(&report, "parallel-float-reduction");
+    assert_eq!(
+        lines.len(),
+        3,
+        "expected scoped_sum/spawned_mean/decremental findings (integer, \
+         serial and string-join decoys exempt), got {lines:?}"
+    );
+}
+
+#[test]
+fn parallel_float_reduction_is_src_scoped() {
+    let src = include_str!("fixtures/parallel_float_reduction.rs");
+    // Benches and tests may reduce however they like; only library sources
+    // feed the byte-identical repro path.
+    let report = run_one("crates/core/benches/fixture.rs", src);
+    assert!(
+        report.findings_for("parallel-float-reduction").is_empty(),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
 fn unsafe_hygiene_fires_and_decoys_do_not_count() {
     let src = include_str!("fixtures/unsafe_hygiene.rs");
     let report = run_one("crates/gf/src/fixture.rs", src);

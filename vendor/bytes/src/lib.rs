@@ -46,6 +46,16 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.data.to_vec()
     }
+
+    /// Takes back the inner vector if this handle is the sole owner,
+    /// returning the handle unchanged otherwise.
+    ///
+    /// (Real `bytes` exposes `try_into_mut`; this subset hands the vector
+    /// back directly so buffer pools can recycle dropped payloads without
+    /// copying.)
+    pub fn try_unwrap(self) -> Result<Vec<u8>, Bytes> {
+        Arc::try_unwrap(self.data).map_err(|data| Bytes { data })
+    }
 }
 
 impl Deref for Bytes {
